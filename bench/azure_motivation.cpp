@@ -1,0 +1,80 @@
+// Motivation bench (paper Secs. I-II): on an Azure-like production workload
+// — where ~19% of functions are invoked once and >40% at most twice —
+// same-config keep-alive rarely finds a matching warm container, while
+// multi-level reuse still benefits from the shared OS/language stacks. This
+// bench (a) validates the generated trace reproduces the cited statistics
+// and (b) quantifies the multi-level advantage, including the predictive
+// keep-alive baseline from the pre-warming literature.
+#include <iostream>
+
+#include "common.hpp"
+#include "fstartbench/azure_like.hpp"
+#include "policies/prewarm.hpp"
+#include "policies/zygote.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlcr;
+  const auto options = benchtools::BenchOptions::parse(argc, argv);
+
+  fstartbench::AzureLikeConfig cfg;
+  cfg.num_functions = 250;
+  cfg.window_s = 3600.0;
+
+  // Statistics of one representative world.
+  const auto world = fstartbench::make_azure_like_workload(cfg, util::Rng(7));
+  util::Table stats({"statistic", "generated", "cited (Azure trace)"});
+  stats.add_row({"functions invoked once",
+                 util::Table::num(100.0 * world.fraction_invoked_once(), 1) +
+                     "%",
+                 "~19%"});
+  stats.add_row({"functions invoked <= 2x",
+                 util::Table::num(
+                     100.0 * world.fraction_invoked_at_most(2), 1) + "%",
+                 ">40%"});
+  stats.add_row({"functions with mean exec < 1 s",
+                 util::Table::num(
+                     100.0 * world.fraction_short_running(1.0), 1) + "%",
+                 "~50%"});
+  stats.add_row({"p95/p5 image size spread",
+                 util::Table::num(world.image_size_spread(), 1) + "x",
+                 "~4x (memory)"});
+  std::cout << "=== Azure-like workload statistics ===\n";
+  stats.print(std::cout);
+
+  // System comparison over replicated worlds.
+  const sim::StartupCostModel cost(world.catalog);
+  util::Table table({"system", "mean total (s)", "mean cold", "warm L1+L2",
+                     "warm L3"});
+  util::Rng world_rng(100);
+  std::vector<fstartbench::AzureLikeWorkload> worlds;
+  for (std::size_t r = 0; r < options.reps; ++r)
+    worlds.push_back(
+        fstartbench::make_azure_like_workload(cfg, world_rng.split()));
+
+  auto systems = benchtools::paper_systems();
+  systems.push_back(policies::make_prewarm_system());
+  systems.push_back(policies::make_zygote_system());
+  for (const auto& spec : systems) {
+    util::RunningStats total, cold, partial, full;
+    for (const auto& w : worlds) {
+      const sim::StartupCostModel w_cost(w.catalog);
+      const auto s = policies::run_system(spec, w.functions, w.catalog,
+                                          w_cost, 8192.0, w.trace);
+      total.add(s.total_latency_s);
+      cold.add(static_cast<double>(s.cold_starts));
+      partial.add(static_cast<double>(s.warm_l1 + s.warm_l2));
+      full.add(static_cast<double>(s.warm_l3));
+    }
+    table.add_row({spec.name, util::Table::num(total.mean(), 1),
+                   util::Table::num(cold.mean(), 1),
+                   util::Table::num(partial.mean(), 1),
+                   util::Table::num(full.mean(), 1)});
+  }
+  std::cout << "\n=== systems on the Azure-like trace (8 GB pool, "
+            << options.reps << " worlds) ===\n";
+  table.print(std::cout);
+  std::cout << "(motivation shape: same-config systems leave most "
+               "invocations cold because functions repeat rarely; "
+               "multi-level matching converts them into L1/L2 warm starts)\n";
+  return 0;
+}

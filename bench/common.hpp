@@ -1,0 +1,206 @@
+// Shared plumbing for the figure/table reproduction binaries: suite setup,
+// command-line knobs, replication running, and MLCR model training with an
+// on-disk cache so consecutive bench binaries reuse one trained model.
+#pragma once
+
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mlcr.hpp"
+#include "core/trainer.hpp"
+#include "fstartbench/workloads.hpp"
+#include "policies/runner.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace mlcr::benchtools {
+
+/// Everything a bench needs: the 13 functions and the calibrated cost model.
+struct Suite {
+  fstartbench::Benchmark bench = fstartbench::make_benchmark();
+  sim::StartupCostModel cost{bench.catalog, fstartbench::default_cost_config()};
+};
+
+/// Command-line knobs shared by the figure benches:
+///   --reps N       replications per configuration (default 7; paper: 50)
+///   --episodes N   MLCR training episodes (default 30)
+///   --fresh        ignore cached models, retrain
+struct BenchOptions {
+  std::size_t reps = 7;
+  std::size_t episodes = 30;
+  bool fresh = false;
+
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions o;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::size_t {
+        return i + 1 < argc ? static_cast<std::size_t>(std::atoll(argv[++i]))
+                            : 0;
+      };
+      if (arg == "--reps")
+        o.reps = next();
+      else if (arg == "--episodes")
+        o.episodes = next();
+      else if (arg == "--fresh")
+        o.fresh = true;
+      else
+        std::cerr << "ignoring unknown flag: " << arg << "\n";
+    }
+    if (o.reps == 0) o.reps = 1;
+    return o;
+  }
+};
+
+/// Generates a fresh trace of one workload family from a seeded stream.
+using TraceFactory = std::function<sim::Trace(util::Rng&)>;
+
+/// Train an MLCR agent for `factory`'s workload family across the given pool
+/// capacities, or load it from `cache_tag`.model if present (and !fresh).
+inline std::shared_ptr<rl::DqnAgent> trained_agent(
+    const Suite& suite, const std::string& cache_tag,
+    const TraceFactory& factory, const std::vector<double>& pool_sizes_mb,
+    const core::MlcrConfig& cfg, const BenchOptions& options,
+    std::uint64_t seed = 42) {
+  auto agent = std::make_shared<rl::DqnAgent>(cfg.dqn, util::Rng(seed));
+  const std::string path = cache_tag + ".model";
+  if (options.fresh) std::remove(path.c_str());
+
+  const auto train = [&] {
+    std::cerr << "[bench] training MLCR model '" << cache_tag << "' ("
+              << options.episodes << " episodes, "
+              << pool_sizes_mb.size() << " pool sizes)...\n";
+    util::Rng trace_rng(seed + 1);
+    std::vector<sim::Trace> traces;
+    for (int i = 0; i < 4; ++i) traces.push_back(factory(trace_rng));
+    std::vector<const sim::Trace*> trace_ptrs;
+    for (const auto& t : traces) trace_ptrs.push_back(&t);
+
+    std::vector<std::unique_ptr<sim::ClusterEnv>> envs;
+    std::vector<sim::ClusterEnv*> env_ptrs;
+    for (const double mb : pool_sizes_mb) {
+      sim::EnvConfig env_cfg;
+      env_cfg.pool_capacity_mb = mb;
+      envs.push_back(std::make_unique<sim::ClusterEnv>(
+          suite.bench.functions, suite.bench.catalog, suite.cost, env_cfg,
+          [] { return std::make_unique<containers::LruEviction>(); }));
+      env_ptrs.push_back(envs.back().get());
+    }
+
+    const core::StateEncoder encoder(cfg.encoder);
+    core::TrainerConfig tc;
+    tc.episodes = options.episodes;
+    tc.seed = seed + 2;
+    const auto report = core::train_agent(*agent, encoder, cfg.reward_scale_s,
+                                          env_ptrs, trace_ptrs, tc);
+    std::cerr << "[bench] trained: episode latency "
+              << util::Table::num(report.episode_total_latency_s.front(), 1)
+              << "s -> "
+              << util::Table::num(report.episode_total_latency_s.back(), 1)
+              << "s over " << report.train_steps << " gradient steps\n";
+  };
+  if (core::load_or_train(*agent, path, train))
+    std::cerr << "[bench] loaded cached model " << path << "\n";
+  return agent;
+}
+
+/// The paper's five systems. MLCR is included only when an agent is given.
+inline std::vector<policies::SystemSpec> paper_systems(
+    std::shared_ptr<rl::DqnAgent> mlcr_agent = nullptr,
+    const core::StateEncoderConfig* encoder = nullptr) {
+  std::vector<policies::SystemSpec> systems;
+  systems.push_back(policies::make_lru_system());
+  systems.push_back(policies::make_faascache_system());
+  systems.push_back(policies::make_keepalive_system());
+  systems.push_back(policies::make_greedy_match_system());
+  if (mlcr_agent != nullptr && encoder != nullptr)
+    systems.push_back(core::make_mlcr_system(std::move(mlcr_agent), *encoder));
+  return systems;
+}
+
+/// Aggregated replication results for one (system, configuration) cell.
+struct RepStats {
+  util::RunningStats total_latency_s;
+  util::RunningStats cold_starts;
+  util::RunningStats peak_pool_mb;
+  util::RunningStats evictions;
+  std::vector<double> totals;  ///< raw per-rep totals, for box stats
+};
+
+/// Run `spec` over `reps` freshly generated traces at the given pool size.
+inline RepStats run_replications(const Suite& suite,
+                                 const policies::SystemSpec& spec,
+                                 const TraceFactory& factory,
+                                 double pool_capacity_mb, std::size_t reps,
+                                 std::uint64_t trace_seed = 9000) {
+  RepStats stats;
+  util::Rng rng(trace_seed);
+  for (std::size_t r = 0; r < reps; ++r) {
+    const sim::Trace trace = factory(rng);
+    const auto s =
+        policies::run_system(spec, suite.bench.functions, suite.bench.catalog,
+                             suite.cost, pool_capacity_mb, trace);
+    stats.total_latency_s.add(s.total_latency_s);
+    stats.cold_starts.add(static_cast<double>(s.cold_starts));
+    stats.peak_pool_mb.add(s.peak_pool_mb);
+    stats.evictions.add(static_cast<double>(s.evictions));
+    stats.totals.push_back(s.total_latency_s);
+  }
+  return stats;
+}
+
+/// Format a BoxStats as "median [q1, q3]".
+inline std::string box_cell(const util::BoxStats& b) {
+  return util::Table::num(b.median, 1) + " [" + util::Table::num(b.q1, 1) +
+         ", " + util::Table::num(b.q3, 1) + "]";
+}
+
+/// One Fig. 11 workload family: a name, a model-cache tag, and a trace
+/// factory.
+struct WorkloadFamily {
+  std::string name;
+  std::string cache_tag;
+  TraceFactory factory;
+};
+
+/// The Fig. 11 protocol (Sec. VI-C): for each family, train MLCR across pool
+/// sizes, then report the distribution (median [q1, q3]) of the total
+/// startup latency of every system at 25/50/75/100% of the Loose capacity.
+inline void run_fig11(const Suite& suite, const BenchOptions& options,
+                      const std::vector<WorkloadFamily>& families,
+                      const char* figure_name) {
+  const core::MlcrConfig cfg = core::make_default_mlcr_config();
+  for (const auto& family : families) {
+    util::Rng ref_rng(1000);
+    const sim::Trace reference = family.factory(ref_rng);
+    const double loose =
+        fstartbench::estimate_loose_capacity_mb(suite.bench, reference);
+
+    const auto agent =
+        trained_agent(suite, family.cache_tag, family.factory,
+                      {loose * 0.25, loose * 0.5, loose}, cfg, options);
+
+    util::Table table({"system", "25% pool (s)", "50% pool (s)",
+                       "75% pool (s)", "100% pool (s)"});
+    for (const auto& spec : paper_systems(agent, &cfg.encoder)) {
+      std::vector<std::string> cells = {spec.name};
+      for (const double frac : {0.25, 0.5, 0.75, 1.0}) {
+        auto stats = run_replications(suite, spec, family.factory,
+                                      loose * frac, options.reps);
+        cells.push_back(box_cell(util::box_stats(std::move(stats.totals))));
+      }
+      table.add_row(std::move(cells));
+    }
+    std::cout << "\n=== " << figure_name << ": " << family.name
+              << " (Loose = " << util::Table::num(loose, 0) << " MB, "
+              << options.reps << " reps, cells: median [q1, q3] of total "
+              << "startup latency) ===\n";
+    table.print(std::cout);
+  }
+}
+
+}  // namespace mlcr::benchtools

@@ -1,0 +1,94 @@
+// Example: automatic level-wise package classification from a Dockerfile
+// (the paper's Fig. 5 workflow and its stated future-work tool). Reads a
+// Dockerfile, classifies every package into OS / language / runtime, and —
+// when the packages are known to the FStartBench catalog — shows which
+// warm containers of the 13 benchmark functions could serve it and at what
+// Table-I match level.
+//
+//   ./examples/classify_dockerfile [path/to/Dockerfile]
+//
+// Without an argument it runs on the paper's Fig. 5 deep-learning example.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "containers/dockerfile.hpp"
+#include "containers/matching.hpp"
+#include "fstartbench/benchmark.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+constexpr const char* kFig5 = R"(FROM ubuntu:20.04
+RUN apt update && \
+    apt install -y wget build-essential
+RUN cd /tmp && \
+    wget https://www.python.org/ftp/python/3.9.17/Python-3.9.17.tgz && \
+    tar -xvf Python-3.9.17.tgz && \
+    cd Python-3.9.17 && \
+    ./configure --enable-optimizations && \
+    make && make install
+RUN pip install torch==2.0.1+cpu torchvision==0.15.2+cpu
+WORKDIR /workspace
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mlcr;
+
+  std::string dockerfile;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in.is_open()) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    dockerfile = ss.str();
+    std::cout << "classifying " << argv[1] << "\n\n";
+  } else {
+    dockerfile = kFig5;
+    std::cout << "classifying the paper's Fig. 5 example Dockerfile\n\n";
+  }
+
+  const containers::DockerfileClassifier classifier;
+  const containers::DockerfileAnalysis analysis =
+      classifier.classify(dockerfile);
+
+  util::Table table({"level", "packages"});
+  auto join = [](const std::vector<std::string>& names) {
+    std::string out;
+    for (const auto& n : names) out += (out.empty() ? "" : ", ") + n;
+    return out.empty() ? std::string("-") : out;
+  };
+  table.add_row({"OS (L1)", join(analysis.os_packages)});
+  table.add_row({"language (L2)", join(analysis.language_packages)});
+  table.add_row({"runtime (L3)", join(analysis.runtime_packages)});
+  table.print(std::cout);
+
+  // Cross-reference against the FStartBench catalog: which of the 13
+  // functions' containers could serve an image like this one?
+  const fstartbench::Benchmark bench = fstartbench::make_benchmark();
+  const auto res = analysis.resolve(bench.catalog);
+  if (!res.unknown.empty()) {
+    std::cout << "\nnot in the FStartBench catalog: ";
+    for (std::size_t i = 0; i < res.unknown.size(); ++i)
+      std::cout << (i ? ", " : "") << res.unknown[i];
+    std::cout << "\n";
+  }
+
+  util::Table matches({"warm container of", "match level"});
+  for (const auto& fn : bench.functions.all()) {
+    const auto level = containers::match(res.image, fn.image);
+    if (containers::reusable(level))
+      matches.add_row({fn.name, std::string(containers::to_string(level))});
+  }
+  std::cout << "\nreusable FStartBench containers (Table I):\n";
+  if (matches.rows() == 0)
+    std::cout << "  none — this image shares no OS level with the suite\n";
+  else
+    matches.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Example: the offline-train / online-deploy lifecycle of the MLCR scheduler
+// (paper Sec. VI-D — the model is trained once offline, saved, and loaded
+// for millisecond-scale online decisions).
+//
+//   ./examples/train_and_deploy [model_path]
+//
+// Demonstrates:
+//   * building training environments at several pool sizes so one model
+//     generalizes across capacities,
+//   * core::train_agent (paper Algorithm 1) with an episode callback,
+//   * saving/loading model weights (core::load_or_train),
+//   * per-decision introspection: Q-values and the action mask for one state.
+#include <iostream>
+#include <memory>
+
+#include "core/mlcr.hpp"
+#include "core/trainer.hpp"
+#include "fstartbench/benchmark.hpp"
+#include "fstartbench/workloads.hpp"
+#include "policies/runner.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlcr;
+  const std::string model_path =
+      argc > 1 ? argv[1] : "mlcr_train_and_deploy.model";
+
+  const fstartbench::Benchmark bench = fstartbench::make_benchmark();
+  const sim::StartupCostModel cost(bench.catalog,
+                                   fstartbench::default_cost_config());
+
+  // Workload family: the arrival-pattern workload with Peak bursts — the
+  // hardest of the Fig. 11c patterns.
+  util::Rng rng(11);
+  auto make_trace = [&](util::Rng& r) {
+    return fstartbench::make_arrival_workload(
+        bench, fstartbench::ArrivalPattern::kPeak, 300, r);
+  };
+  const sim::Trace eval_trace = make_trace(rng);
+  const double loose = fstartbench::estimate_loose_capacity_mb(bench, eval_trace);
+
+  const core::MlcrConfig cfg = core::make_default_mlcr_config();
+  auto agent = std::make_shared<rl::DqnAgent>(cfg.dqn, util::Rng(1));
+  const core::StateEncoder encoder(cfg.encoder);
+
+  // ---- Offline training (cached on disk). ----
+  const bool loaded = core::load_or_train(*agent, model_path, [&] {
+    std::vector<sim::Trace> traces;
+    for (int i = 0; i < 3; ++i) traces.push_back(make_trace(rng));
+    std::vector<const sim::Trace*> trace_ptrs;
+    for (const auto& t : traces) trace_ptrs.push_back(&t);
+
+    std::vector<std::unique_ptr<sim::ClusterEnv>> envs;
+    std::vector<sim::ClusterEnv*> env_ptrs;
+    for (const double frac : {0.25, 0.5, 1.0}) {
+      sim::EnvConfig env_cfg;
+      env_cfg.pool_capacity_mb = loose * frac;
+      envs.push_back(std::make_unique<sim::ClusterEnv>(
+          bench.functions, bench.catalog, cost, env_cfg,
+          [] { return std::make_unique<containers::LruEviction>(); }));
+      env_ptrs.push_back(envs.back().get());
+    }
+
+    // Demo-scale budget: enough to show the lifecycle in ~2 minutes. The
+    // bench binaries (bench/fig8_overall etc.) train with 30-40 episodes,
+    // which is what the EXPERIMENTS.md numbers use.
+    core::TrainerConfig tc;
+    tc.episodes = 18;
+    tc.on_episode_end = [](std::size_t ep, double total) {
+      if (ep % 6 == 0)
+        std::cout << "  episode " << ep << ": total startup latency "
+                  << util::Table::num(total, 1) << " s\n";
+    };
+    std::cout << "training on Peak workloads...\n";
+    (void)core::train_agent(*agent, encoder, cfg.reward_scale_s, env_ptrs,
+                            trace_ptrs, tc);
+  });
+  std::cout << (loaded ? "loaded cached model from "
+                       : "trained and saved model to ")
+            << model_path << "\n\n";
+
+  // ---- Online deployment. ----
+  const auto mlcr_spec = core::make_mlcr_system(agent, cfg.encoder);
+  const auto greedy_spec = policies::make_greedy_match_system();
+  util::Table table({"system", "total latency (s)", "cold starts"});
+  for (const auto* spec : {&mlcr_spec, &greedy_spec}) {
+    const auto s = policies::run_system(*spec, bench.functions, bench.catalog,
+                                        cost, loose * 0.5, eval_trace);
+    table.add_row({s.scheduler, util::Table::num(s.total_latency_s, 1),
+                   util::Table::num(s.cold_starts)});
+  }
+  table.print(std::cout);
+
+  // ---- Decision introspection: what does the model see and score? ----
+  sim::EnvConfig env_cfg;
+  env_cfg.pool_capacity_mb = loose * 0.5;
+  sim::ClusterEnv env(bench.functions, bench.catalog, cost, env_cfg,
+                      [] { return std::make_unique<containers::LruEviction>(); });
+  env.reset(eval_trace);
+  policies::GreedyMatchScheduler warmup;
+  for (int i = 0; i < 40 && !env.done(); ++i)
+    (void)env.step(warmup.decide(env, env.current()));
+
+  if (!env.done()) {
+    const auto state = encoder.encode(env, env.current(), 0.0);
+    const nn::Tensor q = agent->q_values(state.tokens);
+    const auto& fn = bench.functions.get(env.current().function);
+    std::cout << "\nnext invocation: " << fn.name << " — Q-values per action "
+              << "(slots 0.." << cfg.encoder.num_slots - 1 << ", then cold):\n";
+    util::Table qt({"action", "allowed", "Q"});
+    for (std::size_t a = 0; a < state.mask.size(); ++a) {
+      if (!state.mask[a] && a != cfg.encoder.num_slots) continue;
+      qt.add_row({a == cfg.encoder.num_slots ? "cold start"
+                                             : "slot " + std::to_string(a),
+                  state.mask[a] ? "yes" : "no",
+                  util::Table::num(q(a, 0), 3)});
+    }
+    qt.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Example: using FStartBench as a workload laboratory — compose workloads
+// with controlled similarity / size-variance / arrival properties, inspect
+// their metrics, and measure how much each property affects the baselines.
+//
+//   ./examples/workload_study
+//
+// This mirrors the methodology of the paper's Sec. V/VI-C at example scale.
+#include <iostream>
+
+#include "fstartbench/workloads.hpp"
+#include "policies/runner.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mlcr;
+  const fstartbench::Benchmark bench = fstartbench::make_benchmark();
+  const sim::StartupCostModel cost(bench.catalog,
+                                   fstartbench::default_cost_config());
+
+  struct Workload {
+    std::string name;
+    sim::Trace trace;
+  };
+  util::Rng rng(77);
+  std::vector<Workload> workloads;
+  workloads.push_back(
+      {"HI-Sim", fstartbench::make_similarity_workload(bench, true, 200, rng)});
+  workloads.push_back(
+      {"LO-Sim", fstartbench::make_similarity_workload(bench, false, 200, rng)});
+  workloads.push_back({"Uniform", fstartbench::make_arrival_workload(
+                                      bench, fstartbench::ArrivalPattern::kUniform,
+                                      200, rng)});
+  workloads.push_back({"Peak", fstartbench::make_arrival_workload(
+                                   bench, fstartbench::ArrivalPattern::kPeak,
+                                   200, rng)});
+
+  // Workload anatomy: span, mix, metric values.
+  util::Table anatomy({"workload", "invocations", "span (s)",
+                       "distinct types", "avg similarity"});
+  for (const auto& w : workloads) {
+    std::vector<sim::FunctionTypeId> types;
+    for (const auto& inv : w.trace.invocations()) types.push_back(inv.function);
+    std::sort(types.begin(), types.end());
+    types.erase(std::unique(types.begin(), types.end()), types.end());
+    anatomy.add_row(
+        {w.name, util::Table::num(w.trace.size()),
+         util::Table::num(w.trace.span_s(), 0), util::Table::num(types.size()),
+         util::Table::num(
+             fstartbench::average_pairwise_similarity(bench, types), 2)});
+  }
+  std::cout << "=== workload anatomy ===\n";
+  anatomy.print(std::cout);
+
+  // How each workload treats the baselines at a mid-size pool.
+  std::cout << "\n=== baseline behaviour (pool = 50% of each workload's "
+               "Loose) ===\n";
+  util::Table results({"workload", "system", "total (s)", "avg (s)", "cold",
+                       "warm L1/L2/L3", "evictions"});
+  for (const auto& w : workloads) {
+    const double loose = fstartbench::estimate_loose_capacity_mb(bench, w.trace);
+    for (const auto& make :
+         {policies::make_lru_system, policies::make_greedy_match_system}) {
+      const auto spec = make();
+      const auto s = policies::run_system(spec, bench.functions, bench.catalog,
+                                          cost, loose * 0.5, w.trace);
+      results.add_row({w.name, s.scheduler,
+                       util::Table::num(s.total_latency_s, 1),
+                       util::Table::num(s.average_latency_s, 2),
+                       util::Table::num(s.cold_starts),
+                       std::to_string(s.warm_l1) + "/" +
+                           std::to_string(s.warm_l2) + "/" +
+                           std::to_string(s.warm_l3),
+                       util::Table::num(s.evictions)});
+    }
+  }
+  results.print(std::cout);
+  std::cout << "\nTakeaway: multi-level matching converts cold starts into "
+               "L1/L2 warm starts where similarity is high — but greedily "
+               "grabbing the best match can repack containers that upcoming "
+               "invocations needed intact, and then greedy loses to plain "
+               "LRU despite fewer cold starts. That tension (paper Fig. 2 / "
+               "Fig. 9) is exactly what MLCR's learned scheduler resolves; "
+               "see examples/train_and_deploy.cpp.\n";
+  return 0;
+}

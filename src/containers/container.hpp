@@ -1,0 +1,62 @@
+// Container instance model: a sandbox that holds a three-level image, executes
+// one function at a time, and sits in the warm pool between executions.
+#pragma once
+
+#include <cstdint>
+
+#include "containers/image.hpp"
+
+namespace mlcr::containers {
+
+using ContainerId = std::uint64_t;
+inline constexpr ContainerId kInvalidContainer = UINT64_MAX;
+
+/// Identifier of a function *type* (an entry of the FStartBench function
+/// table); invocations reference a type.
+using FunctionTypeId = std::uint32_t;
+inline constexpr FunctionTypeId kInvalidFunctionType = UINT32_MAX;
+
+enum class ContainerState : std::uint8_t {
+  kBusy,  ///< executing a function on a worker
+  kIdle,  ///< warm, parked in the pool
+};
+
+/// One container. Plain data record; lifecycle transitions are driven by the
+/// simulator (sim::ClusterEnv) and the warm pool.
+struct Container {
+  ContainerId id = kInvalidContainer;
+  ImageSpec image;
+  ContainerState state = ContainerState::kBusy;
+
+  /// Simulation timestamps, seconds.
+  double created_at = 0.0;
+  double last_idle_at = 0.0;  ///< when it last entered the pool
+  double last_used_at = 0.0;  ///< when it last started executing
+
+  /// How many function executions this container has served.
+  std::uint32_t use_count = 0;
+  /// How many times the cleaner repacked it for a different image.
+  std::uint32_t repack_count = 0;
+
+  /// Cached footprint: base sandbox overhead + image size, MB. Must be
+  /// refreshed (refresh_memory) whenever the image changes.
+  double memory_mb = 0.0;
+
+  /// Function type of the most recent execution, and the startup cost that
+  /// execution paid. Consumed by the FaasCache eviction policy (its
+  /// greedy-dual priority weighs frequency, cost and size).
+  FunctionTypeId last_function = kInvalidFunctionType;
+  double last_startup_cost_s = 0.0;
+
+  /// Greedy-dual priority slot, maintained by FaasCacheEviction.
+  double priority = 0.0;
+
+  /// Fixed per-sandbox memory overhead (runtime, writable layer), MB.
+  static constexpr double kBaseOverheadMb = 16.0;
+
+  void refresh_memory(const PackageCatalog& catalog) {
+    memory_mb = kBaseOverheadMb + image.total_size_mb(catalog);
+  }
+};
+
+}  // namespace mlcr::containers

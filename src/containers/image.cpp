@@ -1,0 +1,86 @@
+#include "containers/image.hpp"
+
+#include <algorithm>
+
+namespace mlcr::containers {
+
+namespace {
+void normalize(std::vector<PackageId>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+}  // namespace
+
+ImageSpec::ImageSpec(std::vector<PackageId> os, std::vector<PackageId> language,
+                     std::vector<PackageId> runtime) {
+  levels_[0] = std::move(os);
+  levels_[1] = std::move(language);
+  levels_[2] = std::move(runtime);
+  for (auto& lvl : levels_) normalize(lvl);
+}
+
+void ImageSpec::set_level(Level l, std::vector<PackageId> packages) {
+  normalize(packages);
+  levels_[static_cast<std::size_t>(l)] = std::move(packages);
+}
+
+std::vector<PackageId> ImageSpec::all_packages() const {
+  std::vector<PackageId> all;
+  all.reserve(package_count());
+  for (const auto& lvl : levels_) all.insert(all.end(), lvl.begin(), lvl.end());
+  return all;
+}
+
+std::size_t ImageSpec::package_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& lvl : levels_) n += lvl.size();
+  return n;
+}
+
+double ImageSpec::total_size_mb(const PackageCatalog& catalog) const {
+  double total = 0.0;
+  for (const auto& lvl : levels_) total += catalog.total_size_mb(lvl);
+  return total;
+}
+
+double ImageSpec::level_size_mb(const PackageCatalog& catalog, Level l) const {
+  return catalog.total_size_mb(level(l));
+}
+
+bool ImageSpec::level_contains(const ImageSpec& required, Level l) const {
+  const auto& have = level(l);
+  const auto& need = required.level(l);
+  return std::includes(have.begin(), have.end(), need.begin(), need.end());
+}
+
+std::vector<PackageId> ImageSpec::level_missing(const ImageSpec& required,
+                                                Level l) const {
+  const auto& have = level(l);
+  const auto& need = required.level(l);
+  std::vector<PackageId> missing;
+  std::set_difference(need.begin(), need.end(), have.begin(), have.end(),
+                      std::back_inserter(missing));
+  return missing;
+}
+
+void ImageSpec::merge_level(Level l, const ImageSpec& other) {
+  auto merged = level(l);
+  const auto& extra = other.level(l);
+  merged.insert(merged.end(), extra.begin(), extra.end());
+  set_level(l, std::move(merged));
+}
+
+double ImageSpec::jaccard(const ImageSpec& other) const {
+  auto a = all_packages();
+  auto b = other.all_packages();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<PackageId> inter;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(inter));
+  const std::size_t uni = a.size() + b.size() - inter.size();
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter.size()) / static_cast<double>(uni);
+}
+
+}  // namespace mlcr::containers

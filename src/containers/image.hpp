@@ -1,0 +1,70 @@
+// Three-level image specification: the {L1, L2, L3} package lists of Sec. IV-A.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "containers/package.hpp"
+
+namespace mlcr::containers {
+
+/// A function/container image described by its packages grouped into the three
+/// reuse levels. Lists are kept sorted & deduplicated so set equality is a
+/// plain vector comparison.
+class ImageSpec {
+ public:
+  ImageSpec() = default;
+  ImageSpec(std::vector<PackageId> os, std::vector<PackageId> language,
+            std::vector<PackageId> runtime);
+
+  [[nodiscard]] const std::vector<PackageId>& level(Level l) const noexcept {
+    return levels_[static_cast<std::size_t>(l)];
+  }
+
+  /// Replace one level's package list (used by the container cleaner when it
+  /// swaps volumes during a repack). Keeps the list normalized.
+  void set_level(Level l, std::vector<PackageId> packages);
+
+  /// All packages across all levels (sorted by level then id).
+  [[nodiscard]] std::vector<PackageId> all_packages() const;
+  [[nodiscard]] std::size_t package_count() const noexcept;
+
+  /// Memory footprint in MB of all packages, per the catalog.
+  [[nodiscard]] double total_size_mb(const PackageCatalog& catalog) const;
+  /// Memory footprint in MB of one level only.
+  [[nodiscard]] double level_size_mb(const PackageCatalog& catalog,
+                                     Level l) const;
+
+  /// Set equality of one level (Table I compares levels as wholes).
+  [[nodiscard]] bool level_equals(const ImageSpec& other,
+                                  Level l) const noexcept {
+    return level(l) == other.level(l);
+  }
+
+  /// True when this image's level is a superset of `required`'s level
+  /// (zygote-style reuse: everything the function needs is present).
+  [[nodiscard]] bool level_contains(const ImageSpec& required, Level l) const;
+
+  /// Packages of `required`'s level that this image lacks (what a union
+  /// reuse must pull and install).
+  [[nodiscard]] std::vector<PackageId> level_missing(const ImageSpec& required,
+                                                     Level l) const;
+
+  /// Grow one level to the union with `other`'s level (union reuse).
+  void merge_level(Level l, const ImageSpec& other);
+
+  [[nodiscard]] bool operator==(const ImageSpec& other) const noexcept {
+    return levels_ == other.levels_;
+  }
+
+  /// Jaccard similarity |P1 ∩ P2| / |P1 ∪ P2| over all packages of both
+  /// images (the paper's function-similarity metric, Sec. V). Two empty
+  /// images have similarity 1.
+  [[nodiscard]] double jaccard(const ImageSpec& other) const;
+
+ private:
+  std::array<std::vector<PackageId>, kNumLevels> levels_;
+};
+
+}  // namespace mlcr::containers

@@ -1,0 +1,26 @@
+#include "containers/matching.hpp"
+
+namespace mlcr::containers {
+
+std::string_view to_string(MatchLevel level) noexcept {
+  switch (level) {
+    case MatchLevel::kNoMatch:
+      return "no-match";
+    case MatchLevel::kL1:
+      return "L1";
+    case MatchLevel::kL2:
+      return "L2";
+    case MatchLevel::kL3:
+      return "L3";
+  }
+  return "?";
+}
+
+MatchLevel match(const ImageSpec& function, const ImageSpec& container) noexcept {
+  if (!function.level_equals(container, Level::kOs)) return MatchLevel::kNoMatch;
+  if (!function.level_equals(container, Level::kLanguage)) return MatchLevel::kL1;
+  if (!function.level_equals(container, Level::kRuntime)) return MatchLevel::kL2;
+  return MatchLevel::kL3;
+}
+
+}  // namespace mlcr::containers

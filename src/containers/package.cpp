@@ -1,0 +1,62 @@
+#include "containers/package.hpp"
+
+#include "util/check.hpp"
+
+namespace mlcr::containers {
+
+std::string_view to_string(Level level) noexcept {
+  switch (level) {
+    case Level::kOs:
+      return "OS";
+    case Level::kLanguage:
+      return "language";
+    case Level::kRuntime:
+      return "runtime";
+  }
+  return "?";
+}
+
+PackageId PackageCatalog::add(std::string name, Level level, double size_mb,
+                              double install_s) {
+  MLCR_CHECK_MSG(!name.empty(), "package name must be non-empty");
+  MLCR_CHECK_MSG(size_mb >= 0.0, "package size must be non-negative");
+  MLCR_CHECK_MSG(install_s >= 0.0, "install time must be non-negative");
+  MLCR_CHECK_MSG(by_name_.find(name) == by_name_.end(),
+                 "duplicate package name: " << name);
+  const auto id = static_cast<PackageId>(packages_.size());
+  by_name_.emplace(name, id);
+  packages_.push_back(PackageInfo{std::move(name), level, size_mb, install_s});
+  return id;
+}
+
+const PackageInfo& PackageCatalog::info(PackageId id) const {
+  MLCR_CHECK_MSG(id < packages_.size(), "unknown package id " << id);
+  return packages_[id];
+}
+
+std::optional<PackageId> PackageCatalog::find(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+PackageId PackageCatalog::require(std::string_view name) const {
+  const auto id = find(name);
+  MLCR_CHECK_MSG(id.has_value(), "package not in catalog: " << name);
+  return *id;
+}
+
+double PackageCatalog::total_size_mb(const std::vector<PackageId>& ids) const {
+  double total = 0.0;
+  for (PackageId id : ids) total += info(id).size_mb;
+  return total;
+}
+
+double PackageCatalog::total_install_s(
+    const std::vector<PackageId>& ids) const {
+  double total = 0.0;
+  for (PackageId id : ids) total += info(id).install_s;
+  return total;
+}
+
+}  // namespace mlcr::containers

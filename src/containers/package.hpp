@@ -1,0 +1,65 @@
+// Package model: every piece of software inside a container image belongs to
+// one of three levels — OS, language, runtime — which is the core abstraction
+// of the paper's Multi-Level Container Reuse (Sec. III, Fig. 5).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mlcr::containers {
+
+/// Package level per the paper's classification (Fig. 5):
+/// OS (blue), language (orange), runtime (green).
+enum class Level : std::uint8_t { kOs = 0, kLanguage = 1, kRuntime = 2 };
+
+inline constexpr std::size_t kNumLevels = 3;
+inline constexpr std::array<Level, kNumLevels> kAllLevels = {
+    Level::kOs, Level::kLanguage, Level::kRuntime};
+
+[[nodiscard]] std::string_view to_string(Level level) noexcept;
+
+using PackageId = std::uint32_t;
+inline constexpr PackageId kInvalidPackage = UINT32_MAX;
+
+/// Static metadata for one package.
+struct PackageInfo {
+  std::string name;
+  Level level = Level::kOs;
+  /// On-disk / in-memory footprint contributed to a container, in MB.
+  double size_mb = 0.0;
+  /// Extra installation work after the bits arrive (configure/compile),
+  /// in seconds. Pull time is derived from size by the cost model.
+  double install_s = 0.0;
+};
+
+/// Append-only registry of package metadata; PackageIds are dense indices.
+/// Names are unique (e.g. "ubuntu:20.04", "python-3.9", "torch-2.0.1").
+class PackageCatalog {
+ public:
+  /// Registers a package; throws CheckError on duplicate name or bad size.
+  PackageId add(std::string name, Level level, double size_mb,
+                double install_s = 0.0);
+
+  [[nodiscard]] const PackageInfo& info(PackageId id) const;
+  [[nodiscard]] std::optional<PackageId> find(std::string_view name) const;
+  /// find() that throws if absent; convenient in benchmark setup code.
+  [[nodiscard]] PackageId require(std::string_view name) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return packages_.size(); }
+
+  /// Sum of sizes of the given packages, in MB.
+  [[nodiscard]] double total_size_mb(const std::vector<PackageId>& ids) const;
+  /// Sum of install times of the given packages, in seconds.
+  [[nodiscard]] double total_install_s(const std::vector<PackageId>& ids) const;
+
+ private:
+  std::vector<PackageInfo> packages_;
+  std::unordered_map<std::string, PackageId> by_name_;
+};
+
+}  // namespace mlcr::containers

@@ -1,0 +1,144 @@
+#include "containers/pool.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace mlcr::containers {
+
+ContainerId LruEviction::choose_victim(
+    const std::vector<const Container*>& idle, double now) {
+  (void)now;
+  MLCR_CHECK(!idle.empty());
+  const Container* victim = idle.front();
+  for (const Container* c : idle)
+    if (c->last_idle_at < victim->last_idle_at) victim = c;
+  return victim->id;
+}
+
+ContainerId FaasCacheEviction::choose_victim(
+    const std::vector<const Container*>& idle, double now) {
+  (void)now;
+  MLCR_CHECK(!idle.empty());
+  const Container* victim = idle.front();
+  for (const Container* c : idle)
+    if (c->priority < victim->priority) victim = c;
+  clock_ = victim->priority;  // greedy-dual aging
+  return victim->id;
+}
+
+double FaasCacheEviction::frequency(FunctionTypeId fn) const {
+  const auto it = admit_counts_.find(fn);
+  return it == admit_counts_.end() ? 1.0 : static_cast<double>(it->second);
+}
+
+void FaasCacheEviction::on_admit(Container& container, double now) {
+  (void)now;
+  ++admit_counts_[container.last_function];
+  const double size = std::max(container.memory_mb, 1.0);
+  const double cost = std::max(container.last_startup_cost_s, 1e-3);
+  container.priority =
+      clock_ + frequency(container.last_function) * cost / size;
+}
+
+ContainerId RejectWhenFull::choose_victim(
+    const std::vector<const Container*>& idle, double now) {
+  (void)idle;
+  (void)now;
+  // The pool consults reject_when_full() first; reaching here is a bug.
+  MLCR_CHECK_MSG(false, "RejectWhenFull must never be asked for a victim");
+  return kInvalidContainer;
+}
+
+WarmPool::WarmPool(double capacity_mb, std::unique_ptr<EvictionPolicy> eviction,
+                   std::size_t max_count)
+    : capacity_mb_(capacity_mb),
+      max_count_(max_count),
+      eviction_(std::move(eviction)) {
+  MLCR_CHECK_MSG(capacity_mb_ > 0.0, "pool capacity must be positive");
+  MLCR_CHECK(eviction_ != nullptr);
+}
+
+WarmPool::AdmitOutcome WarmPool::admit(Container container, double now) {
+  MLCR_CHECK(container.state == ContainerState::kIdle);
+  MLCR_CHECK(container.id != kInvalidContainer);
+  MLCR_CHECK_MSG(by_id_.find(container.id) == by_id_.end(),
+                 "container " << container.id << " already in pool");
+
+  if (container.memory_mb > capacity_mb_) {
+    ++rejections_;
+    return AdmitOutcome::kRejected;
+  }
+  auto over_budget = [&] {
+    return used_mb_ + container.memory_mb > capacity_mb_ ||
+           (max_count_ != 0 && by_id_.size() >= max_count_);
+  };
+  if (over_budget() && eviction_->reject_when_full()) {
+    ++rejections_;
+    return AdmitOutcome::kRejected;
+  }
+  while (over_budget()) {
+    MLCR_CHECK(!by_id_.empty());
+    const ContainerId victim = eviction_->choose_victim(idle_containers(), now);
+    MLCR_CHECK_MSG(by_id_.find(victim) != by_id_.end(),
+                   "eviction policy returned unknown container " << victim);
+    erase(victim);
+    ++evictions_;
+  }
+
+  eviction_->on_admit(container, now);
+  used_mb_ += container.memory_mb;
+  peak_used_mb_ = std::max(peak_used_mb_, used_mb_);
+  const ContainerId id = container.id;
+  by_id_.emplace(id, std::move(container));
+  return AdmitOutcome::kAdmitted;
+}
+
+std::optional<Container> WarmPool::take(ContainerId id, double now) {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) return std::nullopt;
+  Container c = std::move(it->second);
+  used_mb_ -= c.memory_mb;
+  by_id_.erase(it);
+  eviction_->on_take(c, now);
+  return c;
+}
+
+const Container* WarmPool::find(ContainerId id) const {
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Container*> WarmPool::idle_containers() const {
+  std::vector<const Container*> out;
+  out.reserve(by_id_.size());
+  for (const auto& [id, c] : by_id_) out.push_back(&c);
+  std::sort(out.begin(), out.end(), [](const Container* a, const Container* b) {
+    if (a->last_idle_at != b->last_idle_at)
+      return a->last_idle_at < b->last_idle_at;
+    return a->id < b->id;  // total order for determinism
+  });
+  return out;
+}
+
+std::size_t WarmPool::expire_older_than(double now, double ttl_s) {
+  std::vector<ContainerId> expired;
+  for (const auto& [id, c] : by_id_)
+    if (now - c.last_idle_at > ttl_s) expired.push_back(id);
+  std::sort(expired.begin(), expired.end());
+  for (ContainerId id : expired) {
+    erase(id);
+    ++evictions_;
+  }
+  return expired.size();
+}
+
+void WarmPool::erase(ContainerId id) {
+  const auto it = by_id_.find(id);
+  MLCR_CHECK(it != by_id_.end());
+  used_mb_ -= it->second.memory_mb;
+  by_id_.erase(it);
+}
+
+}  // namespace mlcr::containers

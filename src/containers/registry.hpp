@@ -1,0 +1,68 @@
+// Synthetic Docker-Hub-like registry used to reproduce the paper's Fig. 3
+// analysis: among the top-1000 most popular images, a handful of base (OS)
+// images and language packages dominate the pull counts (the four most popular
+// base images account for 77% of pulls). We model image popularity and
+// base-image choice with Zipf distributions and expose the same aggregate
+// statistics the paper reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "containers/image.hpp"
+#include "util/rng.hpp"
+
+namespace mlcr::containers {
+
+/// One registry image with its simulated popularity.
+struct RegistryImage {
+  ImageSpec image;
+  std::uint64_t pull_count = 0;
+};
+
+/// Aggregated popularity of a package across all registry images.
+struct PackagePopularity {
+  PackageId package = kInvalidPackage;
+  std::string name;
+  std::uint64_t pull_count = 0;
+  double share = 0.0;  ///< fraction of total pulls
+};
+
+struct RegistryConfig {
+  std::size_t num_images = 1000;
+  std::uint64_t total_pulls = 50'000'000;
+  /// Zipf exponents: image popularity, base-image choice, language choice.
+  double image_popularity_exponent = 1.1;
+  double os_choice_exponent = 1.4;
+  double language_choice_exponent = 1.2;
+  /// Runtime packages per image, uniform in [min, max].
+  std::size_t min_runtime_packages = 0;
+  std::size_t max_runtime_packages = 4;
+};
+
+/// Builds the synthetic registry on top of a catalog whose packages are
+/// grouped by level. The catalog must contain at least one OS and one
+/// language package.
+class SyntheticRegistry {
+ public:
+  SyntheticRegistry(const PackageCatalog& catalog, RegistryConfig config,
+                    util::Rng rng);
+
+  [[nodiscard]] const std::vector<RegistryImage>& images() const noexcept {
+    return images_;
+  }
+
+  /// Popularity of packages at one level, sorted by pull count descending.
+  [[nodiscard]] std::vector<PackagePopularity> popularity(Level level) const;
+
+  /// Fraction of total pulls covered by the top-k packages at `level`
+  /// (paper: top-4 base images cover 77%).
+  [[nodiscard]] double top_k_share(Level level, std::size_t k) const;
+
+ private:
+  const PackageCatalog& catalog_;
+  std::vector<RegistryImage> images_;
+};
+
+}  // namespace mlcr::containers

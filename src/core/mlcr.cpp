@@ -1,0 +1,56 @@
+#include "core/mlcr.hpp"
+
+#include "util/check.hpp"
+
+namespace mlcr::core {
+
+MlcrConfig make_default_mlcr_config(std::size_t num_slots,
+                                    std::size_t embed_dim) {
+  MlcrConfig c;
+  c.encoder.num_slots = num_slots;
+  c.dqn.network.feature_dim = c.encoder.feature_dim;
+  c.dqn.network.num_slots = num_slots;
+  c.dqn.network.embed_dim = embed_dim;
+  c.dqn.network.heads = 2;
+  c.dqn.network.blocks = 2;
+  c.dqn.network.ffn_dim = embed_dim * 2;
+  c.dqn.batch_size = 16;
+  return c;
+}
+
+MlcrScheduler::MlcrScheduler(std::shared_ptr<rl::DqnAgent> agent,
+                             StateEncoder encoder)
+    : agent_(std::move(agent)), encoder_(std::move(encoder)) {
+  MLCR_CHECK(agent_ != nullptr);
+  MLCR_CHECK_MSG(
+      agent_->config().network.num_slots == encoder_.config().num_slots &&
+          agent_->config().network.feature_dim ==
+              encoder_.config().feature_dim,
+      "agent network dimensions must match the state encoder");
+}
+
+void MlcrScheduler::on_episode_start(const sim::ClusterEnv& env) {
+  (void)env;
+  has_prev_ = false;
+}
+
+sim::Action MlcrScheduler::decide(const sim::ClusterEnv& env,
+                                  const sim::Invocation& inv) {
+  const double prev = has_prev_ ? prev_arrival_s_ : inv.arrival_s;
+  const EncodedState state = encoder_.encode(env, inv, prev);
+  prev_arrival_s_ = inv.arrival_s;
+  has_prev_ = true;
+  const std::size_t action = agent_->greedy_action(state.tokens, state.mask);
+  return encoder_.to_sim_action(state, action);
+}
+
+policies::SystemSpec make_mlcr_system(std::shared_ptr<rl::DqnAgent> agent,
+                                      const StateEncoderConfig& encoder) {
+  return policies::SystemSpec{
+      "MLCR",
+      std::make_unique<MlcrScheduler>(std::move(agent), StateEncoder(encoder)),
+      [] { return std::make_unique<containers::LruEviction>(); },
+      std::nullopt};
+}
+
+}  // namespace mlcr::core

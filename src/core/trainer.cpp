@@ -1,0 +1,225 @@
+#include "core/trainer.hpp"
+
+#include <filesystem>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace mlcr::core {
+
+namespace {
+
+/// The multi-level greedy policy expressed in action-index space: the state
+/// encoder orders slots by (match level desc, recency desc), so greedy is
+/// "slot 0 if it is reusable, else cold".
+[[nodiscard]] std::size_t greedy_action_index(const EncodedState& state,
+                                              const StateEncoder& encoder) {
+  if (!state.mask.empty() && state.mask[0]) return 0;
+  return encoder.config().num_slots;  // cold
+}
+
+/// Run greedy episodes, feeding transitions into the agent's replay buffer.
+void seed_replay_with_greedy(rl::DqnAgent& agent, const StateEncoder& encoder,
+                             float reward_scale_s, sim::ClusterEnv& env,
+                             const sim::Trace& trace) {
+  env.reset(trace);
+  double prev_arrival = 0.0;
+  bool has_prev = false;
+  while (!env.done()) {
+    const sim::Invocation inv = env.current();
+    const double prev = has_prev ? prev_arrival : inv.arrival_s;
+    EncodedState state = encoder.encode(env, inv, prev);
+    prev_arrival = inv.arrival_s;
+    has_prev = true;
+    const std::size_t action = greedy_action_index(state, encoder);
+    const sim::StepResult result =
+        env.step(encoder.to_sim_action(state, action));
+
+    rl::Transition t;
+    t.state = std::move(state.tokens);
+    t.action = action;
+    t.reward = static_cast<float>(-result.latency_s) / reward_scale_s;
+    if (env.done()) {
+      t.terminal = true;
+      t.next_state =
+          nn::Tensor(encoder.num_tokens(), encoder.config().feature_dim);
+      t.next_mask.assign(encoder.num_actions(), 0);
+    } else {
+      EncodedState next = encoder.encode(env, env.current(), prev_arrival);
+      t.next_state = std::move(next.tokens);
+      t.next_mask = std::move(next.mask);
+    }
+    agent.observe(std::move(t));
+  }
+}
+
+/// Total latency of one multi-level-greedy episode (baseline for
+/// normalizing validation scores across environments).
+[[nodiscard]] double greedy_episode_latency(const StateEncoder& encoder,
+                                            sim::ClusterEnv& env,
+                                            const sim::Trace& trace) {
+  env.reset(trace);
+  while (!env.done()) {
+    const EncodedState state = encoder.encode(env, env.current(), 0.0);
+    (void)env.step(
+        encoder.to_sim_action(state, greedy_action_index(state, encoder)));
+  }
+  return env.metrics().total_latency_s();
+}
+
+/// Greedy-policy evaluation of the current network: per-environment total
+/// startup latency normalized by that environment's multi-level-greedy
+/// baseline, summed. Normalization keeps tight pools (whose absolute
+/// latencies are several times larger) from dominating checkpoint selection.
+[[nodiscard]] double validate(rl::DqnAgent& agent, const StateEncoder& encoder,
+                              const std::vector<sim::ClusterEnv*>& envs,
+                              const sim::Trace& trace,
+                              const std::vector<double>& baselines) {
+  double total = 0.0;
+  for (std::size_t e = 0; e < envs.size(); ++e) {
+    sim::ClusterEnv& env = *envs[e];
+    env.reset(trace);
+    double prev_arrival = 0.0;
+    bool has_prev = false;
+    while (!env.done()) {
+      const sim::Invocation inv = env.current();
+      const double prev = has_prev ? prev_arrival : inv.arrival_s;
+      const EncodedState state = encoder.encode(env, inv, prev);
+      prev_arrival = inv.arrival_s;
+      has_prev = true;
+      const std::size_t action =
+          agent.greedy_action(state.tokens, state.mask);
+      (void)env.step(encoder.to_sim_action(state, action));
+    }
+    total += env.metrics().total_latency_s() / baselines[e];
+  }
+  return total;
+}
+
+}  // namespace
+
+TrainerReport train_agent(rl::DqnAgent& agent, const StateEncoder& encoder,
+                          float reward_scale_s,
+                          const std::vector<sim::ClusterEnv*>& envs,
+                          const std::vector<const sim::Trace*>& traces,
+                          const TrainerConfig& config) {
+  MLCR_CHECK(!envs.empty() && !traces.empty());
+  MLCR_CHECK(reward_scale_s > 0.0F);
+  MLCR_CHECK(config.train_every > 0);
+
+  util::Rng rng(config.seed);
+
+  std::size_t planned_steps = 0;
+  for (std::size_t ep = 0; ep < config.episodes; ++ep)
+    planned_steps += traces[ep % traces.size()]->size();
+  const std::size_t decay = config.epsilon_decay_steps != 0
+                                ? config.epsilon_decay_steps
+                                : planned_steps * 3 / 5;
+  const rl::LinearEpsilon epsilon(config.epsilon_start, config.epsilon_end,
+                                  decay);
+
+  TrainerReport report;
+  double loss_sum = 0.0;
+  std::size_t loss_count = 0;
+  const std::size_t late_start = planned_steps * 3 / 4;
+
+  // Demonstration seeding: greedy episodes across envs/traces.
+  for (std::size_t ep = 0; ep < config.greedy_warmup_episodes; ++ep)
+    seed_replay_with_greedy(agent, encoder, reward_scale_s,
+                            *envs[ep % envs.size()],
+                            *traces[ep % traces.size()]);
+
+  std::vector<nn::Tensor> best_weights;
+  double best_score = std::numeric_limits<double>::infinity();
+  std::vector<double> validation_baselines;
+  if (config.validate_every != 0)
+    for (sim::ClusterEnv* env : envs)
+      validation_baselines.push_back(std::max(
+          1e-9, greedy_episode_latency(encoder, *env, *traces[0])));
+
+  for (std::size_t ep = 0; ep < config.episodes; ++ep) {
+    sim::ClusterEnv& env = *envs[ep % envs.size()];
+    const sim::Trace& trace = *traces[ep % traces.size()];
+    env.reset(trace);
+
+    double prev_arrival = 0.0;
+    bool has_prev = false;
+    while (!env.done()) {
+      const sim::Invocation inv = env.current();
+      const double prev = has_prev ? prev_arrival : inv.arrival_s;
+      EncodedState state = encoder.encode(env, inv, prev);
+      prev_arrival = inv.arrival_s;
+      has_prev = true;
+
+      const float eps = epsilon.value(report.env_steps);
+      const std::size_t action =
+          agent.select_action(state.tokens, state.mask, eps, rng);
+      const sim::StepResult result =
+          env.step(encoder.to_sim_action(state, action));
+
+      rl::Transition t;
+      t.state = std::move(state.tokens);
+      t.action = action;
+      t.reward = static_cast<float>(-result.latency_s) / reward_scale_s;
+      if (env.done()) {
+        t.terminal = true;
+        t.next_state = nn::Tensor(encoder.num_tokens(),
+                                  encoder.config().feature_dim);
+        t.next_mask.assign(encoder.num_actions(), 0);
+      } else {
+        EncodedState next =
+            encoder.encode(env, env.current(), prev_arrival);
+        t.next_state = std::move(next.tokens);
+        t.next_mask = std::move(next.mask);
+      }
+      agent.observe(std::move(t));
+
+      ++report.env_steps;
+      if (report.env_steps % config.train_every == 0) {
+        if (const auto loss = agent.train_step(rng)) {
+          ++report.train_steps;
+          if (report.env_steps >= late_start) {
+            loss_sum += *loss;
+            ++loss_count;
+          }
+        }
+      }
+    }
+    report.episode_total_latency_s.push_back(env.metrics().total_latency_s());
+    if (config.on_episode_end)
+      config.on_episode_end(ep, env.metrics().total_latency_s());
+
+    if (config.validate_every != 0 &&
+        (ep + 1) % config.validate_every == 0) {
+      const double score =
+          validate(agent, encoder, envs, *traces[0], validation_baselines);
+      if (score < best_score) {
+        best_score = score;
+        best_weights = agent.snapshot_weights();
+        report.best_validation = report.validation_latency_s.size();
+      }
+      report.validation_latency_s.push_back(score);
+    }
+  }
+
+  if (!best_weights.empty()) agent.restore_weights(best_weights);
+  if (loss_count > 0) report.late_loss = loss_sum / static_cast<double>(loss_count);
+  return report;
+}
+
+bool load_or_train(rl::DqnAgent& agent, const std::string& path,
+                   const std::function<void()>& train) {
+  if (std::filesystem::exists(path)) {
+    try {
+      agent.load(path);
+      return true;
+    } catch (const util::CheckError&) {
+      // Incompatible cache (e.g. config changed): retrain below.
+    }
+  }
+  train();
+  agent.save(path);
+  return false;
+}
+
+}  // namespace mlcr::core

@@ -1,0 +1,68 @@
+// Offline training loop for the MLCR DQN (paper Algorithm 1): invocations
+// are repeatedly scheduled with epsilon-greedy actions, experiences go to the
+// replay pool, and the network is updated by sampled batches. Supports
+// cycling over multiple traces and multiple environments (e.g. different
+// pool capacities) so one model generalizes across configurations.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/mlcr.hpp"
+#include "rl/schedule.hpp"
+
+namespace mlcr::core {
+
+struct TrainerConfig {
+  std::size_t episodes = 30;
+  float epsilon_start = 1.0F;
+  float epsilon_end = 0.02F;
+  /// Steps over which epsilon anneals; 0 = 60% of the planned total steps.
+  std::size_t epsilon_decay_steps = 0;
+  /// Run a gradient step every `train_every` environment steps.
+  std::size_t train_every = 4;
+  std::uint64_t seed = 42;
+  /// Seed the replay buffer with this many episodes of the multi-level
+  /// greedy policy before learning starts — the same "prior knowledge"
+  /// rationale as the paper's action mask (Sec. IV-C): it anchors early
+  /// Q-targets to a sane policy instead of uniform exploration.
+  std::size_t greedy_warmup_episodes = 2;
+  /// Every `validate_every` episodes, evaluate the current greedy policy on
+  /// each environment's first trace (normalized per environment by the
+  /// multi-level-greedy baseline so large tight-pool latencies do not
+  /// dominate) and snapshot the best weights; the best checkpoint is
+  /// restored when training ends. 0 disables selection.
+  std::size_t validate_every = 3;
+  /// Optional per-episode callback(episode, total_startup_latency_s).
+  std::function<void(std::size_t, double)> on_episode_end;
+};
+
+struct TrainerReport {
+  std::vector<double> episode_total_latency_s;
+  std::size_t env_steps = 0;
+  std::size_t train_steps = 0;
+  /// Mean loss over the last quarter of training (0 if no training ran).
+  double late_loss = 0.0;
+  /// Validation scores (summed latency across envs), one per validation.
+  std::vector<double> validation_latency_s;
+  /// Which validation produced the restored checkpoint (npos if selection
+  /// was disabled or never ran).
+  std::size_t best_validation = SIZE_MAX;
+};
+
+/// Train `agent` in-place. `envs` and `traces` are cycled per episode
+/// (episode i uses envs[i % envs.size()] and traces[i % traces.size()]).
+TrainerReport train_agent(rl::DqnAgent& agent, const StateEncoder& encoder,
+                          float reward_scale_s,
+                          const std::vector<sim::ClusterEnv*>& envs,
+                          const std::vector<const sim::Trace*>& traces,
+                          const TrainerConfig& config);
+
+/// Load the agent from `path` if a compatible file exists; otherwise run
+/// `train` (which must train the agent) and save to `path`. Returns true if
+/// the model was loaded from cache.
+bool load_or_train(rl::DqnAgent& agent, const std::string& path,
+                   const std::function<void()>& train);
+
+}  // namespace mlcr::core

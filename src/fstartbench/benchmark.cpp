@@ -1,0 +1,184 @@
+#include "fstartbench/benchmark.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace mlcr::fstartbench {
+
+using containers::ImageSpec;
+using containers::Level;
+using containers::PackageId;
+using sim::FunctionType;
+using sim::LanguageKind;
+
+namespace {
+
+/// Registers the package universe of the 13 functions. Sizes (MB) follow the
+/// corresponding Docker Hub images; install times are seconds of
+/// configure/extract work on top of the pull.
+struct Packages {
+  PackageId alpine, debian, centos;
+  PackageId java, nodejs, go, python, cpp;
+  PackageId springboot, express, gin, flask;
+  PackageId numpy, pandas, matplotlib, tensorflow;
+  PackageId cos_sdk, sharp;
+
+  explicit Packages(containers::PackageCatalog& c) {
+    alpine = c.add("alpine:3.18", Level::kOs, 8.0, 0.3);
+    debian = c.add("debian:11", Level::kOs, 120.0, 0.8);
+    centos = c.add("centos:7", Level::kOs, 200.0, 1.0);
+
+    java = c.add("openjdk-17", Level::kLanguage, 220.0, 2.0);
+    nodejs = c.add("nodejs-18", Level::kLanguage, 80.0, 0.6);
+    go = c.add("go-1.20", Level::kLanguage, 110.0, 0.8);
+    python = c.add("python-3.9", Level::kLanguage, 50.0, 1.0);
+    cpp = c.add("gcc-12", Level::kLanguage, 150.0, 1.5);
+
+    springboot = c.add("springboot-3", Level::kRuntime, 35.0, 1.2);
+    express = c.add("express-4", Level::kRuntime, 5.0, 0.2);
+    gin = c.add("gin-1.9", Level::kRuntime, 10.0, 0.3);
+    flask = c.add("flask-2.3", Level::kRuntime, 8.0, 0.3);
+    numpy = c.add("numpy-1.24", Level::kRuntime, 30.0, 0.5);
+    pandas = c.add("pandas-2.0", Level::kRuntime, 60.0, 0.8);
+    matplotlib = c.add("matplotlib-3.7", Level::kRuntime, 40.0, 0.6);
+    tensorflow = c.add("tensorflow-2.12", Level::kRuntime, 500.0, 3.0);
+    cos_sdk = c.add("cos-sdk-cpp", Level::kRuntime, 20.0, 0.5);
+    sharp = c.add("sharp-0.32", Level::kRuntime, 25.0, 0.4);
+  }
+};
+
+FunctionType make_fn(std::string name, std::string desc, ImageSpec image,
+                     LanguageKind kind, double runtime_init_s,
+                     double function_init_s, double mean_exec_s,
+                     double exec_cv = 0.25) {
+  FunctionType f;
+  f.name = std::move(name);
+  f.description = std::move(desc);
+  f.image = std::move(image);
+  f.language_kind = kind;
+  f.runtime_init_s = runtime_init_s;
+  f.function_init_s = function_init_s;
+  f.mean_exec_s = mean_exec_s;
+  f.exec_cv = exec_cv;
+  return f;
+}
+
+}  // namespace
+
+Benchmark make_benchmark() {
+  Benchmark b;
+  const Packages p(b.catalog);
+
+  // Paper Table II, FuncIDs 1..13 in order. Java/Springboot gets a large
+  // runtime init (compiled language, Sec. II: init can reach ~45% of cold
+  // start); interpreted stacks get small ones (~6%).
+  b.functions.add(make_fn(
+      "hello-java", "Hello", ImageSpec({p.alpine}, {p.java}, {p.springboot}),
+      LanguageKind::kCompiled, 4.0, 0.10, 0.12));
+  b.functions.add(make_fn(
+      "hello-node", "Hello", ImageSpec({p.alpine}, {p.nodejs}, {p.express}),
+      LanguageKind::kInterpreted, 0.20, 0.03, 0.08));
+  b.functions.add(make_fn(
+      "hello-go", "Hello", ImageSpec({p.alpine}, {p.go}, {p.gin}),
+      LanguageKind::kCompiled, 0.30, 0.02, 0.05));
+  b.functions.add(make_fn(
+      "hello-python", "Hello", ImageSpec({p.alpine}, {p.python}, {p.flask}),
+      LanguageKind::kInterpreted, 0.15, 0.05, 0.08));
+  b.functions.add(make_fn(
+      "hello-python-debian", "Hello",
+      ImageSpec({p.debian}, {p.python}, {p.flask}),
+      LanguageKind::kInterpreted, 0.15, 0.05, 0.08));
+  b.functions.add(make_fn(
+      "analytics-numpy", "Data analytics",
+      ImageSpec({p.debian}, {p.python}, {p.flask, p.numpy}),
+      LanguageKind::kInterpreted, 0.25, 0.10, 0.60));
+  b.functions.add(make_fn(
+      "analytics-pandas", "Data analytics",
+      ImageSpec({p.debian}, {p.python}, {p.flask, p.numpy, p.pandas}),
+      LanguageKind::kInterpreted, 0.35, 0.12, 0.90));
+  b.functions.add(make_fn(
+      "analytics-plot", "Data analytics",
+      ImageSpec({p.debian}, {p.python},
+                {p.flask, p.numpy, p.pandas, p.matplotlib}),
+      LanguageKind::kInterpreted, 0.45, 0.15, 1.20));
+  b.functions.add(make_fn(
+      "object-storage-cpp", "Communication",
+      ImageSpec({p.centos}, {p.cpp}, {p.cos_sdk}),
+      LanguageKind::kCompiled, 0.10, 0.05, 1.00, 0.40));
+  b.functions.add(make_fn(
+      "alu-python", "Simple arithmetic",
+      ImageSpec({p.debian}, {p.python}, {p.flask}),
+      LanguageKind::kInterpreted, 0.15, 0.05, 2.00, 0.30));
+  b.functions.add(make_fn(
+      "web-node", "Web service",
+      ImageSpec({p.alpine}, {p.nodejs}, {p.express}),
+      LanguageKind::kInterpreted, 0.20, 0.05, 0.30));
+  b.functions.add(make_fn(
+      "image-java", "Image processing",
+      ImageSpec({p.alpine}, {p.java}, {p.springboot, p.sharp}),
+      LanguageKind::kCompiled, 4.0, 0.15, 1.50, 0.35));
+  b.functions.add(make_fn(
+      "ml-inference", "Machine learning",
+      ImageSpec({p.debian}, {p.python}, {p.flask, p.tensorflow}),
+      LanguageKind::kInterpreted, 1.20, 0.30, 2.50, 0.30));
+
+  MLCR_CHECK(b.functions.size() == 13);
+  return b;
+}
+
+sim::FunctionTypeId Benchmark::by_paper_id(int paper_id) const {
+  MLCR_CHECK_MSG(paper_id >= 1 && paper_id <= static_cast<int>(functions.size()),
+                 "paper FuncID must be 1.." << functions.size());
+  return static_cast<sim::FunctionTypeId>(paper_id - 1);
+}
+
+std::vector<sim::FunctionTypeId> Benchmark::paper_ids(
+    std::initializer_list<int> ids) const {
+  std::vector<sim::FunctionTypeId> out;
+  out.reserve(ids.size());
+  for (int id : ids) out.push_back(by_paper_id(id));
+  return out;
+}
+
+sim::CostModelConfig default_cost_config() {
+  sim::CostModelConfig c;
+  c.sandbox_create_s = 0.6;
+  c.pull_bandwidth_mb_s = 30.0;
+  c.pull_rtt_s = 0.04;
+  return c;
+}
+
+double average_pairwise_similarity(
+    const Benchmark& bench, const std::vector<sim::FunctionTypeId>& types) {
+  MLCR_CHECK(types.size() >= 2);
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    for (std::size_t j = i + 1; j < types.size(); ++j) {
+      total += bench.functions.get(types[i])
+                   .image.jaccard(bench.functions.get(types[j]).image);
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+double package_size_variance(const Benchmark& bench,
+                             const std::vector<sim::FunctionTypeId>& types) {
+  // Variance over the distinct packages used anywhere in the workload
+  // (paper Metric 2: "the sizes of all packages in the workload").
+  std::set<containers::PackageId> distinct;
+  for (const auto type : types)
+    for (containers::PackageId p : bench.functions.get(type).image.all_packages())
+      distinct.insert(p);
+  std::vector<double> sizes;
+  sizes.reserve(distinct.size());
+  for (containers::PackageId p : distinct)
+    sizes.push_back(bench.catalog.info(p).size_mb);
+  return util::population_variance(sizes);
+}
+
+}  // namespace mlcr::fstartbench

@@ -1,0 +1,45 @@
+// FStartBench (paper Sec. V): 13 functions covering five application
+// categories, each with full three-level package metadata, so different
+// cold-start solutions can be compared fairly. Paper Table II reproduced
+// verbatim; package sizes/install times are calibrated so the simulator
+// matches the paper's measured cost structure (Sec. II).
+#pragma once
+
+#include <vector>
+
+#include "containers/package.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/function_type.hpp"
+
+namespace mlcr::fstartbench {
+
+/// The benchmark: catalog of packages + the 13 function types.
+struct Benchmark {
+  containers::PackageCatalog catalog;
+  sim::FunctionTable functions;
+
+  /// Map the paper's 1-based FuncID (Table II) to our FunctionTypeId.
+  [[nodiscard]] sim::FunctionTypeId by_paper_id(int paper_id) const;
+
+  /// Convenience: translate a list of paper FuncIDs.
+  [[nodiscard]] std::vector<sim::FunctionTypeId> paper_ids(
+      std::initializer_list<int> ids) const;
+};
+
+/// Build the 13-function FStartBench suite.
+[[nodiscard]] Benchmark make_benchmark();
+
+/// Cost-model knobs calibrated against the paper's measurements.
+[[nodiscard]] sim::CostModelConfig default_cost_config();
+
+/// Average pairwise Jaccard similarity over the given function types
+/// (paper Metric 1; LO-Sim = 0.29, HI-Sim = 0.52).
+[[nodiscard]] double average_pairwise_similarity(
+    const Benchmark& bench, const std::vector<sim::FunctionTypeId>& types);
+
+/// Population variance of the package sizes used by the given function types
+/// (paper Metric 2; LO-Var = 54, HI-Var = 769).
+[[nodiscard]] double package_size_variance(
+    const Benchmark& bench, const std::vector<sim::FunctionTypeId>& types);
+
+}  // namespace mlcr::fstartbench

@@ -1,0 +1,200 @@
+#include "fstartbench/workloads.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "policies/runner.hpp"
+#include "util/check.hpp"
+
+namespace mlcr::fstartbench {
+
+double sample_exec_s(const sim::FunctionType& fn, util::Rng& rng) {
+  const double sigma = fn.mean_exec_s * fn.exec_cv;
+  const double sample = rng.normal(fn.mean_exec_s, sigma);
+  // Clip to a sane floor; serverless functions never run for 0 time.
+  return std::max(sample, 0.05 * fn.mean_exec_s);
+}
+
+sim::Trace make_poisson_mix(const Benchmark& bench,
+                            const std::vector<sim::FunctionTypeId>& types,
+                            std::size_t per_type_count, double lambda_per_s,
+                            util::Rng& rng) {
+  MLCR_CHECK(!types.empty());
+  MLCR_CHECK(lambda_per_s > 0.0);
+  std::vector<sim::Invocation> all;
+  all.reserve(types.size() * per_type_count);
+  for (const auto type : types) {
+    double t = 0.0;
+    for (std::size_t i = 0; i < per_type_count; ++i) {
+      t += rng.exponential(lambda_per_s);
+      sim::Invocation inv;
+      inv.function = type;
+      inv.arrival_s = t;
+      inv.exec_s = sample_exec_s(bench.functions.get(type), rng);
+      all.push_back(inv);
+    }
+  }
+  return sim::Trace(std::move(all));
+}
+
+sim::Trace make_overall_workload(const Benchmark& bench, std::size_t total,
+                                 util::Rng& rng) {
+  const std::size_t n_types = bench.functions.size();
+  MLCR_CHECK(total >= n_types);
+
+  // Random per-type Poisson rates, with per-type counts proportional to the
+  // rates so that faster processes contribute more of the `total`
+  // invocations. The paper quotes rates of 0..5/s; at our calibrated
+  // cold-start costs that would make >90% of invocations overlap their own
+  // cold starts, so rates are scaled to keep the warm/cold mix in the
+  // regime the paper reports (~40-60% cold for the baselines, Fig. 8b).
+  // See EXPERIMENTS.md.
+  std::vector<double> lambdas(n_types);
+  double lambda_sum = 0.0;
+  for (auto& l : lambdas) {
+    l = rng.uniform(0.02, 0.3);
+    lambda_sum += l;
+  }
+  std::vector<std::size_t> counts(n_types);
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < n_types; ++i) {
+    counts[i] = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::floor(static_cast<double>(total) * lambdas[i] /
+                          lambda_sum)));
+    assigned += counts[i];
+  }
+  // Round-robin the remainder (or trim overshoot) deterministically.
+  std::size_t i = 0;
+  while (assigned < total) {
+    ++counts[i % n_types];
+    ++assigned;
+    ++i;
+  }
+  while (assigned > total) {
+    if (counts[i % n_types] > 1) {
+      --counts[i % n_types];
+      --assigned;
+    }
+    ++i;
+  }
+
+  std::vector<sim::Invocation> all;
+  all.reserve(total);
+  for (std::size_t type = 0; type < n_types; ++type) {
+    double t = 0.0;
+    const auto id = static_cast<sim::FunctionTypeId>(type);
+    for (std::size_t k = 0; k < counts[type]; ++k) {
+      t += rng.exponential(lambdas[type]);
+      sim::Invocation inv;
+      inv.function = id;
+      inv.arrival_s = t;
+      inv.exec_s = sample_exec_s(bench.functions.get(id), rng);
+      all.push_back(inv);
+    }
+  }
+  return sim::Trace(std::move(all));
+}
+
+sim::Trace make_similarity_workload(const Benchmark& bench, bool high,
+                                    std::size_t total, util::Rng& rng) {
+  const auto types = high ? bench.paper_ids({1, 2, 3, 4, 11})
+                          : bench.paper_ids({1, 2, 5, 9, 13});
+  MLCR_CHECK(total % types.size() == 0);
+  // Per-type rate 0.2/s -> ~1 invocation/s aggregate, i.e. 300 invocations
+  // over ~5 minutes, matching the paper's 50-per-minute workload scale.
+  return make_poisson_mix(bench, types, total / types.size(), 0.2, rng);
+}
+
+sim::Trace make_variance_workload(const Benchmark& bench, bool high,
+                                  std::size_t total, util::Rng& rng) {
+  // See header: HI-Var is the wide-size-spread set {1,2,5,9,13}.
+  return make_similarity_workload(bench, /*high=*/!high, total, rng);
+}
+
+std::string to_string(ArrivalPattern pattern) {
+  switch (pattern) {
+    case ArrivalPattern::kUniform:
+      return "Uniform";
+    case ArrivalPattern::kPeak:
+      return "Peak";
+    case ArrivalPattern::kRandom:
+      return "Random";
+  }
+  return "?";
+}
+
+sim::Trace make_arrival_workload(const Benchmark& bench,
+                                 ArrivalPattern pattern, std::size_t total,
+                                 util::Rng& rng) {
+  const auto types = bench.paper_ids({1, 2, 5, 6, 13});
+  std::vector<double> arrivals;
+  arrivals.reserve(total);
+
+  // 300 invocations in a 6-minute window (Sec. V Metric 3), scaled
+  // proportionally for other totals.
+  const double window_s = 360.0 * static_cast<double>(total) / 300.0;
+  switch (pattern) {
+    case ArrivalPattern::kUniform: {
+      const double gap = window_s / static_cast<double>(total);
+      for (std::size_t i = 0; i < total; ++i)
+        arrivals.push_back(static_cast<double>(i) * gap);
+      break;
+    }
+    case ArrivalPattern::kPeak: {
+      // Alternating one-minute high (80/min) and low (20/min) periods, each
+      // minute's invocations evenly spaced within it.
+      std::size_t produced = 0;
+      for (std::size_t minute = 0; produced < total; ++minute) {
+        const std::size_t per_minute = (minute % 2 == 0) ? 80 : 20;
+        const std::size_t n = std::min(per_minute, total - produced);
+        const double gap = 60.0 / static_cast<double>(per_minute);
+        for (std::size_t k = 0; k < n; ++k)
+          arrivals.push_back(static_cast<double>(minute) * 60.0 +
+                             static_cast<double>(k) * gap);
+        produced += n;
+      }
+      break;
+    }
+    case ArrivalPattern::kRandom: {
+      // Poisson process at the same average rate as Uniform.
+      const double rate = static_cast<double>(total) / window_s;
+      double t = 0.0;
+      for (std::size_t i = 0; i < total; ++i) {
+        t += rng.exponential(rate);
+        arrivals.push_back(t);
+      }
+      break;
+    }
+  }
+
+  std::vector<sim::Invocation> all;
+  all.reserve(total);
+  for (double at : arrivals) {
+    const auto type = types[rng.uniform_index(types.size())];
+    sim::Invocation inv;
+    inv.function = type;
+    inv.arrival_s = at;
+    inv.exec_s = sample_exec_s(bench.functions.get(type), rng);
+    all.push_back(inv);
+  }
+  return sim::Trace(std::move(all));
+}
+
+double estimate_loose_capacity_mb(const Benchmark& bench,
+                                  const sim::Trace& trace) {
+  const sim::StartupCostModel cost(bench.catalog, default_cost_config());
+  const auto spec = policies::make_lru_system();
+  constexpr double kUnbounded = 1e9;
+  const auto summary = policies::run_system(
+      spec, bench.functions, bench.catalog, cost, kUnbounded, trace);
+  MLCR_CHECK(summary.evictions == 0);
+  return summary.peak_pool_mb;
+}
+
+PoolSizes paper_pool_sizes(double loose_mb) {
+  MLCR_CHECK(loose_mb > 0.0);
+  return PoolSizes{loose_mb / 5.0, loose_mb / 2.0, loose_mb};
+}
+
+}  // namespace mlcr::fstartbench

@@ -1,0 +1,72 @@
+// Multi-head self-attention and the pre-LN transformer block used by the
+// MLCR policy network (paper Sec. IV-B/IV-C: two multi-head attention layers
+// help the model capture temporal/workload relationships between the
+// function, the cluster, and the warm containers).
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace mlcr::nn {
+
+/// Self-attention over the rows (tokens) of the input matrix (T x d).
+class MultiHeadAttention final : public Module {
+ public:
+  MultiHeadAttention(std::size_t dim, std::size_t heads, util::Rng& rng);
+
+  [[nodiscard]] Tensor forward(const Tensor& input) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  [[nodiscard]] std::string name() const override {
+    return "MultiHeadAttention";
+  }
+
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t heads() const noexcept { return heads_; }
+
+  /// Attention weights of the last forward pass, one (T x T) matrix per
+  /// head. Useful for interpretability tests and examples.
+  [[nodiscard]] const std::vector<Tensor>& last_attention() const noexcept {
+    return attn_;
+  }
+
+ private:
+  std::size_t dim_;
+  std::size_t heads_;
+  std::size_t head_dim_;
+  Linear q_proj_;
+  Linear k_proj_;
+  Linear v_proj_;
+  Linear out_proj_;
+  // Forward caches.
+  Tensor q_, k_, v_;
+  std::vector<Tensor> attn_;
+};
+
+/// Pre-LayerNorm transformer block:
+///   h = x + MHA(LN1(x));  y = h + FFN(LN2(h)),  FFN = Linear-ReLU-Linear.
+class TransformerBlock final : public Module {
+ public:
+  TransformerBlock(std::size_t dim, std::size_t heads, std::size_t ffn_dim,
+                   util::Rng& rng);
+
+  [[nodiscard]] Tensor forward(const Tensor& input) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  [[nodiscard]] std::string name() const override {
+    return "TransformerBlock";
+  }
+
+  [[nodiscard]] MultiHeadAttention& attention() noexcept { return mha_; }
+
+ private:
+  LayerNorm ln1_;
+  MultiHeadAttention mha_;
+  LayerNorm ln2_;
+  Linear ffn1_;
+  ReLU relu_;
+  Linear ffn2_;
+};
+
+}  // namespace mlcr::nn

@@ -1,0 +1,90 @@
+#include "nn/gradcheck.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mlcr::nn {
+
+namespace {
+
+/// Weighted sum of elements: L = sum(output .* seed).
+[[nodiscard]] float weighted_loss(const Tensor& output, const Tensor& seed) {
+  MLCR_CHECK(output.same_shape(seed));
+  float loss = 0.0F;
+  for (std::size_t r = 0; r < output.rows(); ++r)
+    for (std::size_t c = 0; c < output.cols(); ++c)
+      loss += output(r, c) * seed(r, c);
+  return loss;
+}
+
+void accumulate(GradCheckResult& res, float analytic, float numeric) {
+  const float abs_err = std::abs(analytic - numeric);
+  // The denominator floor of 1e-2 keeps near-zero gradients from tripping
+  // the relative check on float round-off: central differences on a loss of
+  // O(1) carry ~2^-24 / (2 eps) ≈ 6e-5 of absolute noise, which is real
+  // noise, not a wrong gradient (e.g. the K-projection bias of softmax
+  // attention has an exactly-zero analytic gradient).
+  const float denom =
+      std::max({std::abs(analytic), std::abs(numeric), 1e-2F});
+  res.max_abs_error = std::max(res.max_abs_error, abs_err);
+  res.max_rel_error = std::max(res.max_rel_error, abs_err / denom);
+  ++res.checked;
+}
+
+}  // namespace
+
+GradCheckResult check_input_gradient(Module& module, const Tensor& input,
+                                     const Tensor& loss_seed, float eps) {
+  module.zero_grad();
+  const Tensor out = module.forward(input);
+  const Tensor analytic = module.backward(loss_seed);
+
+  GradCheckResult res;
+  Tensor perturbed = input;
+  for (std::size_t r = 0; r < input.rows(); ++r) {
+    for (std::size_t c = 0; c < input.cols(); ++c) {
+      const float orig = perturbed(r, c);
+      perturbed(r, c) = orig + eps;
+      const float up = weighted_loss(module.forward(perturbed), loss_seed);
+      perturbed(r, c) = orig - eps;
+      const float down = weighted_loss(module.forward(perturbed), loss_seed);
+      perturbed(r, c) = orig;
+      accumulate(res, analytic(r, c), (up - down) / (2.0F * eps));
+    }
+  }
+  return res;
+}
+
+GradCheckResult check_parameter_gradients(Module& module, const Tensor& input,
+                                          const Tensor& loss_seed, float eps) {
+  module.zero_grad();
+  (void)module.forward(input);
+  (void)module.backward(loss_seed);
+
+  // Snapshot analytic grads before the finite-difference forwards disturb
+  // the module's caches.
+  std::vector<Tensor> analytic;
+  for (Parameter* p : module.parameters()) analytic.push_back(p->grad);
+
+  GradCheckResult res;
+  const auto params = module.parameters();
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor& value = params[pi]->value;
+    for (std::size_t r = 0; r < value.rows(); ++r) {
+      for (std::size_t c = 0; c < value.cols(); ++c) {
+        const float orig = value(r, c);
+        value(r, c) = orig + eps;
+        const float up = weighted_loss(module.forward(input), loss_seed);
+        value(r, c) = orig - eps;
+        const float down = weighted_loss(module.forward(input), loss_seed);
+        value(r, c) = orig;
+        accumulate(res, analytic[pi](r, c), (up - down) / (2.0F * eps));
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace mlcr::nn

@@ -1,0 +1,32 @@
+// Finite-difference gradient verification, used by the test suite to prove
+// every layer's backward pass against its forward pass.
+#pragma once
+
+#include <functional>
+
+#include "nn/module.hpp"
+
+namespace mlcr::nn {
+
+struct GradCheckResult {
+  float max_abs_error = 0.0F;   ///< worst |analytic - numeric|
+  float max_rel_error = 0.0F;   ///< worst relative error (guarded denominator)
+  std::size_t checked = 0;      ///< number of scalars compared
+};
+
+/// Verifies d(sum of outputs * seed)/d(input) of `module` at `input` using
+/// central differences with step `eps`. `loss_seed` weights each output
+/// element (pass a tensor of the output shape; a fixed pseudo-random seed
+/// catches errors that a uniform weighting can cancel out).
+[[nodiscard]] GradCheckResult check_input_gradient(Module& module,
+                                                   const Tensor& input,
+                                                   const Tensor& loss_seed,
+                                                   float eps = 1e-3F);
+
+/// Verifies the parameter gradients of `module` the same way.
+[[nodiscard]] GradCheckResult check_parameter_gradients(Module& module,
+                                                        const Tensor& input,
+                                                        const Tensor& loss_seed,
+                                                        float eps = 1e-3F);
+
+}  // namespace mlcr::nn

@@ -1,0 +1,150 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mlcr::nn {
+
+Linear::Linear(std::size_t in, std::size_t out, util::Rng& rng, bool bias)
+    : weight_("weight", Tensor::he_uniform(in, out, rng)),
+      bias_("bias", Tensor::zeros(1, out)),
+      has_bias_(bias) {
+  MLCR_CHECK(in > 0 && out > 0);
+}
+
+Tensor Linear::forward(const Tensor& input) {
+  MLCR_CHECK_MSG(input.cols() == in_features(),
+                 "Linear expects " << in_features() << " features, got "
+                                   << input.cols());
+  cached_input_ = input;
+  Tensor out = matmul(input, weight_.value);
+  if (has_bias_) out.add_row_broadcast_(bias_.value);
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  MLCR_CHECK(grad_output.rows() == cached_input_.rows());
+  MLCR_CHECK(grad_output.cols() == out_features());
+  weight_.grad.add_(matmul_tn(cached_input_, grad_output));
+  if (has_bias_) {
+    for (std::size_t r = 0; r < grad_output.rows(); ++r)
+      for (std::size_t c = 0; c < grad_output.cols(); ++c)
+        bias_.grad(0, c) += grad_output(r, c);
+  }
+  return matmul_nt(grad_output, weight_.value);
+}
+
+void Linear::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  if (has_bias_) out.push_back(&bias_);
+}
+
+LayerNorm::LayerNorm(std::size_t dim, float epsilon)
+    : gain_("gain", Tensor(1, dim, 1.0F)),
+      bias_("bias", Tensor::zeros(1, dim)),
+      epsilon_(epsilon) {
+  MLCR_CHECK(dim > 0);
+}
+
+Tensor LayerNorm::forward(const Tensor& input) {
+  const std::size_t dim = gain_.value.cols();
+  MLCR_CHECK(input.cols() == dim);
+  cached_norm_ = Tensor(input.rows(), dim);
+  cached_inv_std_.assign(input.rows(), 0.0F);
+  Tensor out(input.rows(), dim);
+  for (std::size_t r = 0; r < input.rows(); ++r) {
+    const float* x = input.row(r);
+    float mean = 0.0F;
+    for (std::size_t c = 0; c < dim; ++c) mean += x[c];
+    mean /= static_cast<float>(dim);
+    float var = 0.0F;
+    for (std::size_t c = 0; c < dim; ++c)
+      var += (x[c] - mean) * (x[c] - mean);
+    var /= static_cast<float>(dim);
+    const float inv_std = 1.0F / std::sqrt(var + epsilon_);
+    cached_inv_std_[r] = inv_std;
+    float* xh = cached_norm_.row(r);
+    float* o = out.row(r);
+    for (std::size_t c = 0; c < dim; ++c) {
+      xh[c] = (x[c] - mean) * inv_std;
+      o[c] = xh[c] * gain_.value(0, c) + bias_.value(0, c);
+    }
+  }
+  return out;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_output) {
+  MLCR_CHECK(grad_output.same_shape(cached_norm_));
+  const std::size_t dim = gain_.value.cols();
+  Tensor grad_in(grad_output.rows(), dim);
+  for (std::size_t r = 0; r < grad_output.rows(); ++r) {
+    const float* gy = grad_output.row(r);
+    const float* xh = cached_norm_.row(r);
+    float* gx = grad_in.row(r);
+    // dL/dx_hat = gy * gain; grads of gain/bias accumulate.
+    float sum_g = 0.0F;
+    float sum_gx = 0.0F;
+    for (std::size_t c = 0; c < dim; ++c) {
+      gain_.grad(0, c) += gy[c] * xh[c];
+      bias_.grad(0, c) += gy[c];
+      const float g = gy[c] * gain_.value(0, c);
+      sum_g += g;
+      sum_gx += g * xh[c];
+    }
+    const float n = static_cast<float>(dim);
+    const float inv_std = cached_inv_std_[r];
+    for (std::size_t c = 0; c < dim; ++c) {
+      const float g = gy[c] * gain_.value(0, c);
+      gx[c] = inv_std * (g - sum_g / n - xh[c] * sum_gx / n);
+    }
+  }
+  return grad_in;
+}
+
+void LayerNorm::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&gain_);
+  out.push_back(&bias_);
+}
+
+Tensor ReLU::forward(const Tensor& input) {
+  cached_input_ = input;
+  Tensor out = input;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    float* row = out.row(r);
+    for (std::size_t c = 0; c < out.cols(); ++c)
+      if (row[c] < 0.0F) row[c] = 0.0F;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  MLCR_CHECK(grad_output.same_shape(cached_input_));
+  Tensor grad_in = grad_output;
+  for (std::size_t r = 0; r < grad_in.rows(); ++r) {
+    float* g = grad_in.row(r);
+    const float* x = cached_input_.row(r);
+    for (std::size_t c = 0; c < grad_in.cols(); ++c)
+      if (x[c] <= 0.0F) g[c] = 0.0F;
+  }
+  return grad_in;
+}
+
+Tensor Sequential::forward(const Tensor& input) {
+  Tensor x = input;
+  for (const auto& child : children_) x = child->forward(x);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+void Sequential::collect_parameters(std::vector<Parameter*>& out) {
+  for (const auto& child : children_) child->collect_parameters(out);
+}
+
+}  // namespace mlcr::nn

@@ -1,0 +1,88 @@
+// Basic layers: Linear, LayerNorm, ReLU, Sequential.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace mlcr::nn {
+
+/// y = x W + b, x is (T x in), W is (in x out), b is (1 x out).
+class Linear final : public Module {
+ public:
+  Linear(std::size_t in, std::size_t out, util::Rng& rng, bool bias = true);
+
+  [[nodiscard]] Tensor forward(const Tensor& input) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  [[nodiscard]] std::string name() const override { return "Linear"; }
+
+  [[nodiscard]] std::size_t in_features() const noexcept {
+    return weight_.value.rows();
+  }
+  [[nodiscard]] std::size_t out_features() const noexcept {
+    return weight_.value.cols();
+  }
+  [[nodiscard]] Parameter& weight() noexcept { return weight_; }
+  [[nodiscard]] Parameter* bias() noexcept {
+    return has_bias_ ? &bias_ : nullptr;
+  }
+
+ private:
+  Parameter weight_;
+  Parameter bias_;
+  bool has_bias_;
+  Tensor cached_input_;
+};
+
+/// Per-row layer normalization with learned gain and bias.
+class LayerNorm final : public Module {
+ public:
+  explicit LayerNorm(std::size_t dim, float epsilon = 1e-5F);
+
+  [[nodiscard]] Tensor forward(const Tensor& input) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  [[nodiscard]] std::string name() const override { return "LayerNorm"; }
+
+ private:
+  Parameter gain_;
+  Parameter bias_;
+  float epsilon_;
+  Tensor cached_norm_;        // x_hat
+  std::vector<float> cached_inv_std_;
+};
+
+class ReLU final : public Module {
+ public:
+  [[nodiscard]] Tensor forward(const Tensor& input) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Runs children in order; backward in reverse.
+class Sequential final : public Module {
+ public:
+  Sequential() = default;
+
+  Sequential& add(std::unique_ptr<Module> module) {
+    children_.push_back(std::move(module));
+    return *this;
+  }
+
+  [[nodiscard]] Tensor forward(const Tensor& input) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  [[nodiscard]] std::string name() const override { return "Sequential"; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return children_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Module>> children_;
+};
+
+}  // namespace mlcr::nn

@@ -1,0 +1,65 @@
+// Module abstraction: Caffe-style explicit forward/backward with cached
+// activations. Each module owns its parameters (value + gradient); gradients
+// accumulate across backward calls until zero_grad(). The contract is one
+// backward() per forward(); batching loops over samples and lets the
+// gradients accumulate — at the policy network's sizes (tens of tokens,
+// d=64..128) this is faster and far simpler than a general autograd tape.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace mlcr::nn {
+
+/// A learnable tensor and its gradient accumulator.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)),
+        value(std::move(v)),
+        grad(Tensor::zeros(value.rows(), value.cols())) {}
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Compute the output and cache whatever backward() needs.
+  [[nodiscard]] virtual Tensor forward(const Tensor& input) = 0;
+
+  /// Propagate dL/d(output) to dL/d(input), accumulating parameter grads.
+  /// Must be called exactly once after each forward().
+  [[nodiscard]] virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Append pointers to all parameters (recursively for containers).
+  virtual void collect_parameters(std::vector<Parameter*>& out) {
+    (void)out;
+  }
+
+  [[nodiscard]] std::vector<Parameter*> parameters() {
+    std::vector<Parameter*> out;
+    collect_parameters(out);
+    return out;
+  }
+
+  void zero_grad() {
+    for (Parameter* p : parameters()) p->grad.fill(0.0F);
+  }
+
+  /// Total number of scalar parameters.
+  [[nodiscard]] std::size_t parameter_count() {
+    std::size_t n = 0;
+    for (Parameter* p : parameters()) n += p->value.size();
+    return n;
+  }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace mlcr::nn

@@ -1,0 +1,94 @@
+#include "policies/baselines.hpp"
+
+#include "containers/matching.hpp"
+
+namespace mlcr::policies {
+
+using containers::Container;
+using containers::MatchLevel;
+
+namespace {
+
+/// Pick the idle container with the best (level, recency) score for `inv`,
+/// requiring at least `min_level`. Returns nullptr when none qualifies.
+[[nodiscard]] const Container* best_match(const sim::ClusterEnv& env,
+                                          const sim::Invocation& inv,
+                                          MatchLevel min_level) {
+  const auto& fn_image = env.functions().get(inv.function).image;
+  const Container* best = nullptr;
+  MatchLevel best_level = MatchLevel::kNoMatch;
+  for (const Container* c : env.pool().idle_containers()) {
+    const MatchLevel level = containers::match(fn_image, c->image);
+    if (level < min_level || !containers::reusable(level)) continue;
+    // Prefer higher match; among equals, the most recently idle container
+    // (leaves LRU victims untouched for longer).
+    if (best == nullptr || level > best_level ||
+        (level == best_level && c->last_idle_at > best->last_idle_at)) {
+      best = c;
+      best_level = level;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+sim::Action SameConfigScheduler::decide(const sim::ClusterEnv& env,
+                                        const sim::Invocation& inv) {
+  const Container* c = best_match(env, inv, MatchLevel::kL3);
+  return c != nullptr ? sim::Action::reuse(c->id) : sim::Action::cold();
+}
+
+sim::Action GreedyMatchScheduler::decide(const sim::ClusterEnv& env,
+                                         const sim::Invocation& inv) {
+  const Container* c = best_match(env, inv, MatchLevel::kL1);
+  return c != nullptr ? sim::Action::reuse(c->id) : sim::Action::cold();
+}
+
+sim::Action RandomScheduler::decide(const sim::ClusterEnv& env,
+                                    const sim::Invocation& inv) {
+  const auto& fn_image = env.functions().get(inv.function).image;
+  std::vector<containers::ContainerId> candidates;
+  for (const Container* c : env.pool().idle_containers())
+    if (containers::reusable(containers::match(fn_image, c->image)))
+      candidates.push_back(c->id);
+  const std::size_t choice = rng_.uniform_index(candidates.size() + 1);
+  if (choice == candidates.size()) return sim::Action::cold();
+  return sim::Action::reuse(candidates[choice]);
+}
+
+SystemSpec make_lru_system() {
+  return SystemSpec{
+      "LRU", std::make_unique<SameConfigScheduler>("LRU"),
+      [] { return std::make_unique<containers::LruEviction>(); },
+      std::nullopt};
+}
+
+SystemSpec make_faascache_system() {
+  return SystemSpec{
+      "FaasCache", std::make_unique<SameConfigScheduler>("FaasCache"),
+      [] { return std::make_unique<containers::FaasCacheEviction>(); },
+      std::nullopt};
+}
+
+SystemSpec make_keepalive_system(double ttl_s) {
+  return SystemSpec{
+      "KeepAlive", std::make_unique<SameConfigScheduler>("KeepAlive"),
+      [] { return std::make_unique<containers::RejectWhenFull>(); }, ttl_s};
+}
+
+SystemSpec make_greedy_match_system() {
+  return SystemSpec{
+      "Greedy-Match", std::make_unique<GreedyMatchScheduler>(),
+      [] { return std::make_unique<containers::LruEviction>(); },
+      std::nullopt};
+}
+
+SystemSpec make_random_system(std::uint64_t seed) {
+  return SystemSpec{
+      "Random", std::make_unique<RandomScheduler>(seed),
+      [] { return std::make_unique<containers::LruEviction>(); },
+      std::nullopt};
+}
+
+}  // namespace mlcr::policies

@@ -1,0 +1,75 @@
+// The four baseline warm-start systems the paper compares against
+// (Sec. VI-A "Comparisons"):
+//   LRU         — same-configuration reuse, LRU eviction.
+//   FaasCache   — same-configuration reuse, greedy-dual eviction.
+//   KeepAlive   — same-configuration reuse, fixed 10-minute TTL, pool
+//                 rejects keep-warm requests when full.
+//   Greedy-Match— multi-level (Table I) reuse, greedily picks the best
+//                 match for the current invocation, LRU eviction.
+#pragma once
+
+#include <memory>
+
+#include "policies/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace mlcr::policies {
+
+/// Classic warm start: only a full (L3) match may be reused. Among full
+/// matches the most recently idle container is chosen. Shared by LRU,
+/// FaasCache and KeepAlive, which differ only in their eviction behaviour.
+class SameConfigScheduler final : public Scheduler {
+ public:
+  explicit SameConfigScheduler(std::string name = "SameConfig")
+      : name_(std::move(name)) {}
+
+  [[nodiscard]] sim::Action decide(const sim::ClusterEnv& env,
+                                   const sim::Invocation& inv) override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// Multi-level greedy: reuse the container with the highest Table-I match
+/// level (ties: most recently idle). Falls back to cold start only when no
+/// container matches at any level.
+class GreedyMatchScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] sim::Action decide(const sim::ClusterEnv& env,
+                                   const sim::Invocation& inv) override;
+  [[nodiscard]] std::string name() const override { return "Greedy-Match"; }
+};
+
+/// Uniform random choice among {cold} ∪ {reusable containers}; a sanity
+/// floor for evaluations and a data source for offline RL experiments.
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed = 1) : rng_(seed) {}
+
+  [[nodiscard]] sim::Action decide(const sim::ClusterEnv& env,
+                                   const sim::Invocation& inv) override;
+  [[nodiscard]] std::string name() const override { return "Random"; }
+
+ private:
+  util::Rng rng_;
+};
+
+/// A fully configured system = scheduler + pool eviction behaviour + TTL +
+/// container-reuse semantics.
+struct SystemSpec {
+  std::string name;
+  std::unique_ptr<Scheduler> scheduler;
+  sim::EvictionPolicyFactory eviction_factory;
+  std::optional<double> keep_alive_ttl_s;
+  sim::ReuseSemantics reuse_semantics = sim::ReuseSemantics::kRepack;
+};
+
+/// Factories for the paper's comparison systems.
+[[nodiscard]] SystemSpec make_lru_system();
+[[nodiscard]] SystemSpec make_faascache_system();
+[[nodiscard]] SystemSpec make_keepalive_system(double ttl_s = 600.0);
+[[nodiscard]] SystemSpec make_greedy_match_system();
+[[nodiscard]] SystemSpec make_random_system(std::uint64_t seed = 1);
+
+}  // namespace mlcr::policies

@@ -1,0 +1,81 @@
+#include "policies/oracle.hpp"
+
+#include <limits>
+
+#include "containers/matching.hpp"
+#include "util/check.hpp"
+
+namespace mlcr::policies {
+
+namespace {
+
+/// Replay `actions` from a fresh reset; returns the env positioned after the
+/// prefix. The env's container-id assignment is deterministic, so replaying
+/// an action list always reproduces the same state.
+void replay_prefix(sim::ClusterEnv& env, const sim::Trace& trace,
+                   const std::vector<sim::Action>& actions) {
+  env.reset(trace);
+  for (const auto& a : actions) env.step(a);
+}
+
+void search(sim::ClusterEnv& env, const sim::Trace& trace,
+            std::vector<sim::Action>& prefix, double prefix_latency,
+            OracleResult& best) {
+  ++best.nodes_explored;
+  if (prefix.size() == trace.size()) {
+    if (prefix_latency < best.total_latency_s) {
+      best.total_latency_s = prefix_latency;
+      best.actions = prefix;
+    }
+    return;
+  }
+  if (prefix_latency >= best.total_latency_s) return;  // branch and bound
+
+  // Determine candidate actions at this node.
+  replay_prefix(env, trace, prefix);
+  const sim::Invocation& inv = env.current();
+  const auto& fn_image = env.functions().get(inv.function).image;
+  std::vector<sim::Action> candidates;
+  candidates.push_back(sim::Action::cold());
+  for (const containers::Container* c : env.pool().idle_containers())
+    if (containers::reusable(containers::match(fn_image, c->image)))
+      candidates.push_back(sim::Action::reuse(c->id));
+
+  for (const auto& action : candidates) {
+    replay_prefix(env, trace, prefix);
+    const sim::StepResult r = env.step(action);
+    prefix.push_back(action);
+    search(env, trace, prefix, prefix_latency + r.latency_s, best);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+OracleResult exhaustive_best_plan(
+    const sim::FunctionTable& functions,
+    const containers::PackageCatalog& catalog,
+    const sim::StartupCostModel& cost_model, const sim::EnvConfig& config,
+    const sim::EvictionPolicyFactory& eviction_factory,
+    const sim::Trace& trace, std::size_t max_invocations) {
+  MLCR_CHECK_MSG(trace.size() <= max_invocations,
+                 "oracle search limited to " << max_invocations
+                                             << " invocations");
+  sim::ClusterEnv env(functions, catalog, cost_model, config,
+                      eviction_factory);
+  OracleResult best;
+  best.total_latency_s = std::numeric_limits<double>::infinity();
+  std::vector<sim::Action> prefix;
+  search(env, trace, prefix, 0.0, best);
+  return best;
+}
+
+sim::Action PlanScheduler::decide(const sim::ClusterEnv& env,
+                                  const sim::Invocation& inv) {
+  (void)env;
+  (void)inv;
+  MLCR_CHECK_MSG(next_ < actions_.size(), "plan exhausted");
+  return actions_[next_++];
+}
+
+}  // namespace policies = mlcr::policies

@@ -1,0 +1,50 @@
+// Exhaustive offline planner for small traces. Enumerates every feasible
+// action sequence (cold start or any reusable pool container, per step) and
+// returns the plan with minimal total startup latency. Exponential in trace
+// length — intended for validating schedulers on toy instances such as the
+// paper's Fig. 2 example, and for measuring optimality gaps in tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "policies/scheduler.hpp"
+#include "sim/env.hpp"
+
+namespace mlcr::policies {
+
+struct OracleResult {
+  double total_latency_s = 0.0;
+  std::vector<sim::Action> actions;
+  std::size_t nodes_explored = 0;
+};
+
+/// Find the optimal plan by depth-first search with prefix replay.
+/// Requires trace.size() <= max_invocations (guards accidental blow-up).
+[[nodiscard]] OracleResult exhaustive_best_plan(
+    const sim::FunctionTable& functions,
+    const containers::PackageCatalog& catalog,
+    const sim::StartupCostModel& cost_model, const sim::EnvConfig& config,
+    const sim::EvictionPolicyFactory& eviction_factory,
+    const sim::Trace& trace, std::size_t max_invocations = 10);
+
+/// Replays a fixed action list (e.g. an oracle plan) as a Scheduler.
+class PlanScheduler final : public Scheduler {
+ public:
+  explicit PlanScheduler(std::vector<sim::Action> actions)
+      : actions_(std::move(actions)) {}
+
+  void on_episode_start(const sim::ClusterEnv& env) override {
+    (void)env;
+    next_ = 0;
+  }
+  [[nodiscard]] sim::Action decide(const sim::ClusterEnv& env,
+                                   const sim::Invocation& inv) override;
+  [[nodiscard]] std::string name() const override { return "Plan"; }
+
+ private:
+  std::vector<sim::Action> actions_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace mlcr::policies

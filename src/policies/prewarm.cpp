@@ -1,0 +1,69 @@
+#include "policies/prewarm.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace mlcr::policies {
+
+void InterArrivalEstimator::observe(containers::FunctionTypeId fn,
+                                    double now) {
+  FnStats& s = stats_[fn];
+  if (s.observations > 0) {
+    const double gap = now - s.last_arrival;
+    if (gap > 0.0)
+      s.ema_gap_s = s.observations == 1
+                        ? gap
+                        : (1.0 - alpha_) * s.ema_gap_s + alpha_ * gap;
+  }
+  s.last_arrival = now;
+  ++s.observations;
+}
+
+double InterArrivalEstimator::predicted_next_arrival(
+    containers::FunctionTypeId fn, double now) const {
+  const auto it = stats_.find(fn);
+  if (it == stats_.end() || it->second.observations < 2 ||
+      it->second.ema_gap_s <= 0.0)
+    return std::numeric_limits<double>::infinity();
+  // The next arrival is one EMA gap after the last; if that moment already
+  // passed, assume it is imminent (clamp to now).
+  return std::max(now, it->second.last_arrival + it->second.ema_gap_s);
+}
+
+containers::ContainerId PredictiveEviction::choose_victim(
+    const std::vector<const containers::Container*>& idle, double now) {
+  MLCR_CHECK(!idle.empty());
+  const containers::Container* victim = idle.front();
+  double victim_next = -1.0;
+  for (const containers::Container* c : idle) {
+    const double next =
+        estimator_.predicted_next_arrival(c->last_function, now);
+    // Evict the container needed furthest in the future; on ties prefer the
+    // least recently used one (matches LRU behaviour for untracked types).
+    if (next > victim_next ||
+        (next == victim_next && c->last_idle_at < victim->last_idle_at)) {
+      victim = c;
+      victim_next = next;
+    }
+  }
+  return victim->id;
+}
+
+void PredictiveEviction::on_admit(containers::Container& container,
+                                  double now) {
+  (void)now;
+  // last_used_at is the arrival time of the invocation this container just
+  // served — the signal the inter-arrival estimator needs.
+  if (container.last_function != containers::kInvalidFunctionType)
+    estimator_.observe(container.last_function, container.last_used_at);
+}
+
+SystemSpec make_prewarm_system(double ema_alpha) {
+  return SystemSpec{
+      "Prewarm", std::make_unique<SameConfigScheduler>("Prewarm"),
+      [ema_alpha] { return std::make_unique<PredictiveEviction>(ema_alpha); },
+      std::nullopt};
+}
+
+}  // namespace mlcr::policies

@@ -1,0 +1,69 @@
+// Prediction-driven keep-alive, in the spirit of the pre-warming line of
+// work the paper discusses (Shahrad et al. ATC'20; Roy et al. ASPLOS'22):
+// the platform tracks per-function inter-arrival times and, when the pool
+// is full, evicts the container whose function is predicted to be needed
+// FURTHEST in the future. This is the "prediction" counterpoint to MLCR's
+// "adaptation" — the paper argues prediction-based schemes degrade when
+// arrivals are hard to predict (Fig. 11c Peak), which the extended-baseline
+// bench measures.
+#pragma once
+
+#include <unordered_map>
+
+#include "containers/pool.hpp"
+#include "policies/baselines.hpp"
+
+namespace mlcr::policies {
+
+/// Exponential-moving-average estimator of per-function inter-arrival times.
+class InterArrivalEstimator {
+ public:
+  explicit InterArrivalEstimator(double alpha = 0.3) : alpha_(alpha) {}
+
+  /// Record an arrival of `fn` at time `now`.
+  void observe(containers::FunctionTypeId fn, double now);
+
+  /// Predicted next arrival of `fn`; +infinity when never observed twice.
+  [[nodiscard]] double predicted_next_arrival(containers::FunctionTypeId fn,
+                                              double now) const;
+
+  [[nodiscard]] std::size_t tracked_functions() const noexcept {
+    return stats_.size();
+  }
+
+ private:
+  struct FnStats {
+    double last_arrival = 0.0;
+    double ema_gap_s = 0.0;
+    std::size_t observations = 0;
+  };
+  double alpha_;
+  std::unordered_map<containers::FunctionTypeId, FnStats> stats_;
+};
+
+/// Eviction policy that keeps the containers predicted to be reused soonest.
+/// Observes arrivals through on_take/on_admit (every invocation eventually
+/// passes through one of them with its arrival timestamp in last_used_at).
+class PredictiveEviction final : public containers::EvictionPolicy {
+ public:
+  explicit PredictiveEviction(double ema_alpha = 0.3)
+      : estimator_(ema_alpha) {}
+
+  [[nodiscard]] containers::ContainerId choose_victim(
+      const std::vector<const containers::Container*>& idle,
+      double now) override;
+  void on_admit(containers::Container& container, double now) override;
+  [[nodiscard]] const char* name() const override { return "Prewarm"; }
+
+  [[nodiscard]] const InterArrivalEstimator& estimator() const noexcept {
+    return estimator_;
+  }
+
+ private:
+  InterArrivalEstimator estimator_;
+};
+
+/// Prediction-based keep-alive system: same-config reuse + PredictiveEviction.
+[[nodiscard]] SystemSpec make_prewarm_system(double ema_alpha = 0.3);
+
+}  // namespace mlcr::policies

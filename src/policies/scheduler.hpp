@@ -1,0 +1,34 @@
+// Scheduler interface: maps the current invocation + environment state to a
+// start action (reuse a warm container or cold-start). Both the heuristic
+// baselines and the DRL-based MLCR scheduler implement this.
+#pragma once
+
+#include <string>
+
+#include "sim/env.hpp"
+
+namespace mlcr::policies {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Called once per episode before the first decide().
+  virtual void on_episode_start(const sim::ClusterEnv& env) { (void)env; }
+
+  /// Choose the start action for `inv`, which is env.current().
+  [[nodiscard]] virtual sim::Action decide(const sim::ClusterEnv& env,
+                                           const sim::Invocation& inv) = 0;
+
+  /// Observation hook after the environment applied the action (the DRL
+  /// scheduler uses it for online fine-tuning).
+  virtual void on_step_result(const sim::ClusterEnv& env,
+                              const sim::StepResult& result) {
+    (void)env;
+    (void)result;
+  }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace mlcr::policies

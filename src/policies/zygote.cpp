@@ -1,0 +1,40 @@
+#include "policies/zygote.hpp"
+
+namespace mlcr::policies {
+
+using containers::Container;
+using containers::Level;
+
+sim::Action ZygoteScheduler::decide(const sim::ClusterEnv& env,
+                                    const sim::Invocation& inv) {
+  const auto& fn_image = env.functions().get(inv.function).image;
+  const auto& catalog = env.catalog();
+
+  const Container* best = nullptr;
+  double best_missing_mb = 0.0;
+  for (const Container* c : env.pool().idle_containers()) {
+    if (!c->image.level_equals(fn_image, Level::kOs)) continue;
+    double missing_mb = 0.0;
+    for (const Level level : {Level::kLanguage, Level::kRuntime})
+      missing_mb +=
+          catalog.total_size_mb(c->image.level_missing(fn_image, level));
+    if (best == nullptr || missing_mb < best_missing_mb ||
+        (missing_mb == best_missing_mb &&
+         c->last_idle_at > best->last_idle_at)) {
+      best = c;
+      best_missing_mb = missing_mb;
+    }
+  }
+  return best != nullptr ? sim::Action::reuse(best->id) : sim::Action::cold();
+}
+
+SystemSpec make_zygote_system() {
+  SystemSpec spec{
+      "Zygote", std::make_unique<ZygoteScheduler>(),
+      [] { return std::make_unique<containers::LruEviction>(); },
+      std::nullopt};
+  spec.reuse_semantics = sim::ReuseSemantics::kUnion;
+  return spec;
+}
+
+}  // namespace mlcr::policies

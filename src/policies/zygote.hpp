@@ -1,0 +1,31 @@
+// Zygote-container baseline (Li et al., "Help Rather Than Recycle",
+// ATC'22 — the paper's closest related work, Sec. VII): warm containers
+// accumulate the union of every function they have served. A container whose
+// package set contains all of a function's packages serves it as a full
+// warm start; otherwise the missing packages are pulled and *added* (the
+// container grows, it is never stripped). Runs on the environment's
+// ReuseSemantics::kUnion mode.
+//
+// MLCR's advantages over zygotes (paper Sec. VII): repacking keeps
+// containers small (a zygote's footprint only grows), and matching whole
+// levels is cheaper than subset tests over full package sets.
+#pragma once
+
+#include "policies/baselines.hpp"
+
+namespace mlcr::policies {
+
+/// Greedy union-reuse: pick the same-OS container with the least missing
+/// package volume (ties: most recently idle); cold start when no container
+/// shares the OS level.
+class ZygoteScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] sim::Action decide(const sim::ClusterEnv& env,
+                                   const sim::Invocation& inv) override;
+  [[nodiscard]] std::string name() const override { return "Zygote"; }
+};
+
+/// Zygote system: union semantics + LRU eviction.
+[[nodiscard]] SystemSpec make_zygote_system();
+
+}  // namespace mlcr::policies

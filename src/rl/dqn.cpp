@@ -1,0 +1,132 @@
+#include "rl/dqn.hpp"
+
+#include <cmath>
+
+#include "nn/serialize.hpp"
+#include "util/check.hpp"
+
+namespace mlcr::rl {
+
+DqnAgent::DqnAgent(DqnConfig config, util::Rng init_rng)
+    : config_(config),
+      online_(config.network, init_rng),
+      target_(config.network, init_rng),
+      optimizer_(online_.parameters(), config.learning_rate),
+      replay_(config.replay_capacity) {
+  nn::copy_parameters(online_, target_);
+}
+
+std::size_t DqnAgent::select_action(const nn::Tensor& state,
+                                    const ActionMask& mask, float epsilon,
+                                    util::Rng& rng) {
+  MLCR_CHECK(mask.size() == online_.num_actions());
+  if (rng.uniform() < epsilon) {
+    // Uniform over allowed actions only: masking applies to exploration too
+    // (paper Sec. IV-C — no purposeless exploration of no-match actions).
+    std::vector<std::size_t> allowed;
+    for (std::size_t i = 0; i < mask.size(); ++i)
+      if (mask[i]) allowed.push_back(i);
+    MLCR_CHECK_MSG(!allowed.empty(), "no allowed action in mask");
+    return allowed[rng.uniform_index(allowed.size())];
+  }
+  return greedy_action(state, mask);
+}
+
+std::size_t DqnAgent::greedy_action(const nn::Tensor& state,
+                                    const ActionMask& mask) {
+  const nn::Tensor q = online_.forward(state);
+  const auto best = masked_argmax(q, mask);
+  MLCR_CHECK_MSG(best.has_value(), "no allowed action in mask");
+  return *best;
+}
+
+nn::Tensor DqnAgent::q_values(const nn::Tensor& state) {
+  return online_.forward(state);
+}
+
+std::optional<float> DqnAgent::train_step(util::Rng& rng) {
+  if (replay_.size() < config_.min_replay) return std::nullopt;
+
+  const auto batch = replay_.sample(config_.batch_size, rng);
+  online_.zero_grad();
+
+  float total_loss = 0.0F;
+  const float inv_batch = 1.0F / static_cast<float>(batch.size());
+  for (const Transition* t : batch) {
+    // Bootstrap target. An empty next mask (or terminal flag) means no
+    // bootstrapping.
+    float target_value = t->reward;
+    if (!t->terminal) {
+      std::optional<float> bootstrap;
+      if (config_.double_dqn) {
+        const nn::Tensor q_online_next = online_.forward(t->next_state);
+        const auto a_star = masked_argmax(q_online_next, t->next_mask);
+        if (a_star) {
+          const nn::Tensor q_target_next = target_.forward(t->next_state);
+          bootstrap = q_target_next(*a_star, 0);
+        }
+      } else {
+        const nn::Tensor q_target_next = target_.forward(t->next_state);
+        bootstrap = masked_max(q_target_next, t->next_mask);
+      }
+      if (bootstrap) target_value += config_.gamma * *bootstrap;
+    }
+
+    const nn::Tensor q = online_.forward(t->state);
+    MLCR_CHECK(t->action < q.rows());
+    const float td = q(t->action, 0) - target_value;
+
+    // Huber loss and its derivative w.r.t. q[a].
+    const float delta = config_.huber_delta;
+    float loss, dloss;
+    if (std::abs(td) <= delta) {
+      loss = 0.5F * td * td;
+      dloss = td;
+    } else {
+      loss = delta * (std::abs(td) - 0.5F * delta);
+      dloss = td > 0.0F ? delta : -delta;
+    }
+    total_loss += loss;
+
+    nn::Tensor grad_q(q.rows(), 1);
+    grad_q(t->action, 0) = dloss * inv_batch;
+    (void)online_.backward(grad_q);
+  }
+
+  optimizer_.clip_grad_norm(config_.grad_clip);
+  optimizer_.step();
+
+  ++train_steps_;
+  if (train_steps_ % config_.target_sync_every == 0)
+    nn::copy_parameters(online_, target_);
+
+  return total_loss * inv_batch;
+}
+
+void DqnAgent::save(const std::string& path) {
+  nn::save_parameters(online_, path);
+}
+
+void DqnAgent::load(const std::string& path) {
+  nn::load_parameters(online_, path);
+  nn::copy_parameters(online_, target_);
+}
+
+std::vector<nn::Tensor> DqnAgent::snapshot_weights() {
+  std::vector<nn::Tensor> out;
+  for (const nn::Parameter* p : online_.parameters())
+    out.push_back(p->value);
+  return out;
+}
+
+void DqnAgent::restore_weights(const std::vector<nn::Tensor>& weights) {
+  const auto params = online_.parameters();
+  MLCR_CHECK(weights.size() == params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    MLCR_CHECK(weights[i].same_shape(params[i]->value));
+    params[i]->value = weights[i];
+  }
+  nn::copy_parameters(online_, target_);
+}
+
+}  // namespace mlcr::rl

@@ -1,0 +1,78 @@
+// DQN agent (paper Sec. IV-B and Algorithm 1): epsilon-greedy behaviour
+// policy over the masked action set, experience replay, a periodically
+// synchronized target network, Huber TD loss, and optional double-DQN target
+// estimation (reduces overestimation; can be disabled to match vanilla DQN).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/optimizer.hpp"
+#include "rl/qnetwork.hpp"
+#include "rl/replay_buffer.hpp"
+
+namespace mlcr::rl {
+
+struct DqnConfig {
+  QNetworkConfig network;
+  float learning_rate = 1e-3F;
+  float gamma = 0.95F;  ///< discount over invocation steps
+  std::size_t replay_capacity = 20'000;
+  std::size_t batch_size = 32;
+  /// Minimum stored transitions before training starts.
+  std::size_t min_replay = 256;
+  /// Hard target-network sync period, in train steps.
+  std::size_t target_sync_every = 200;
+  bool double_dqn = true;
+  float grad_clip = 5.0F;
+  float huber_delta = 1.0F;
+};
+
+class DqnAgent {
+ public:
+  DqnAgent(DqnConfig config, util::Rng init_rng);
+
+  /// Epsilon-greedy action over allowed entries of `mask`. Requires at least
+  /// one allowed action (cold start is always allowed in MLCR states).
+  [[nodiscard]] std::size_t select_action(const nn::Tensor& state,
+                                          const ActionMask& mask,
+                                          float epsilon, util::Rng& rng);
+
+  /// Greedy (evaluation) action.
+  [[nodiscard]] std::size_t greedy_action(const nn::Tensor& state,
+                                          const ActionMask& mask);
+
+  /// Raw Q-values for a state (online network).
+  [[nodiscard]] nn::Tensor q_values(const nn::Tensor& state);
+
+  void observe(Transition transition) { replay_.push(std::move(transition)); }
+
+  /// One gradient step on a sampled batch; returns the mean Huber loss, or
+  /// nullopt when the replay buffer has fewer than min_replay transitions.
+  std::optional<float> train_step(util::Rng& rng);
+
+  [[nodiscard]] const DqnConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t train_steps() const noexcept {
+    return train_steps_;
+  }
+  [[nodiscard]] const ReplayBuffer& replay() const noexcept { return replay_; }
+  [[nodiscard]] QNetwork& online_network() noexcept { return online_; }
+
+  void save(const std::string& path);
+  void load(const std::string& path);
+
+  /// Snapshot / restore the online network's weights (used by the trainer's
+  /// validation-based checkpoint selection). restore also syncs the target.
+  [[nodiscard]] std::vector<nn::Tensor> snapshot_weights();
+  void restore_weights(const std::vector<nn::Tensor>& weights);
+
+ private:
+  DqnConfig config_;
+  QNetwork online_;
+  QNetwork target_;
+  nn::Adam optimizer_;
+  ReplayBuffer replay_;
+  std::size_t train_steps_ = 0;
+};
+
+}  // namespace mlcr::rl

@@ -1,0 +1,36 @@
+#include "rl/replay_buffer.hpp"
+
+#include "util/check.hpp"
+
+namespace mlcr::rl {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
+  MLCR_CHECK(capacity_ > 0);
+  storage_.reserve(capacity_);
+}
+
+void ReplayBuffer::push(Transition t) {
+  if (storage_.size() < capacity_) {
+    storage_.push_back(std::move(t));
+  } else {
+    storage_[next_] = std::move(t);
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<const Transition*> ReplayBuffer::sample(std::size_t batch,
+                                                    util::Rng& rng) const {
+  MLCR_CHECK_MSG(!storage_.empty(), "cannot sample an empty replay buffer");
+  std::vector<const Transition*> out;
+  out.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i)
+    out.push_back(&storage_[rng.uniform_index(storage_.size())]);
+  return out;
+}
+
+void ReplayBuffer::clear() {
+  storage_.clear();
+  next_ = 0;
+}
+
+}  // namespace mlcr::rl

@@ -1,0 +1,48 @@
+// Experience replay (paper Algorithm 1: experiences (s_t, a_t, r_t, s_{t+1})
+// are saved to a pool E and sampled in batches; the pool is reused across
+// training rounds).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace mlcr::rl {
+
+/// Action mask: mask[i] != 0 means action i may be selected (paper Sec. IV-C:
+/// no-match containers are filtered out and never explored).
+using ActionMask = std::vector<std::uint8_t>;
+
+struct Transition {
+  nn::Tensor state;      ///< token matrix (T x F)
+  std::size_t action = 0;
+  float reward = 0.0F;
+  nn::Tensor next_state;  ///< token matrix of s_{t+1}
+  ActionMask next_mask;   ///< valid actions in s_{t+1}
+  bool terminal = false;  ///< end of episode: no bootstrap
+};
+
+/// Fixed-capacity ring buffer of transitions with uniform sampling.
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity);
+
+  void push(Transition t);
+  /// Sample `batch` indices uniformly with replacement. Requires !empty().
+  [[nodiscard]] std::vector<const Transition*> sample(std::size_t batch,
+                                                      util::Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return storage_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return storage_.empty(); }
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;  ///< ring write cursor once full
+  std::vector<Transition> storage_;
+};
+
+}  // namespace mlcr::rl

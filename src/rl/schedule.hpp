@@ -1,0 +1,29 @@
+// Exploration-rate schedules for epsilon-greedy action selection.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+namespace mlcr::rl {
+
+/// Linearly anneals epsilon from `start` to `end` over `decay_steps`, then
+/// stays at `end`.
+class LinearEpsilon {
+ public:
+  LinearEpsilon(float start, float end, std::size_t decay_steps)
+      : start_(start), end_(end), decay_steps_(decay_steps) {}
+
+  [[nodiscard]] float value(std::size_t step) const noexcept {
+    if (decay_steps_ == 0 || step >= decay_steps_) return end_;
+    const float frac =
+        static_cast<float>(step) / static_cast<float>(decay_steps_);
+    return start_ + (end_ - start_) * frac;
+  }
+
+ private:
+  float start_;
+  float end_;
+  std::size_t decay_steps_;
+};
+
+}  // namespace mlcr::rl

@@ -1,0 +1,175 @@
+#include "sim/env.hpp"
+
+#include "containers/matching.hpp"
+#include "util/check.hpp"
+
+namespace mlcr::sim {
+
+using containers::Container;
+using containers::ContainerState;
+using containers::MatchLevel;
+
+ClusterEnv::ClusterEnv(const FunctionTable& functions,
+                       const containers::PackageCatalog& catalog,
+                       StartupCostModel cost_model, EnvConfig config,
+                       EvictionPolicyFactory eviction_factory)
+    : functions_(functions),
+      catalog_(catalog),
+      cost_model_(std::move(cost_model)),
+      config_(config),
+      eviction_factory_(std::move(eviction_factory)) {
+  MLCR_CHECK(eviction_factory_ != nullptr);
+  MLCR_CHECK(config_.pool_capacity_mb > 0.0);
+}
+
+void ClusterEnv::reset(const Trace& trace) {
+  trace_ = &trace;
+  next_index_ = 0;
+  now_ = trace.empty() ? 0.0 : trace.at(0).arrival_s;
+  pool_ = std::make_unique<containers::WarmPool>(config_.pool_capacity_mb,
+                                                 eviction_factory_(),
+                                                 config_.max_pool_containers);
+  busy_ = {};
+  next_container_id_ = 0;
+  metrics_.clear();
+  episode_finished_ = trace.empty();
+}
+
+bool ClusterEnv::done() const noexcept {
+  return trace_ == nullptr || next_index_ >= trace_->size();
+}
+
+const Invocation& ClusterEnv::current() const {
+  MLCR_CHECK_MSG(!done(), "no current invocation: episode is done");
+  return trace_->at(next_index_);
+}
+
+const containers::WarmPool& ClusterEnv::pool() const {
+  MLCR_CHECK_MSG(pool_ != nullptr, "call reset() first");
+  return *pool_;
+}
+
+MatchLevel ClusterEnv::match_for(containers::ContainerId id,
+                                 FunctionTypeId function) const {
+  const Container* c = pool().find(id);
+  if (c == nullptr) return MatchLevel::kNoMatch;
+  return containers::match(functions_.get(function).image, c->image);
+}
+
+void ClusterEnv::advance_to(double time) {
+  while (!busy_.empty() && busy_.top().time <= time) {
+    Completion done_c = busy_.top();
+    busy_.pop();
+    if (config_.keep_alive_ttl_s)
+      pool_->expire_older_than(done_c.time, *config_.keep_alive_ttl_s);
+    Container& c = done_c.container;
+    c.state = ContainerState::kIdle;
+    c.last_idle_at = done_c.time;
+    // Rejected containers are destroyed (their worker memory is released).
+    (void)pool_->admit(std::move(c), done_c.time);
+  }
+  if (config_.keep_alive_ttl_s)
+    pool_->expire_older_than(time, *config_.keep_alive_ttl_s);
+  now_ = time;
+}
+
+void ClusterEnv::finish_episode() {
+  if (episode_finished_) return;
+  // Drain outstanding executions so pool peak/eviction stats are complete.
+  while (!busy_.empty()) advance_to(busy_.top().time);
+  episode_finished_ = true;
+}
+
+StepResult ClusterEnv::step(const Action& action) {
+  const Invocation inv = current();
+  advance_to(inv.arrival_s);
+  const FunctionType& fn = functions_.get(inv.function);
+
+  StepResult result;
+  Container container;
+
+  MatchLevel level = MatchLevel::kNoMatch;
+  if (action.kind == Action::Kind::kReuse) {
+    if (config_.reuse_semantics == ReuseSemantics::kUnion) {
+      // Union reuse only needs a matching OS; report the Table-I-style
+      // level implied by what is (not) missing.
+      const Container* c = pool().find(action.container);
+      if (c != nullptr && c->image.level_equals(fn.image,
+                                                containers::Level::kOs)) {
+        if (!c->image.level_contains(fn.image, containers::Level::kLanguage))
+          level = MatchLevel::kL1;
+        else if (!c->image.level_contains(fn.image,
+                                          containers::Level::kRuntime))
+          level = MatchLevel::kL2;
+        else
+          level = MatchLevel::kL3;
+      }
+    } else {
+      level = match_for(action.container, inv.function);
+    }
+  }
+
+  if (containers::reusable(level)) {
+    auto taken = pool_->take(action.container, now_);
+    MLCR_CHECK(taken.has_value());
+    container = std::move(*taken);
+    if (config_.reuse_semantics == ReuseSemantics::kUnion) {
+      result.breakdown = cost_model_.union_warm_start(fn, container.image);
+      const bool grew =
+          !container.image.level_contains(fn.image,
+                                          containers::Level::kLanguage) ||
+          !container.image.level_contains(fn.image,
+                                          containers::Level::kRuntime);
+      container.image.merge_level(containers::Level::kLanguage, fn.image);
+      container.image.merge_level(containers::Level::kRuntime, fn.image);
+      container.refresh_memory(catalog_);
+      if (grew) ++container.repack_count;
+    } else {
+      result.breakdown = cost_model_.warm_start(fn, level);
+      cost_model_.cleaner().repack(container, fn.image, catalog_, level);
+    }
+    result.cold = false;
+  } else {
+    container.id = next_container_id_++;
+    container.image = fn.image;
+    container.created_at = now_;
+    container.refresh_memory(catalog_);
+    result.breakdown = cost_model_.cold_start(fn);
+    result.cold = true;
+    level = MatchLevel::kNoMatch;
+  }
+
+  result.match = level;
+  result.latency_s = result.breakdown.total();
+  result.container = container.id;
+
+  container.state = ContainerState::kBusy;
+  container.last_used_at = now_;
+  ++container.use_count;
+  container.last_function = inv.function;
+  container.last_startup_cost_s = result.latency_s;
+
+  busy_.push(Completion{now_ + result.latency_s + inv.exec_s,
+                        std::move(container)});
+
+  InvocationRecord rec;
+  rec.seq = inv.seq;
+  rec.function = inv.function;
+  rec.arrival_s = inv.arrival_s;
+  rec.container = result.container;
+  rec.match = result.match;
+  rec.cold = result.cold;
+  rec.breakdown = result.breakdown;
+  rec.latency_s = result.latency_s;
+  metrics_.record(std::move(rec));
+
+  ++next_index_;
+  if (done())
+    finish_episode();
+  else
+    advance_to(trace_->at(next_index_).arrival_s);
+
+  return result;
+}
+
+}  // namespace mlcr::sim

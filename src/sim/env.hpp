@@ -1,0 +1,157 @@
+// ClusterEnv: the discrete-event serverless platform (paper Fig. 4) that the
+// schedulers — and the DRL agent — interact with. It advances simulated time
+// along a trace of invocations, moves containers between "busy on a worker"
+// and the warm pool, applies eviction / TTL expiry, and records metrics.
+//
+// The interaction protocol is gym-like and identical for heuristic and
+// learned schedulers:
+//
+//   env.reset(trace);
+//   while (!env.done()) {
+//     const Invocation& inv = env.current();
+//     Action a = scheduler.decide(env, inv);
+//     StepResult r = env.step(a);        // startup latency, match level, ...
+//   }
+//   env.metrics() / env.pool_stats()
+//
+// Invalid reuse actions (absent container, no-match image) degrade to a cold
+// start, mirroring the paper's action semantics (Sec. IV-B: "if i is larger
+// than the actual number of warm containers ... it also means cold start").
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+
+#include "containers/pool.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/invocation.hpp"
+#include "sim/metrics.hpp"
+
+namespace mlcr::sim {
+
+/// Scheduling decision for one invocation.
+struct Action {
+  enum class Kind : std::uint8_t { kColdStart, kReuse };
+  Kind kind = Kind::kColdStart;
+  containers::ContainerId container = containers::kInvalidContainer;
+
+  [[nodiscard]] static Action cold() noexcept { return {}; }
+  [[nodiscard]] static Action reuse(containers::ContainerId id) noexcept {
+    return {Kind::kReuse, id};
+  }
+};
+
+/// Outcome of scheduling one invocation.
+struct StepResult {
+  StartupBreakdown breakdown;
+  double latency_s = 0.0;
+  containers::MatchLevel match = containers::MatchLevel::kNoMatch;
+  bool cold = true;
+  containers::ContainerId container = containers::kInvalidContainer;
+};
+
+using EvictionPolicyFactory =
+    std::function<std::unique_ptr<containers::EvictionPolicy>()>;
+
+/// How a reused container is adapted to the arriving function.
+enum class ReuseSemantics : std::uint8_t {
+  /// MLCR repacking (Sec. III): mismatched level volumes are swapped out,
+  /// the container's image *becomes* the function's image.
+  kRepack,
+  /// Union / zygote-style (paper Fig. 1 "W"; Li et al. ATC'22): missing
+  /// packages are pulled and added, nothing is removed — the container
+  /// grows and can serve every function it has absorbed, at the price of a
+  /// growing memory footprint.
+  kUnion,
+};
+
+struct EnvConfig {
+  /// Warm pool memory budget, MB.
+  double pool_capacity_mb = 4096.0;
+  /// Warm pool container-count cap == DQN slot count n; 0 = unlimited.
+  std::size_t max_pool_containers = 0;
+  /// If set, idle containers expire after this many seconds (KeepAlive).
+  std::optional<double> keep_alive_ttl_s;
+  ReuseSemantics reuse_semantics = ReuseSemantics::kRepack;
+};
+
+class ClusterEnv {
+ public:
+  ClusterEnv(const FunctionTable& functions,
+             const containers::PackageCatalog& catalog,
+             StartupCostModel cost_model, EnvConfig config,
+             EvictionPolicyFactory eviction_factory);
+
+  /// Start a new episode over `trace` (kept by reference; must outlive the
+  /// episode). Rebuilds the pool with a fresh eviction policy.
+  void reset(const Trace& trace);
+
+  [[nodiscard]] bool done() const noexcept;
+  /// Next invocation to schedule. Requires !done().
+  [[nodiscard]] const Invocation& current() const;
+  /// Current simulated time (== current().arrival_s during an episode).
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Apply a scheduling decision to the current invocation. Requires !done().
+  StepResult step(const Action& action);
+
+  [[nodiscard]] const containers::WarmPool& pool() const;
+  [[nodiscard]] std::size_t busy_count() const noexcept {
+    return busy_.size();
+  }
+  [[nodiscard]] const MetricsCollector& metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] const FunctionTable& functions() const noexcept {
+    return functions_;
+  }
+  [[nodiscard]] const containers::PackageCatalog& catalog() const noexcept {
+    return catalog_;
+  }
+  [[nodiscard]] const StartupCostModel& cost_model() const noexcept {
+    return cost_model_;
+  }
+  [[nodiscard]] const EnvConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const Trace* trace() const noexcept { return trace_; }
+
+  /// Table-I match between the current pool container and a function type.
+  /// Returns kNoMatch for unknown containers.
+  [[nodiscard]] containers::MatchLevel match_for(
+      containers::ContainerId id, FunctionTypeId function) const;
+
+ private:
+  struct Completion {
+    double time = 0.0;
+    containers::Container container;
+  };
+  struct CompletionOrder {
+    bool operator()(const Completion& a, const Completion& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;  // min-heap on time
+      return a.container.id > b.container.id;        // deterministic ties
+    }
+  };
+
+  /// Process completions up to `time` (inclusive) and TTL expiry.
+  void advance_to(double time);
+  void finish_episode();
+
+  const FunctionTable& functions_;
+  const containers::PackageCatalog& catalog_;
+  StartupCostModel cost_model_;
+  EnvConfig config_;
+  EvictionPolicyFactory eviction_factory_;
+
+  const Trace* trace_ = nullptr;
+  std::size_t next_index_ = 0;
+  double now_ = 0.0;
+  std::unique_ptr<containers::WarmPool> pool_;
+  std::priority_queue<Completion, std::vector<Completion>, CompletionOrder>
+      busy_;
+  containers::ContainerId next_container_id_ = 0;
+  MetricsCollector metrics_;
+  bool episode_finished_ = false;
+};
+
+}  // namespace mlcr::sim

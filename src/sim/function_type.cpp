@@ -1,0 +1,21 @@
+#include "sim/function_type.hpp"
+
+#include "util/check.hpp"
+
+namespace mlcr::sim {
+
+FunctionTypeId FunctionTable::add(FunctionType type) {
+  MLCR_CHECK_MSG(!type.name.empty(), "function type needs a name");
+  MLCR_CHECK(type.runtime_init_s >= 0.0 && type.function_init_s >= 0.0);
+  MLCR_CHECK(type.mean_exec_s > 0.0 && type.exec_cv >= 0.0);
+  type.id = static_cast<FunctionTypeId>(types_.size());
+  types_.push_back(std::move(type));
+  return types_.back().id;
+}
+
+const FunctionType& FunctionTable::get(FunctionTypeId id) const {
+  MLCR_CHECK_MSG(id < types_.size(), "unknown function type " << id);
+  return types_[id];
+}
+
+}  // namespace mlcr::sim

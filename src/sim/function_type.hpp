@@ -1,0 +1,55 @@
+// Function type registry: the static description of each serverless function
+// (its three-level image plus initialization/execution characteristics).
+// FStartBench (src/fstartbench) instantiates the paper's 13 concrete types.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "containers/container.hpp"
+#include "containers/image.hpp"
+
+namespace mlcr::sim {
+
+using containers::FunctionTypeId;
+
+/// Language implementation style; drives runtime-initialization cost (paper
+/// Sec. II: init is ~6% of cold start for interpreted languages but up to
+/// ~45% for compiled ones like Java/.NET).
+enum class LanguageKind : std::uint8_t { kInterpreted, kCompiled };
+
+struct FunctionType {
+  FunctionTypeId id = containers::kInvalidFunctionType;
+  std::string name;
+  std::string description;
+  containers::ImageSpec image;
+  LanguageKind language_kind = LanguageKind::kInterpreted;
+
+  /// Runtime (framework/VM) initialization, paid on cold start and whenever
+  /// the runtime level is re-provisioned; seconds.
+  double runtime_init_s = 0.1;
+  /// Function (user-code) initialization, paid on every start; seconds.
+  double function_init_s = 0.05;
+
+  /// Execution-time distribution parameters used by workload generators
+  /// (lognormal-style: mean with coefficient of variation).
+  double mean_exec_s = 0.5;
+  double exec_cv = 0.25;
+};
+
+/// Append-only table of function types; ids are dense indices.
+class FunctionTable {
+ public:
+  FunctionTypeId add(FunctionType type);
+  [[nodiscard]] const FunctionType& get(FunctionTypeId id) const;
+  [[nodiscard]] std::size_t size() const noexcept { return types_.size(); }
+
+  [[nodiscard]] const std::vector<FunctionType>& all() const noexcept {
+    return types_;
+  }
+
+ private:
+  std::vector<FunctionType> types_;
+};
+
+}  // namespace mlcr::sim

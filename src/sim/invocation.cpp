@@ -1,0 +1,32 @@
+#include "sim/invocation.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mlcr::sim {
+
+Trace::Trace(std::vector<Invocation> invocations)
+    : invocations_(std::move(invocations)) {
+  std::stable_sort(invocations_.begin(), invocations_.end(),
+                   [](const Invocation& a, const Invocation& b) {
+                     return a.arrival_s < b.arrival_s;
+                   });
+  for (std::size_t i = 0; i < invocations_.size(); ++i) {
+    invocations_[i].seq = i;
+    MLCR_CHECK(invocations_[i].arrival_s >= 0.0);
+    MLCR_CHECK(invocations_[i].exec_s > 0.0);
+  }
+}
+
+const Invocation& Trace::at(std::size_t i) const {
+  MLCR_CHECK(i < invocations_.size());
+  return invocations_[i];
+}
+
+double Trace::span_s() const noexcept {
+  if (invocations_.size() < 2) return 0.0;
+  return invocations_.back().arrival_s - invocations_.front().arrival_s;
+}
+
+}  // namespace mlcr::sim

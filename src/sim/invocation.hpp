@@ -1,0 +1,41 @@
+// Invocations and traces: the workload fed to the simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/function_type.hpp"
+
+namespace mlcr::sim {
+
+/// One function invocation request.
+struct Invocation {
+  std::uint64_t seq = 0;  ///< position in the trace (assigned by Trace)
+  FunctionTypeId function = containers::kInvalidFunctionType;
+  double arrival_s = 0.0;  ///< absolute arrival time
+  double exec_s = 0.1;     ///< sampled execution duration
+};
+
+/// An arrival-ordered sequence of invocations.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<Invocation> invocations);
+
+  [[nodiscard]] const std::vector<Invocation>& invocations() const noexcept {
+    return invocations_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return invocations_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return invocations_.empty(); }
+  [[nodiscard]] const Invocation& at(std::size_t i) const;
+
+  /// Total wall-clock span (last arrival - first arrival); 0 when < 2 entries.
+  [[nodiscard]] double span_s() const noexcept;
+
+ private:
+  std::vector<Invocation> invocations_;
+};
+
+}  // namespace mlcr::sim

@@ -1,0 +1,63 @@
+#include "sim/metrics.hpp"
+
+#include "util/check.hpp"
+
+namespace mlcr::sim {
+
+void MetricsCollector::record(InvocationRecord rec) {
+  total_latency_s_ += rec.latency_s;
+  if (rec.cold)
+    ++cold_starts_;
+  else
+    ++by_level_[static_cast<std::size_t>(rec.match)];
+  records_.push_back(std::move(rec));
+}
+
+void MetricsCollector::clear() {
+  records_.clear();
+  total_latency_s_ = 0.0;
+  cold_starts_ = 0;
+  by_level_.fill(0);
+}
+
+double MetricsCollector::average_latency_s() const noexcept {
+  return records_.empty()
+             ? 0.0
+             : total_latency_s_ / static_cast<double>(records_.size());
+}
+
+std::size_t MetricsCollector::warm_starts_at(
+    containers::MatchLevel level) const noexcept {
+  return by_level_[static_cast<std::size_t>(level)];
+}
+
+std::vector<double> MetricsCollector::latencies() const {
+  std::vector<double> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) out.push_back(r.latency_s);
+  return out;
+}
+
+std::vector<double> MetricsCollector::cumulative_latency() const {
+  std::vector<double> out;
+  out.reserve(records_.size());
+  double total = 0.0;
+  for (const auto& r : records_) {
+    total += r.latency_s;
+    out.push_back(total);
+  }
+  return out;
+}
+
+std::vector<std::size_t> MetricsCollector::cumulative_cold_starts() const {
+  std::vector<std::size_t> out;
+  out.reserve(records_.size());
+  std::size_t total = 0;
+  for (const auto& r : records_) {
+    total += r.cold ? 1 : 0;
+    out.push_back(total);
+  }
+  return out;
+}
+
+}  // namespace mlcr::sim

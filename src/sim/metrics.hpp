@@ -1,0 +1,66 @@
+// Per-invocation measurements and aggregate statistics. This is the source of
+// every number the benchmark harness reports (total/average startup latency,
+// cold-start counts, warm starts by match level, cumulative series).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "containers/container.hpp"
+#include "containers/matching.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/invocation.hpp"
+
+namespace mlcr::sim {
+
+/// What happened when one invocation was scheduled.
+struct InvocationRecord {
+  std::uint64_t seq = 0;
+  FunctionTypeId function = containers::kInvalidFunctionType;
+  double arrival_s = 0.0;
+  containers::ContainerId container = containers::kInvalidContainer;
+  containers::MatchLevel match = containers::MatchLevel::kNoMatch;
+  bool cold = true;
+  StartupBreakdown breakdown;
+  double latency_s = 0.0;
+};
+
+class MetricsCollector {
+ public:
+  void record(InvocationRecord rec);
+  void clear();
+
+  [[nodiscard]] const std::vector<InvocationRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t invocation_count() const noexcept {
+    return records_.size();
+  }
+
+  [[nodiscard]] double total_latency_s() const noexcept {
+    return total_latency_s_;
+  }
+  [[nodiscard]] double average_latency_s() const noexcept;
+  [[nodiscard]] std::size_t cold_start_count() const noexcept {
+    return cold_starts_;
+  }
+  /// Warm starts served at a given match level (kL1..kL3).
+  [[nodiscard]] std::size_t warm_starts_at(
+      containers::MatchLevel level) const noexcept;
+
+  /// Startup latencies in arrival order (for percentiles / box stats).
+  [[nodiscard]] std::vector<double> latencies() const;
+  /// Cumulative total latency after each invocation (paper Fig. 9 series).
+  [[nodiscard]] std::vector<double> cumulative_latency() const;
+  /// Cumulative cold-start count after each invocation (Fig. 9 series).
+  [[nodiscard]] std::vector<std::size_t> cumulative_cold_starts() const;
+
+ private:
+  std::vector<InvocationRecord> records_;
+  double total_latency_s_ = 0.0;
+  std::size_t cold_starts_ = 0;
+  std::array<std::size_t, 4> by_level_{};  // indexed by MatchLevel value
+};
+
+}  // namespace mlcr::sim

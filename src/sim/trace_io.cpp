@@ -1,0 +1,79 @@
+#include "sim/trace_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mlcr::sim {
+
+namespace {
+constexpr char kHeader[] = "function_id,arrival_s,exec_s";
+
+[[nodiscard]] double parse_double(std::string_view field, std::size_t line) {
+  // std::from_chars<double> is not universally available; strtod suffices.
+  const std::string buf(field);
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  MLCR_CHECK_MSG(end != nullptr && *end == '\0' && !buf.empty(),
+                 "trace CSV line " << line << ": bad number '" << buf << "'");
+  return v;
+}
+}  // namespace
+
+void write_trace_csv(const Trace& trace, std::ostream& os) {
+  os << kHeader << '\n';
+  for (const Invocation& inv : trace.invocations())
+    os << inv.function << ',' << inv.arrival_s << ',' << inv.exec_s << '\n';
+  MLCR_CHECK_MSG(os.good(), "failed writing trace CSV");
+}
+
+void write_trace_csv(const Trace& trace, const std::string& path) {
+  std::ofstream os(path);
+  MLCR_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
+  write_trace_csv(trace, os);
+}
+
+Trace read_trace_csv(std::istream& is, const FunctionTable& functions) {
+  std::string line;
+  MLCR_CHECK_MSG(std::getline(is, line) && line == kHeader,
+                 "trace CSV: missing or wrong header (expected '" << kHeader
+                                                                  << "')");
+  std::vector<Invocation> invocations;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::stringstream row(line);
+    std::string fn_field, arrival_field, exec_field;
+    MLCR_CHECK_MSG(std::getline(row, fn_field, ',') &&
+                       std::getline(row, arrival_field, ',') &&
+                       std::getline(row, exec_field, ','),
+                   "trace CSV line " << line_no << ": expected 3 columns");
+    Invocation inv;
+    const double fn = parse_double(fn_field, line_no);
+    MLCR_CHECK_MSG(fn >= 0 && fn == static_cast<double>(
+                                        static_cast<FunctionTypeId>(fn)),
+                   "trace CSV line " << line_no << ": bad function id");
+    inv.function = static_cast<FunctionTypeId>(fn);
+    MLCR_CHECK_MSG(inv.function < functions.size(),
+                   "trace CSV line " << line_no << ": unknown function id "
+                                     << inv.function);
+    inv.arrival_s = parse_double(arrival_field, line_no);
+    inv.exec_s = parse_double(exec_field, line_no);
+    invocations.push_back(inv);
+  }
+  return Trace(std::move(invocations));
+}
+
+Trace read_trace_csv(const std::string& path, const FunctionTable& functions) {
+  std::ifstream is(path);
+  MLCR_CHECK_MSG(is.is_open(), "cannot open " << path << " for reading");
+  return read_trace_csv(is, functions);
+}
+
+}  // namespace mlcr::sim

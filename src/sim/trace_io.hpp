@@ -1,0 +1,30 @@
+// Trace (de)serialization: CSV with a header, so workloads can be exported,
+// inspected, or replayed from external tools.
+//
+//   function_id,arrival_s,exec_s
+//   3,0.125,0.48
+//
+// Function ids refer to a FunctionTable the reader must already hold (the
+// format intentionally carries no package metadata — traces are workload
+// descriptions, not environment descriptions).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/invocation.hpp"
+
+namespace mlcr::sim {
+
+/// Write `trace` as CSV. Columns: function_id, arrival_s, exec_s.
+void write_trace_csv(const Trace& trace, std::ostream& os);
+void write_trace_csv(const Trace& trace, const std::string& path);
+
+/// Parse a CSV trace. Validates against `functions` (unknown ids throw).
+/// Rows may be in any order; the resulting trace is arrival-sorted.
+[[nodiscard]] Trace read_trace_csv(std::istream& is,
+                                   const FunctionTable& functions);
+[[nodiscard]] Trace read_trace_csv(const std::string& path,
+                                   const FunctionTable& functions);
+
+}  // namespace mlcr::sim

@@ -1,0 +1,45 @@
+// Lightweight precondition / invariant checking.
+//
+// MLCR_CHECK is always on (simulator correctness depends on it); failures throw
+// mlcr::util::CheckError so tests can assert on violations instead of aborting.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mlcr::util {
+
+/// Thrown when a MLCR_CHECK condition is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace mlcr::util
+
+#define MLCR_CHECK(cond)                                                 \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::mlcr::util::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define MLCR_CHECK_MSG(cond, msg)                                      \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream mlcr_check_os_;                               \
+      mlcr_check_os_ << msg;                                           \
+      ::mlcr::util::detail::check_failed(#cond, __FILE__, __LINE__,    \
+                                         mlcr_check_os_.str());        \
+    }                                                                  \
+  } while (0)

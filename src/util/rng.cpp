@@ -1,0 +1,147 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace mlcr::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 random bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_index(span));
+}
+
+double Rng::exponential(double lambda) noexcept {
+  // uniform() can return 0; 1 - u is in (0, 1].
+  return -std::log(1.0 - uniform()) / lambda;
+}
+
+double Rng::normal() noexcept {
+  const double u1 = 1.0 - uniform();  // (0, 1]
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+std::uint64_t Rng::poisson(double lambda) noexcept {
+  if (lambda <= 0.0) return 0;
+  if (lambda > 64.0) {
+    const double x = normal(lambda, std::sqrt(lambda));
+    return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+  }
+  // Knuth's multiplication method.
+  const double limit = std::exp(-lambda);
+  std::uint64_t k = 0;
+  double product = uniform();
+  while (product > limit) {
+    ++k;
+    product *= uniform();
+  }
+  return k;
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  MLCR_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    MLCR_CHECK_MSG(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  MLCR_CHECK_MSG(total > 0.0, "weights must not all be zero");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric edge: fall back to last index
+}
+
+Rng Rng::split() noexcept { return Rng(next()); }
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  MLCR_CHECK(n > 0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_[k] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  // Binary search for first cdf >= u.
+  std::size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+double ZipfSampler::probability(std::size_t rank) const {
+  MLCR_CHECK(rank < cdf_.size());
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace mlcr::util

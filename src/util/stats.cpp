@@ -1,0 +1,92 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mlcr::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::min() const noexcept { return n_ ? min_ : 0.0; }
+
+double RunningStats::max() const noexcept { return n_ ? max_ : 0.0; }
+
+double percentile_inplace(std::vector<double>& values, double p) {
+  MLCR_CHECK(!values.empty());
+  MLCR_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double pos = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double percentile(std::vector<double> values, double p) {
+  return percentile_inplace(values, p);
+}
+
+BoxStats box_stats(std::vector<double> values) {
+  MLCR_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  BoxStats b;
+  b.count = values.size();
+  b.min = values.front();
+  b.max = values.back();
+  b.q1 = percentile_inplace(values, 25.0);
+  b.median = percentile_inplace(values, 50.0);
+  b.q3 = percentile_inplace(values, 75.0);
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  b.mean = sum / static_cast<double>(values.size());
+  return b;
+}
+
+double population_variance(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  return var / static_cast<double>(values.size());
+}
+
+}  // namespace mlcr::util

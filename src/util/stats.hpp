@@ -1,0 +1,58 @@
+// Streaming and batch summary statistics used by the metrics collector and the
+// benchmark harnesses (the paper reports averages over 50 repetitions and
+// box-plot distributions in Fig. 11).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mlcr::util {
+
+/// Welford online mean/variance accumulator. O(1) memory, numerically stable.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number summary plus mean, as used for the paper's box charts.
+struct BoxStats {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  std::size_t count = 0;
+};
+
+/// Linear-interpolation percentile of a sample set, p in [0, 100].
+/// The input vector is copied; use percentile_inplace to avoid the copy.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+/// As percentile(), but sorts `values` in place.
+[[nodiscard]] double percentile_inplace(std::vector<double>& values, double p);
+
+/// Compute the box summary of a sample set. Requires at least one sample.
+[[nodiscard]] BoxStats box_stats(std::vector<double> values);
+
+/// Population variance of a sample set (the paper's package-size "Var" metric
+/// in Sec. V uses plain variance over package sizes). Returns 0 when empty.
+[[nodiscard]] double population_variance(const std::vector<double>& values);
+
+}  // namespace mlcr::util

@@ -1,0 +1,46 @@
+// Fixed-width console table writer used by the bench binaries to print the
+// paper-style rows (Fig. 8 latency tables, Fig. 11 box summaries, ...).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mlcr::util {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+/// Numeric cells are right-aligned, text cells left-aligned.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  [[nodiscard]] static std::string num(double value, int precision = 2);
+  [[nodiscard]] static std::string num(std::size_t value);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Write rows as CSV (comma-separated, minimal quoting) to a stream.
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& os, std::vector<std::string> headers);
+
+  void add_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& os_;
+  std::size_t arity_;
+};
+
+}  // namespace mlcr::util

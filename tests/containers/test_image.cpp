@@ -1,0 +1,79 @@
+#include "containers/image.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlcr::containers {
+namespace {
+
+class ImageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    os_ = catalog_.add("os", Level::kOs, 100.0);
+    py_ = catalog_.add("python", Level::kLanguage, 50.0);
+    node_ = catalog_.add("node", Level::kLanguage, 80.0);
+    flask_ = catalog_.add("flask", Level::kRuntime, 8.0);
+    numpy_ = catalog_.add("numpy", Level::kRuntime, 30.0);
+  }
+  PackageCatalog catalog_;
+  PackageId os_{}, py_{}, node_{}, flask_{}, numpy_{};
+};
+
+TEST_F(ImageTest, NormalizesSortedDeduplicated) {
+  const ImageSpec img({os_}, {py_}, {numpy_, flask_, numpy_});
+  const auto& rt = img.level(Level::kRuntime);
+  ASSERT_EQ(rt.size(), 2U);
+  EXPECT_LT(rt[0], rt[1]);
+}
+
+TEST_F(ImageTest, LevelEqualityIsSetEquality) {
+  const ImageSpec a({os_}, {py_}, {flask_, numpy_});
+  const ImageSpec b({os_}, {py_}, {numpy_, flask_});
+  EXPECT_TRUE(a.level_equals(b, Level::kRuntime));
+  EXPECT_TRUE(a == b);
+}
+
+TEST_F(ImageTest, TotalAndLevelSizes) {
+  const ImageSpec img({os_}, {py_}, {flask_, numpy_});
+  EXPECT_DOUBLE_EQ(img.total_size_mb(catalog_), 188.0);
+  EXPECT_DOUBLE_EQ(img.level_size_mb(catalog_, Level::kOs), 100.0);
+  EXPECT_DOUBLE_EQ(img.level_size_mb(catalog_, Level::kRuntime), 38.0);
+}
+
+TEST_F(ImageTest, SetLevelReplacesAndNormalizes) {
+  ImageSpec img({os_}, {py_}, {flask_});
+  img.set_level(Level::kRuntime, {numpy_, numpy_});
+  EXPECT_EQ(img.level(Level::kRuntime), std::vector<PackageId>{numpy_});
+  EXPECT_EQ(img.level(Level::kLanguage), std::vector<PackageId>{py_});
+}
+
+TEST_F(ImageTest, AllPackagesAndCount) {
+  const ImageSpec img({os_}, {py_}, {flask_, numpy_});
+  EXPECT_EQ(img.package_count(), 4U);
+  EXPECT_EQ(img.all_packages().size(), 4U);
+}
+
+TEST_F(ImageTest, JaccardIdenticalIsOne) {
+  const ImageSpec a({os_}, {py_}, {flask_});
+  EXPECT_DOUBLE_EQ(a.jaccard(a), 1.0);
+}
+
+TEST_F(ImageTest, JaccardPartialOverlap) {
+  const ImageSpec a({os_}, {py_}, {flask_});
+  const ImageSpec b({os_}, {py_}, {numpy_});
+  // shared: os, py; union: os, py, flask, numpy.
+  EXPECT_DOUBLE_EQ(a.jaccard(b), 2.0 / 4.0);
+}
+
+TEST_F(ImageTest, JaccardDisjointIsZero) {
+  const ImageSpec a({os_}, {}, {});
+  const ImageSpec b({}, {py_}, {});
+  EXPECT_DOUBLE_EQ(a.jaccard(b), 0.0);
+}
+
+TEST_F(ImageTest, JaccardEmptyImagesIsOne) {
+  const ImageSpec a, b;
+  EXPECT_DOUBLE_EQ(a.jaccard(b), 1.0);
+}
+
+}  // namespace
+}  // namespace mlcr::containers

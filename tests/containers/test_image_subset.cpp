@@ -1,0 +1,69 @@
+// Subset / union operations on ImageSpec levels (the basis of union
+// (zygote) reuse semantics).
+#include <gtest/gtest.h>
+
+#include "containers/image.hpp"
+
+namespace mlcr::containers {
+namespace {
+
+class ImageSubsetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    os_ = catalog_.add("os", Level::kOs, 100.0);
+    py_ = catalog_.add("python", Level::kLanguage, 50.0);
+    flask_ = catalog_.add("flask", Level::kRuntime, 8.0);
+    numpy_ = catalog_.add("numpy", Level::kRuntime, 30.0);
+    pandas_ = catalog_.add("pandas", Level::kRuntime, 60.0);
+  }
+  PackageCatalog catalog_;
+  PackageId os_{}, py_{}, flask_{}, numpy_{}, pandas_{};
+};
+
+TEST_F(ImageSubsetTest, ContainsIsSupersetSemantics) {
+  const ImageSpec big({os_}, {py_}, {flask_, numpy_, pandas_});
+  const ImageSpec small({os_}, {py_}, {flask_});
+  EXPECT_TRUE(big.level_contains(small, Level::kRuntime));
+  EXPECT_FALSE(small.level_contains(big, Level::kRuntime));
+  EXPECT_TRUE(big.level_contains(big, Level::kRuntime));
+}
+
+TEST_F(ImageSubsetTest, EmptyRequirementAlwaysContained) {
+  const ImageSpec any({os_}, {py_}, {flask_});
+  const ImageSpec empty;
+  EXPECT_TRUE(any.level_contains(empty, Level::kRuntime));
+  EXPECT_TRUE(empty.level_contains(empty, Level::kRuntime));
+  EXPECT_FALSE(empty.level_contains(any, Level::kRuntime));
+}
+
+TEST_F(ImageSubsetTest, MissingListsExactlyTheGap) {
+  const ImageSpec have({os_}, {py_}, {flask_});
+  const ImageSpec need({os_}, {py_}, {flask_, numpy_, pandas_});
+  const auto missing = have.level_missing(need, Level::kRuntime);
+  ASSERT_EQ(missing.size(), 2U);
+  EXPECT_TRUE((missing == std::vector<PackageId>{numpy_, pandas_}) ||
+              (missing == std::vector<PackageId>{pandas_, numpy_}));
+  EXPECT_TRUE(need.level_missing(have, Level::kRuntime).empty());
+}
+
+TEST_F(ImageSubsetTest, MergeGrowsToUnion) {
+  ImageSpec a({os_}, {py_}, {flask_});
+  const ImageSpec b({os_}, {py_}, {numpy_, pandas_});
+  a.merge_level(Level::kRuntime, b);
+  EXPECT_EQ(a.level(Level::kRuntime).size(), 3U);
+  EXPECT_TRUE(a.level_contains(b, Level::kRuntime));
+  // Merging again is idempotent.
+  a.merge_level(Level::kRuntime, b);
+  EXPECT_EQ(a.level(Level::kRuntime).size(), 3U);
+}
+
+TEST_F(ImageSubsetTest, MergeLeavesOtherLevelsUntouched) {
+  ImageSpec a({os_}, {py_}, {flask_});
+  const ImageSpec b({os_}, {}, {numpy_});
+  a.merge_level(Level::kRuntime, b);
+  EXPECT_EQ(a.level(Level::kOs), std::vector<PackageId>{os_});
+  EXPECT_EQ(a.level(Level::kLanguage), std::vector<PackageId>{py_});
+}
+
+}  // namespace
+}  // namespace mlcr::containers

@@ -1,0 +1,66 @@
+#include "containers/package.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace mlcr::containers {
+namespace {
+
+TEST(PackageCatalog, AddAssignsDenseIds) {
+  PackageCatalog c;
+  EXPECT_EQ(c.add("alpine", Level::kOs, 8.0), 0U);
+  EXPECT_EQ(c.add("python", Level::kLanguage, 50.0, 1.0), 1U);
+  EXPECT_EQ(c.size(), 2U);
+}
+
+TEST(PackageCatalog, InfoRoundTrips) {
+  PackageCatalog c;
+  const PackageId id = c.add("flask", Level::kRuntime, 8.0, 0.3);
+  const PackageInfo& info = c.info(id);
+  EXPECT_EQ(info.name, "flask");
+  EXPECT_EQ(info.level, Level::kRuntime);
+  EXPECT_DOUBLE_EQ(info.size_mb, 8.0);
+  EXPECT_DOUBLE_EQ(info.install_s, 0.3);
+}
+
+TEST(PackageCatalog, RejectsDuplicatesAndBadInput) {
+  PackageCatalog c;
+  (void)c.add("x", Level::kOs, 1.0);
+  EXPECT_THROW((void)c.add("x", Level::kLanguage, 2.0), util::CheckError);
+  EXPECT_THROW((void)c.add("", Level::kOs, 1.0), util::CheckError);
+  EXPECT_THROW((void)c.add("y", Level::kOs, -1.0), util::CheckError);
+  EXPECT_THROW((void)c.add("z", Level::kOs, 1.0, -0.1), util::CheckError);
+}
+
+TEST(PackageCatalog, FindAndRequire) {
+  PackageCatalog c;
+  const PackageId id = c.add("debian", Level::kOs, 120.0);
+  EXPECT_EQ(c.find("debian"), id);
+  EXPECT_EQ(c.find("missing"), std::nullopt);
+  EXPECT_EQ(c.require("debian"), id);
+  EXPECT_THROW((void)c.require("missing"), util::CheckError);
+}
+
+TEST(PackageCatalog, Totals) {
+  PackageCatalog c;
+  const auto a = c.add("a", Level::kOs, 10.0, 0.5);
+  const auto b = c.add("b", Level::kRuntime, 30.0, 1.5);
+  EXPECT_DOUBLE_EQ(c.total_size_mb({a, b}), 40.0);
+  EXPECT_DOUBLE_EQ(c.total_install_s({a, b}), 2.0);
+  EXPECT_DOUBLE_EQ(c.total_size_mb({}), 0.0);
+}
+
+TEST(PackageCatalog, InfoRejectsUnknownId) {
+  PackageCatalog c;
+  EXPECT_THROW((void)c.info(0), util::CheckError);
+}
+
+TEST(Level, Names) {
+  EXPECT_EQ(to_string(Level::kOs), "OS");
+  EXPECT_EQ(to_string(Level::kLanguage), "language");
+  EXPECT_EQ(to_string(Level::kRuntime), "runtime");
+}
+
+}  // namespace
+}  // namespace mlcr::containers

@@ -1,0 +1,120 @@
+// Model-based testing: WarmPool with LRU eviction against a deliberately
+// naive reference implementation, under long random operation sequences.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "containers/pool.hpp"
+#include "util/rng.hpp"
+
+namespace mlcr::containers {
+namespace {
+
+/// Reference model: a sorted vector of (id, memory, idle_at). Mirrors the
+/// documented WarmPool semantics with the simplest possible code.
+class ReferencePool {
+ public:
+  explicit ReferencePool(double capacity) : capacity_(capacity) {}
+
+  bool admit(ContainerId id, double memory, double idle_at) {
+    if (memory > capacity_) return false;
+    while (used() + memory > capacity_) {
+      // Evict oldest idle (ties: smallest id).
+      auto victim = entries_.begin();
+      for (auto it = entries_.begin(); it != entries_.end(); ++it)
+        if (it->idle_at < victim->idle_at ||
+            (it->idle_at == victim->idle_at && it->id < victim->id))
+          victim = it;
+      entries_.erase(victim);
+      ++evictions_;
+    }
+    entries_.push_back({id, memory, idle_at});
+    return true;
+  }
+
+  bool take(ContainerId id) {
+    const auto it =
+        std::find_if(entries_.begin(), entries_.end(),
+                     [&](const Entry& e) { return e.id == id; });
+    if (it == entries_.end()) return false;
+    entries_.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] double used() const {
+    double total = 0.0;
+    for (const Entry& e : entries_) total += e.memory;
+    return total;
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t evictions() const { return evictions_; }
+  [[nodiscard]] std::vector<ContainerId> ids() const {
+    std::vector<ContainerId> out;
+    for (const Entry& e : entries_) out.push_back(e.id);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  struct Entry {
+    ContainerId id;
+    double memory;
+    double idle_at;
+  };
+  double capacity_;
+  std::vector<Entry> entries_;
+  std::size_t evictions_ = 0;
+};
+
+class PoolModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PoolModelTest, MatchesReferenceUnderRandomOperations) {
+  util::Rng rng(GetParam());
+  constexpr double kCapacity = 600.0;
+  WarmPool pool(kCapacity, std::make_unique<LruEviction>());
+  ReferencePool reference(kCapacity);
+
+  ContainerId next_id = 0;
+  for (int step = 0; step < 600; ++step) {
+    const double now = static_cast<double>(step);
+    if (rng.bernoulli(0.65)) {
+      Container c;
+      c.id = next_id++;
+      c.state = ContainerState::kIdle;
+      c.memory_mb = rng.uniform(20.0, 250.0);
+      c.last_idle_at = now;
+      const bool ref_admitted = reference.admit(c.id, c.memory_mb, now);
+      const bool pool_admitted =
+          pool.admit(std::move(c), now) == WarmPool::AdmitOutcome::kAdmitted;
+      ASSERT_EQ(pool_admitted, ref_admitted) << "step " << step;
+    } else {
+      const auto ids = reference.ids();
+      // Try a present id half the time, an absent one otherwise.
+      const ContainerId target =
+          (!ids.empty() && rng.bernoulli(0.5))
+              ? ids[rng.uniform_index(ids.size())]
+              : next_id + 1000;
+      const bool ref_took = reference.take(target);
+      const bool pool_took = pool.take(target, now).has_value();
+      ASSERT_EQ(pool_took, ref_took) << "step " << step;
+    }
+    ASSERT_EQ(pool.size(), reference.size()) << "step " << step;
+    ASSERT_NEAR(pool.used_mb(), reference.used(), 1e-6) << "step " << step;
+    ASSERT_EQ(pool.eviction_count(), reference.evictions()) << "step " << step;
+    // Same membership.
+    auto pool_ids = [&] {
+      std::vector<ContainerId> out;
+      for (const Container* c : pool.idle_containers()) out.push_back(c->id);
+      std::sort(out.begin(), out.end());
+      return out;
+    }();
+    ASSERT_EQ(pool_ids, reference.ids()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoolModelTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace mlcr::containers

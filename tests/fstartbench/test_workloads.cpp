@@ -1,0 +1,153 @@
+#include "fstartbench/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/check.hpp"
+
+namespace mlcr::fstartbench {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  Benchmark bench_ = make_benchmark();
+};
+
+TEST_F(WorkloadTest, PoissonMixProducesRequestedCounts) {
+  util::Rng rng(1);
+  const auto types = bench_.paper_ids({1, 2, 5});
+  const sim::Trace trace = make_poisson_mix(bench_, types, 20, 0.5, rng);
+  EXPECT_EQ(trace.size(), 60U);
+  std::set<sim::FunctionTypeId> seen;
+  for (const auto& inv : trace.invocations()) {
+    seen.insert(inv.function);
+    EXPECT_GT(inv.exec_s, 0.0);
+  }
+  EXPECT_EQ(seen.size(), 3U);
+}
+
+TEST_F(WorkloadTest, OverallWorkloadUsesAllThirteenTypes) {
+  util::Rng rng(2);
+  const sim::Trace trace = make_overall_workload(bench_, 400, rng);
+  EXPECT_EQ(trace.size(), 400U);
+  std::set<sim::FunctionTypeId> seen;
+  for (const auto& inv : trace.invocations()) seen.insert(inv.function);
+  EXPECT_EQ(seen.size(), 13U) << "every type contributes at least one";
+}
+
+TEST_F(WorkloadTest, WorkloadsAreDeterministicGivenSeed) {
+  util::Rng a(7), b(7);
+  const sim::Trace ta = make_overall_workload(bench_, 100, a);
+  const sim::Trace tb = make_overall_workload(bench_, 100, b);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta.at(i).function, tb.at(i).function);
+    EXPECT_DOUBLE_EQ(ta.at(i).arrival_s, tb.at(i).arrival_s);
+    EXPECT_DOUBLE_EQ(ta.at(i).exec_s, tb.at(i).exec_s);
+  }
+}
+
+TEST_F(WorkloadTest, SimilarityWorkloadsUsePaperTypeSets) {
+  util::Rng rng(3);
+  const sim::Trace hi = make_similarity_workload(bench_, true, 100, rng);
+  const sim::Trace lo = make_similarity_workload(bench_, false, 100, rng);
+  const auto hi_types = std::set<sim::FunctionTypeId>(
+      {bench_.by_paper_id(1), bench_.by_paper_id(2), bench_.by_paper_id(3),
+       bench_.by_paper_id(4), bench_.by_paper_id(11)});
+  for (const auto& inv : hi.invocations())
+    EXPECT_TRUE(hi_types.count(inv.function)) << inv.function;
+  const auto lo_types = std::set<sim::FunctionTypeId>(
+      {bench_.by_paper_id(1), bench_.by_paper_id(2), bench_.by_paper_id(5),
+       bench_.by_paper_id(9), bench_.by_paper_id(13)});
+  for (const auto& inv : lo.invocations())
+    EXPECT_TRUE(lo_types.count(inv.function)) << inv.function;
+}
+
+TEST_F(WorkloadTest, VarianceWorkloadsSwapTheSets) {
+  util::Rng rng(4);
+  const sim::Trace hi_var = make_variance_workload(bench_, true, 50, rng);
+  // HI-Var must contain the TensorFlow function (paper id 13).
+  bool saw_ml = false;
+  for (const auto& inv : hi_var.invocations())
+    saw_ml |= inv.function == bench_.by_paper_id(13);
+  EXPECT_TRUE(saw_ml);
+}
+
+TEST_F(WorkloadTest, UniformArrivalsAreEvenlySpaced) {
+  util::Rng rng(5);
+  const sim::Trace t =
+      make_arrival_workload(bench_, ArrivalPattern::kUniform, 300, rng);
+  ASSERT_EQ(t.size(), 300U);
+  EXPECT_NEAR(t.span_s(), 360.0 - 1.2, 1e-6);
+  const double gap0 = t.at(1).arrival_s - t.at(0).arrival_s;
+  for (std::size_t i = 2; i < t.size(); ++i)
+    EXPECT_NEAR(t.at(i).arrival_s - t.at(i - 1).arrival_s, gap0, 1e-9);
+}
+
+TEST_F(WorkloadTest, PeakAlternatesHighAndLowMinutes) {
+  util::Rng rng(6);
+  const sim::Trace t =
+      make_arrival_workload(bench_, ArrivalPattern::kPeak, 300, rng);
+  ASSERT_EQ(t.size(), 300U);
+  auto count_in_minute = [&](int minute) {
+    std::size_t n = 0;
+    for (const auto& inv : t.invocations())
+      if (inv.arrival_s >= minute * 60.0 && inv.arrival_s < (minute + 1) * 60.0)
+        ++n;
+    return n;
+  };
+  EXPECT_EQ(count_in_minute(0), 80U);
+  EXPECT_EQ(count_in_minute(1), 20U);
+  EXPECT_EQ(count_in_minute(2), 80U);
+  EXPECT_EQ(count_in_minute(3), 20U);
+}
+
+TEST_F(WorkloadTest, RandomPatternHasExpectedAverageRate) {
+  util::Rng rng(7);
+  const sim::Trace t =
+      make_arrival_workload(bench_, ArrivalPattern::kRandom, 300, rng);
+  ASSERT_EQ(t.size(), 300U);
+  // Poisson at 300/360 per second: span should be around 360 s.
+  EXPECT_GT(t.span_s(), 250.0);
+  EXPECT_LT(t.span_s(), 500.0);
+}
+
+TEST_F(WorkloadTest, ArrivalPatternNames) {
+  EXPECT_EQ(to_string(ArrivalPattern::kUniform), "Uniform");
+  EXPECT_EQ(to_string(ArrivalPattern::kPeak), "Peak");
+  EXPECT_EQ(to_string(ArrivalPattern::kRandom), "Random");
+}
+
+TEST_F(WorkloadTest, LooseCapacityAdmitsEverything) {
+  util::Rng rng(8);
+  const sim::Trace trace = make_overall_workload(bench_, 120, rng);
+  const double loose = estimate_loose_capacity_mb(bench_, trace);
+  EXPECT_GT(loose, 0.0);
+  const PoolSizes sizes = paper_pool_sizes(loose);
+  EXPECT_DOUBLE_EQ(sizes.loose_mb, loose);
+  EXPECT_DOUBLE_EQ(sizes.moderate_mb, loose / 2.0);
+  EXPECT_DOUBLE_EQ(sizes.tight_mb, loose / 5.0);
+}
+
+TEST_F(WorkloadTest, ExecSamplesArePositiveAndNearMean) {
+  util::Rng rng(9);
+  const auto& fn = bench_.functions.get(bench_.by_paper_id(13));
+  double sum = 0.0;
+  constexpr int kN = 5'000;
+  for (int i = 0; i < kN; ++i) {
+    const double e = sample_exec_s(fn, rng);
+    EXPECT_GT(e, 0.0);
+    sum += e;
+  }
+  EXPECT_NEAR(sum / kN, fn.mean_exec_s, 0.15 * fn.mean_exec_s);
+}
+
+TEST_F(WorkloadTest, SimilarityWorkloadRequiresDivisibleTotal) {
+  util::Rng rng(10);
+  EXPECT_THROW((void)make_similarity_workload(bench_, true, 101, rng),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace mlcr::fstartbench

@@ -1,0 +1,132 @@
+// Whole-pipeline determinism: a (seed, configuration) pair must reproduce
+// workloads, training, and evaluation bit-for-bit. This is the guarantee
+// every bench table relies on.
+#include <gtest/gtest.h>
+
+#include "core/mlcr.hpp"
+#include "core/trainer.hpp"
+#include "fstartbench/azure_like.hpp"
+#include "fstartbench/workloads.hpp"
+#include "policies/runner.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mlcr {
+namespace {
+
+core::MlcrConfig tiny_cfg() {
+  core::MlcrConfig cfg = core::make_default_mlcr_config(/*num_slots=*/4,
+                                                        /*embed_dim=*/16);
+  cfg.dqn.network.ffn_dim = 32;
+  cfg.dqn.batch_size = 8;
+  cfg.dqn.min_replay = 16;
+  return cfg;
+}
+
+TEST(Determinism, TrainingProducesIdenticalWeightsGivenSeeds) {
+  const auto bench = fstartbench::make_benchmark();
+  const sim::StartupCostModel cost(bench.catalog,
+                                   fstartbench::default_cost_config());
+  util::Rng trace_rng(5);
+  const sim::Trace trace = fstartbench::make_overall_workload(bench, 60,
+                                                              trace_rng);
+  const core::MlcrConfig cfg = tiny_cfg();
+
+  auto train_once = [&] {
+    rl::DqnAgent agent(cfg.dqn, util::Rng(7));
+    sim::EnvConfig env_cfg;
+    env_cfg.pool_capacity_mb = 4096.0;
+    sim::ClusterEnv env(bench.functions, bench.catalog, cost, env_cfg, [] {
+      return std::make_unique<containers::LruEviction>();
+    });
+    core::TrainerConfig tc;
+    tc.episodes = 4;
+    tc.seed = 99;
+    const core::StateEncoder encoder(cfg.encoder);
+    (void)core::train_agent(agent, encoder, cfg.reward_scale_s, {&env},
+                            {&trace}, tc);
+    return agent.snapshot_weights();
+  };
+
+  const auto a = train_once();
+  const auto b = train_once();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_TRUE(a[i] == b[i]) << "weight tensor " << i << " diverged";
+}
+
+TEST(Determinism, TrainerReportsAreIdentical) {
+  const auto bench = fstartbench::make_benchmark();
+  const sim::StartupCostModel cost(bench.catalog,
+                                   fstartbench::default_cost_config());
+  util::Rng trace_rng(6);
+  const sim::Trace trace = fstartbench::make_overall_workload(bench, 50,
+                                                              trace_rng);
+  const core::MlcrConfig cfg = tiny_cfg();
+
+  auto run = [&] {
+    rl::DqnAgent agent(cfg.dqn, util::Rng(3));
+    sim::EnvConfig env_cfg;
+    env_cfg.pool_capacity_mb = 2048.0;
+    sim::ClusterEnv env(bench.functions, bench.catalog, cost, env_cfg, [] {
+      return std::make_unique<containers::LruEviction>();
+    });
+    core::TrainerConfig tc;
+    tc.episodes = 3;
+    tc.seed = 11;
+    const core::StateEncoder encoder(cfg.encoder);
+    return core::train_agent(agent, encoder, cfg.reward_scale_s, {&env},
+                             {&trace}, tc);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.episode_total_latency_s, b.episode_total_latency_s);
+  EXPECT_EQ(a.train_steps, b.train_steps);
+  EXPECT_EQ(a.validation_latency_s, b.validation_latency_s);
+  EXPECT_EQ(a.best_validation, b.best_validation);
+}
+
+TEST(Determinism, AzureWorldAndEvaluationAreReproducible) {
+  fstartbench::AzureLikeConfig cfg;
+  cfg.num_functions = 60;
+  cfg.window_s = 600.0;
+  auto run = [&] {
+    const auto w = fstartbench::make_azure_like_workload(cfg, util::Rng(21));
+    const sim::StartupCostModel cost(w.catalog);
+    return policies::run_system(policies::make_greedy_match_system(),
+                                w.functions, w.catalog, cost, 4096.0,
+                                w.trace);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_DOUBLE_EQ(a.total_latency_s, b.total_latency_s);
+  EXPECT_EQ(a.cold_starts, b.cold_starts);
+  EXPECT_EQ(a.evictions, b.evictions);
+}
+
+TEST(Determinism, ThreadPoolReplicationsAreOrderIndependent) {
+  // Replications run on a pool with split RNGs: results must not depend on
+  // scheduling order. Compare a threaded run against a serial run.
+  const auto bench = fstartbench::make_benchmark();
+  const sim::StartupCostModel cost(bench.catalog,
+                                   fstartbench::default_cost_config());
+
+  auto rep_result = [&](std::uint64_t seed) {
+    util::Rng rng(seed);
+    const sim::Trace trace = fstartbench::make_overall_workload(bench, 80,
+                                                                rng);
+    return policies::run_system(policies::make_lru_system(), bench.functions,
+                                bench.catalog, cost, 4096.0, trace)
+        .total_latency_s;
+  };
+
+  constexpr std::size_t kReps = 6;
+  std::vector<double> serial(kReps), threaded(kReps);
+  for (std::size_t i = 0; i < kReps; ++i) serial[i] = rep_result(100 + i);
+  util::ThreadPool pool(3);
+  pool.parallel_for(kReps,
+                    [&](std::size_t i) { threaded[i] = rep_result(100 + i); });
+  EXPECT_EQ(serial, threaded);
+}
+
+}  // namespace
+}  // namespace mlcr

@@ -1,0 +1,185 @@
+// Cross-module integration tests: full systems over FStartBench workloads.
+#include <gtest/gtest.h>
+
+#include "core/mlcr.hpp"
+#include "core/trainer.hpp"
+#include "fstartbench/workloads.hpp"
+#include "policies/oracle.hpp"
+#include "policies/runner.hpp"
+
+namespace mlcr {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  fstartbench::Benchmark bench_ = fstartbench::make_benchmark();
+  sim::StartupCostModel cost_{bench_.catalog,
+                              fstartbench::default_cost_config()};
+};
+
+TEST_F(EndToEndTest, AllSystemsProduceConsistentSummaries) {
+  util::Rng rng(100);
+  const sim::Trace trace = fstartbench::make_overall_workload(bench_, 150, rng);
+  const double loose = fstartbench::estimate_loose_capacity_mb(bench_, trace);
+
+  for (const auto& make :
+       {policies::make_lru_system, policies::make_faascache_system,
+        policies::make_greedy_match_system,
+        +[] { return policies::make_keepalive_system(600.0); }}) {
+    const auto spec = make();
+    const auto s = policies::run_system(spec, bench_.functions, bench_.catalog,
+                                        cost_, loose / 2.0, trace);
+    EXPECT_EQ(s.invocations, trace.size()) << spec.name;
+    EXPECT_EQ(s.cold_starts + s.warm_l1 + s.warm_l2 + s.warm_l3, trace.size())
+        << spec.name;
+    EXPECT_GT(s.total_latency_s, 0.0) << spec.name;
+    EXPECT_NEAR(s.average_latency_s,
+                s.total_latency_s / static_cast<double>(s.invocations), 1e-9)
+        << spec.name;
+    EXPECT_LE(s.peak_pool_mb, loose / 2.0 + 1e-6) << spec.name;
+  }
+}
+
+TEST_F(EndToEndTest, SameConfigBaselinesNeverUsePartialMatches) {
+  util::Rng rng(101);
+  const sim::Trace trace = fstartbench::make_overall_workload(bench_, 120, rng);
+  for (const auto& make :
+       {policies::make_lru_system, policies::make_faascache_system}) {
+    const auto spec = make();
+    const auto s = policies::run_system(spec, bench_.functions, bench_.catalog,
+                                        cost_, 1e9, trace);
+    EXPECT_EQ(s.warm_l1, 0U) << spec.name;
+    EXPECT_EQ(s.warm_l2, 0U) << spec.name;
+  }
+}
+
+TEST_F(EndToEndTest, MultiLevelReuseReducesColdStarts) {
+  util::Rng rng(102);
+  const sim::Trace trace =
+      fstartbench::make_similarity_workload(bench_, /*high=*/true, 150, rng);
+  const double loose = fstartbench::estimate_loose_capacity_mb(bench_, trace);
+  const auto lru =
+      policies::run_system(policies::make_lru_system(), bench_.functions,
+                           bench_.catalog, cost_, loose / 2.0, trace);
+  const auto greedy = policies::run_system(
+      policies::make_greedy_match_system(), bench_.functions, bench_.catalog,
+      cost_, loose / 2.0, trace);
+  EXPECT_LE(greedy.cold_starts, lru.cold_starts)
+      << "multi-level matching must not increase cold starts";
+  EXPECT_GT(greedy.warm_l1 + greedy.warm_l2, 0U);
+}
+
+TEST_F(EndToEndTest, BiggerPoolNeverIncreasesColdStartsForLru) {
+  util::Rng rng(103);
+  const sim::Trace trace = fstartbench::make_overall_workload(bench_, 150, rng);
+  const double loose = fstartbench::estimate_loose_capacity_mb(bench_, trace);
+  std::size_t prev_cold = SIZE_MAX;
+  for (const double frac : {0.2, 0.5, 1.0}) {
+    const auto s =
+        policies::run_system(policies::make_lru_system(), bench_.functions,
+                             bench_.catalog, cost_, loose * frac, trace);
+    EXPECT_LE(s.cold_starts, prev_cold) << "pool fraction " << frac;
+    prev_cold = s.cold_starts;
+  }
+}
+
+TEST_F(EndToEndTest, RunsAreDeterministic) {
+  util::Rng rng(104);
+  const sim::Trace trace = fstartbench::make_overall_workload(bench_, 100, rng);
+  auto run_once = [&] {
+    return policies::run_system(policies::make_greedy_match_system(),
+                                bench_.functions, bench_.catalog, cost_,
+                                4096.0, trace);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_DOUBLE_EQ(a.total_latency_s, b.total_latency_s);
+  EXPECT_EQ(a.cold_starts, b.cold_starts);
+  EXPECT_EQ(a.evictions, b.evictions);
+}
+
+TEST_F(EndToEndTest, TrainedMlcrIsCompetitiveOnBenchmarkFunctions) {
+  // A compact workload where multi-level reuse is required to win: the
+  // analytics functions F6/F7/F8 rotate, so no image ever repeats and
+  // same-config reuse gets nothing, while their shared Debian+Python stack
+  // offers an L2 match every round.
+  std::vector<sim::Invocation> invs;
+  double t = 0.0;
+  const auto f4 = bench_.by_paper_id(4);  // alpine/python/flask (repeats)
+  const sim::FunctionTypeId analytics[3] = {
+      bench_.by_paper_id(6), bench_.by_paper_id(7), bench_.by_paper_id(8)};
+  for (int round = 0; round < 12; ++round) {
+    sim::Invocation i1;
+    i1.function = f4;
+    i1.arrival_s = t;
+    i1.exec_s = 0.3;
+    invs.push_back(i1);
+    sim::Invocation i2;
+    i2.function = analytics[round % 3];
+    i2.arrival_s = t + 30.0;
+    i2.exec_s = 0.5;
+    invs.push_back(i2);
+    t += 60.0;
+  }
+  const sim::Trace trace{std::move(invs)};
+
+  // A 450 MB pool fits F4's container plus ONE analytics container, so
+  // same-config reuse can never keep all three analytics images warm,
+  // while multi-level reuse simply repacks the resident one.
+  constexpr double kPoolMb = 450.0;
+
+  core::MlcrConfig cfg = core::make_default_mlcr_config(/*num_slots=*/6,
+                                                        /*embed_dim=*/16);
+  cfg.dqn.network.ffn_dim = 32;
+  cfg.dqn.batch_size = 8;
+  cfg.dqn.min_replay = 64;
+  auto agent = std::make_shared<rl::DqnAgent>(cfg.dqn, util::Rng(9));
+  const core::StateEncoder encoder(cfg.encoder);
+
+  sim::EnvConfig env_cfg;
+  env_cfg.pool_capacity_mb = kPoolMb;
+  sim::ClusterEnv env(bench_.functions, bench_.catalog, cost_, env_cfg,
+                      [] { return std::make_unique<containers::LruEviction>(); });
+  core::TrainerConfig tc;
+  tc.episodes = 20;
+  tc.train_every = 1;
+  (void)core::train_agent(*agent, encoder, cfg.reward_scale_s, {&env}, {&trace},
+                          tc);
+
+  const auto mlcr = policies::run_system(
+      core::make_mlcr_system(agent, cfg.encoder), bench_.functions,
+      bench_.catalog, cost_, kPoolMb, trace);
+  const auto lru =
+      policies::run_system(policies::make_lru_system(), bench_.functions,
+                           bench_.catalog, cost_, kPoolMb, trace);
+  EXPECT_GT(mlcr.warm_l1 + mlcr.warm_l2, 0U);
+  EXPECT_LT(mlcr.total_latency_s, lru.total_latency_s)
+      << "multi-level DRL reuse must beat same-config reuse here";
+}
+
+TEST_F(EndToEndTest, GreedyMatchesOracleOnEasyInstance) {
+  // When every invocation has an obvious best choice, greedy is optimal.
+  std::vector<sim::Invocation> invs;
+  const auto f4 = bench_.by_paper_id(4);
+  for (int i = 0; i < 5; ++i) {
+    sim::Invocation inv;
+    inv.function = f4;
+    inv.arrival_s = i * 50.0;
+    inv.exec_s = 0.3;
+    invs.push_back(inv);
+  }
+  const sim::Trace trace{std::move(invs)};
+
+  sim::EnvConfig cfg;
+  cfg.pool_capacity_mb = 4096.0;
+  const auto oracle = policies::exhaustive_best_plan(
+      bench_.functions, bench_.catalog, cost_, cfg,
+      [] { return std::make_unique<containers::LruEviction>(); }, trace);
+  const auto greedy = policies::run_system(
+      policies::make_greedy_match_system(), bench_.functions, bench_.catalog,
+      cost_, 4096.0, trace);
+  EXPECT_NEAR(greedy.total_latency_s, oracle.total_latency_s, 1e-9);
+}
+
+}  // namespace
+}  // namespace mlcr

@@ -1,0 +1,110 @@
+#include "policies/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "containers/matching.hpp"
+#include "policies/runner.hpp"
+#include "testing/fixtures.hpp"
+
+namespace mlcr::policies {
+namespace {
+
+using containers::MatchLevel;
+using mlcr::testing::TinyWorld;
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  TinyWorld world_;
+};
+
+TEST_F(BaselinesTest, SameConfigOnlyReusesFullMatch) {
+  auto env = world_.make_env();
+  // A py-flask container becomes warm; then a py-numpy (L2 match only)
+  // invocation arrives: SameConfig must cold-start it.
+  const sim::Trace trace =
+      TinyWorld::make_trace({TinyWorld::inv(world_.fn_py_flask, 0.0, 0.5),
+                             TinyWorld::inv(world_.fn_py_numpy, 100.0),
+                             TinyWorld::inv(world_.fn_py_flask, 200.0)});
+  SameConfigScheduler sched("LRU");
+  const EpisodeSummary s = run_episode(env, sched, trace);
+  EXPECT_EQ(s.cold_starts, 2U);
+  EXPECT_EQ(s.warm_l3, 1U);
+  EXPECT_EQ(s.warm_l1 + s.warm_l2, 0U);
+}
+
+TEST_F(BaselinesTest, GreedyMatchUsesPartialMatches) {
+  auto env = world_.make_env();
+  const sim::Trace trace =
+      TinyWorld::make_trace({TinyWorld::inv(world_.fn_py_flask, 0.0, 0.5),
+                             TinyWorld::inv(world_.fn_py_numpy, 100.0)});
+  GreedyMatchScheduler sched;
+  const EpisodeSummary s = run_episode(env, sched, trace);
+  EXPECT_EQ(s.cold_starts, 1U);
+  EXPECT_EQ(s.warm_l2, 1U);
+}
+
+TEST_F(BaselinesTest, GreedyMatchPrefersHigherLevel) {
+  auto env = world_.make_env();
+  // Warm containers: one L2 match (py-flask) and one L3 match (py-numpy)
+  // for an incoming py-numpy invocation. Greedy must pick the L3 one.
+  const sim::Trace trace =
+      TinyWorld::make_trace({TinyWorld::inv(world_.fn_py_flask, 0.0, 0.5),
+                             TinyWorld::inv(world_.fn_py_numpy, 50.0, 0.5),
+                             TinyWorld::inv(world_.fn_py_numpy, 200.0)});
+  GreedyMatchScheduler sched;
+  const EpisodeSummary s = run_episode(env, sched, trace);
+  EXPECT_EQ(s.warm_l3, 1U) << "third invocation should take the L3 container";
+  EXPECT_EQ(s.warm_l2, 1U) << "second invocation repacks the first container";
+}
+
+TEST_F(BaselinesTest, GreedyMatchColdStartsWhenNothingMatches) {
+  auto env = world_.make_env();
+  const sim::Trace trace =
+      TinyWorld::make_trace({TinyWorld::inv(world_.fn_py_flask, 0.0, 0.5),
+                             TinyWorld::inv(world_.fn_other_os, 100.0)});
+  GreedyMatchScheduler sched;
+  const EpisodeSummary s = run_episode(env, sched, trace);
+  EXPECT_EQ(s.cold_starts, 2U);
+}
+
+TEST_F(BaselinesTest, RandomSchedulerOnlyPicksValidActions) {
+  auto env = world_.make_env();
+  std::vector<sim::Invocation> invs;
+  for (int i = 0; i < 40; ++i)
+    invs.push_back(TinyWorld::inv(
+        i % 2 ? world_.fn_py_flask : world_.fn_js, i * 10.0, 0.5));
+  const sim::Trace trace{std::move(invs)};
+  RandomScheduler sched(123);
+  const EpisodeSummary s = run_episode(env, sched, trace);
+  // Every start must be either cold or a reusable warm start; the episode
+  // completing without CheckError plus consistent totals verifies this.
+  EXPECT_EQ(s.cold_starts + s.warm_l1 + s.warm_l2 + s.warm_l3, 40U);
+}
+
+TEST_F(BaselinesTest, SystemSpecsCarryExpectedPolicies) {
+  EXPECT_EQ(make_lru_system().name, "LRU");
+  EXPECT_FALSE(make_lru_system().keep_alive_ttl_s.has_value());
+  EXPECT_EQ(make_faascache_system().name, "FaasCache");
+  const auto keepalive = make_keepalive_system(300.0);
+  ASSERT_TRUE(keepalive.keep_alive_ttl_s.has_value());
+  EXPECT_DOUBLE_EQ(*keepalive.keep_alive_ttl_s, 300.0);
+  EXPECT_TRUE(keepalive.eviction_factory()->reject_when_full());
+  EXPECT_EQ(make_greedy_match_system().name, "Greedy-Match");
+}
+
+TEST_F(BaselinesTest, KeepAliveSystemRejectsWhenFull) {
+  const auto spec = make_keepalive_system();
+  const auto cost = world_.cost_model();
+  // Pool fits one container; the second finished container is rejected.
+  const sim::Trace trace =
+      TinyWorld::make_trace({TinyWorld::inv(world_.fn_py_flask, 0.0, 0.5),
+                             TinyWorld::inv(world_.fn_js, 1.0, 0.5),
+                             TinyWorld::inv(world_.fn_js, 100.0)});
+  const EpisodeSummary s = run_system(spec, world_.functions, world_.catalog,
+                                      cost, 200.0, trace);
+  EXPECT_GE(s.rejections, 1U);
+  EXPECT_EQ(s.evictions, 0U);
+}
+
+}  // namespace
+}  // namespace mlcr::policies

@@ -1,0 +1,129 @@
+#include "policies/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "policies/runner.hpp"
+#include "testing/fixtures.hpp"
+#include "util/check.hpp"
+
+namespace mlcr::policies {
+namespace {
+
+using mlcr::testing::TinyWorld;
+
+class OracleTest : public ::testing::Test {
+ protected:
+  TinyWorld world_;
+
+  sim::EnvConfig env_config(double pool_mb = 4096.0) const {
+    sim::EnvConfig cfg;
+    cfg.pool_capacity_mb = pool_mb;
+    return cfg;
+  }
+
+  static sim::EvictionPolicyFactory lru() {
+    return [] { return std::make_unique<containers::LruEviction>(); };
+  }
+};
+
+TEST_F(OracleTest, OptimalIsNoWorseThanAnyBaseline) {
+  const sim::Trace trace =
+      TinyWorld::make_trace({TinyWorld::inv(world_.fn_py_flask, 0.0, 0.5),
+                             TinyWorld::inv(world_.fn_py_numpy, 50.0, 0.5),
+                             TinyWorld::inv(world_.fn_js, 100.0, 0.5),
+                             TinyWorld::inv(world_.fn_py_flask, 150.0, 0.5),
+                             TinyWorld::inv(world_.fn_py_numpy, 200.0, 0.5)});
+  const auto oracle = exhaustive_best_plan(
+      world_.functions, world_.catalog, world_.cost_model(), env_config(),
+      lru(), trace);
+
+  for (const auto& make :
+       {make_lru_system, make_faascache_system, make_greedy_match_system}) {
+    const auto spec = make();
+    const auto summary =
+        run_system(spec, world_.functions, world_.catalog,
+                   world_.cost_model(), 4096.0, trace);
+    EXPECT_LE(oracle.total_latency_s, summary.total_latency_s + 1e-9)
+        << "oracle beaten by " << spec.name;
+  }
+}
+
+TEST_F(OracleTest, PlanReplayReproducesOracleCost) {
+  const sim::Trace trace =
+      TinyWorld::make_trace({TinyWorld::inv(world_.fn_py_flask, 0.0, 0.5),
+                             TinyWorld::inv(world_.fn_py_numpy, 50.0, 0.5),
+                             TinyWorld::inv(world_.fn_py_flask, 100.0, 0.5)});
+  const auto oracle = exhaustive_best_plan(
+      world_.functions, world_.catalog, world_.cost_model(), env_config(),
+      lru(), trace);
+
+  auto env = world_.make_env();
+  PlanScheduler plan(oracle.actions);
+  const auto summary = run_episode(env, plan, trace);
+  EXPECT_NEAR(summary.total_latency_s, oracle.total_latency_s, 1e-9);
+}
+
+TEST_F(OracleTest, AllColdWhenNothingCanMatch) {
+  const sim::Trace trace =
+      TinyWorld::make_trace({TinyWorld::inv(world_.fn_py_flask, 0.0, 1000.0),
+                             TinyWorld::inv(world_.fn_py_flask, 1.0, 1000.0)});
+  // Both overlap, so the second cannot reuse; optimal = both cold.
+  const auto oracle = exhaustive_best_plan(
+      world_.functions, world_.catalog, world_.cost_model(), env_config(),
+      lru(), trace);
+  const auto& fn = world_.functions.get(world_.fn_py_flask);
+  const double cold = world_.cost_model().cold_start(fn).total();
+  EXPECT_NEAR(oracle.total_latency_s, 2.0 * cold, 1e-9);
+}
+
+TEST_F(OracleTest, PrefersWarmStartWhenAvailable) {
+  const sim::Trace trace =
+      TinyWorld::make_trace({TinyWorld::inv(world_.fn_py_flask, 0.0, 0.5),
+                             TinyWorld::inv(world_.fn_py_flask, 100.0, 0.5)});
+  const auto oracle = exhaustive_best_plan(
+      world_.functions, world_.catalog, world_.cost_model(), env_config(),
+      lru(), trace);
+  ASSERT_EQ(oracle.actions.size(), 2U);
+  EXPECT_EQ(oracle.actions[0].kind, sim::Action::Kind::kColdStart);
+  EXPECT_EQ(oracle.actions[1].kind, sim::Action::Kind::kReuse);
+}
+
+TEST_F(OracleTest, GreedyCanBeSuboptimal) {
+  // Paper Fig. 2 in miniature: greedy repacks the only warm container for a
+  // partial match, destroying the full match a later invocation needed.
+  const sim::Trace trace =
+      TinyWorld::make_trace({TinyWorld::inv(world_.fn_py_numpy, 0.0, 0.5),
+                             TinyWorld::inv(world_.fn_py_flask, 50.0, 200.0),
+                             TinyWorld::inv(world_.fn_py_numpy, 100.0, 0.5)});
+  const auto oracle = exhaustive_best_plan(
+      world_.functions, world_.catalog, world_.cost_model(), env_config(),
+      lru(), trace);
+  const auto greedy =
+      run_system(make_greedy_match_system(), world_.functions, world_.catalog,
+                 world_.cost_model(), 4096.0, trace);
+  EXPECT_LT(oracle.total_latency_s, greedy.total_latency_s - 1e-9)
+      << "this instance is constructed so greedy is strictly suboptimal";
+}
+
+TEST_F(OracleTest, RefusesOversizedTraces) {
+  std::vector<sim::Invocation> invs;
+  for (int i = 0; i < 12; ++i)
+    invs.push_back(TinyWorld::inv(world_.fn_py_flask, i * 10.0, 0.5));
+  const sim::Trace trace{std::move(invs)};
+  EXPECT_THROW((void)exhaustive_best_plan(world_.functions, world_.catalog,
+                                          world_.cost_model(), env_config(),
+                                          lru(), trace, 10),
+               util::CheckError);
+}
+
+TEST_F(OracleTest, PlanSchedulerThrowsWhenExhausted) {
+  PlanScheduler plan({sim::Action::cold()});
+  auto env = world_.make_env();
+  const sim::Trace trace =
+      TinyWorld::make_trace({TinyWorld::inv(world_.fn_py_flask, 0.0, 0.5),
+                             TinyWorld::inv(world_.fn_py_flask, 1.0, 0.5)});
+  EXPECT_THROW((void)run_episode(env, plan, trace), util::CheckError);
+}
+
+}  // namespace
+}  // namespace mlcr::policies

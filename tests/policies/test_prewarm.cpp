@@ -1,0 +1,109 @@
+#include "policies/prewarm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "policies/runner.hpp"
+#include "testing/fixtures.hpp"
+
+namespace mlcr::policies {
+namespace {
+
+using mlcr::testing::TinyWorld;
+
+TEST(InterArrivalEstimator, NeedsTwoObservations) {
+  InterArrivalEstimator est;
+  EXPECT_TRUE(std::isinf(est.predicted_next_arrival(0, 10.0)));
+  est.observe(0, 1.0);
+  EXPECT_TRUE(std::isinf(est.predicted_next_arrival(0, 10.0)));
+  est.observe(0, 5.0);
+  EXPECT_DOUBLE_EQ(est.predicted_next_arrival(0, 5.0), 9.0);  // gap 4
+}
+
+TEST(InterArrivalEstimator, EmaSmoothsGaps) {
+  InterArrivalEstimator est(0.5);
+  est.observe(0, 0.0);
+  est.observe(0, 10.0);  // ema = 10
+  est.observe(0, 14.0);  // ema = 0.5*10 + 0.5*4 = 7
+  EXPECT_DOUBLE_EQ(est.predicted_next_arrival(0, 14.0), 21.0);
+}
+
+TEST(InterArrivalEstimator, ClampsOverduePredictionsToNow) {
+  InterArrivalEstimator est;
+  est.observe(0, 0.0);
+  est.observe(0, 2.0);
+  // Predicted next = 4.0, but it is already t=50: imminent.
+  EXPECT_DOUBLE_EQ(est.predicted_next_arrival(0, 50.0), 50.0);
+}
+
+TEST(PredictiveEviction, EvictsFunctionNeededFurthestInFuture) {
+  using containers::Container;
+  using containers::ContainerState;
+  auto policy = std::make_unique<PredictiveEviction>();
+  PredictiveEviction* raw = policy.get();
+  containers::WarmPool pool(250.0, std::move(policy));
+
+  auto admit = [&](containers::ContainerId id, containers::FunctionTypeId fn,
+                   double arrival, double idle_at) {
+    Container c;
+    c.id = id;
+    c.state = ContainerState::kIdle;
+    c.memory_mb = 100.0;
+    c.last_function = fn;
+    c.last_used_at = arrival;
+    c.last_idle_at = idle_at;
+    return pool.admit(std::move(c), idle_at);
+  };
+
+  // Function 0 arrives every ~2 s (hot); function 1 every ~100 s (cold).
+  (void)admit(1, 0, 0.0, 0.5);
+  (void)pool.take(1, 1.0);
+  (void)admit(1, 0, 2.0, 2.5);
+  (void)admit(2, 1, 0.0, 3.0);
+  (void)pool.take(2, 50.0);
+  (void)admit(2, 1, 100.0, 103.0);
+  EXPECT_EQ(raw->estimator().tracked_functions(), 2U);
+
+  // Admitting a third container forces an eviction: the rarely-used
+  // function 1's container must go, even though function 0's is older.
+  (void)admit(3, 0, 104.0, 104.5);
+  EXPECT_EQ(pool.find(2), nullptr);
+  EXPECT_NE(pool.find(1), nullptr);
+}
+
+TEST(Prewarm, SystemBeatsPlainLruOnSkewedPeriodicWorkload) {
+  TinyWorld world;
+  // Three function types; the pool fits two containers (400 MB). A is hot
+  // (every 10 s, pausing over the eviction moment), B is slow-periodic
+  // (every 30 s), C runs once. When C's container is admitted the pool must
+  // evict A or B: LRU evicts A (idle longest) although A resumes at t=50;
+  // the predictive policy knows A's 10-second cadence and evicts B instead.
+  std::vector<sim::Invocation> invs;
+  for (const double t : {0.0, 10.0, 20.0, 50.0, 60.0, 70.0})
+    invs.push_back(TinyWorld::inv(world.fn_py_flask, t, 0.2));   // A
+  for (const double t : {12.0, 42.0, 72.0})
+    invs.push_back(TinyWorld::inv(world.fn_js, t, 0.2));         // B
+  invs.push_back(TinyWorld::inv(world.fn_py_numpy, 35.0, 0.2));  // C
+  const sim::Trace trace{std::move(invs)};
+
+  const double pool_mb = 400.0;  // two TinyWorld containers
+  const auto prewarm =
+      run_system(make_prewarm_system(), world.functions, world.catalog,
+                 world.cost_model(), pool_mb, trace);
+  const auto lru = run_system(make_lru_system(), world.functions,
+                              world.catalog, world.cost_model(), pool_mb,
+                              trace);
+  EXPECT_LE(prewarm.cold_starts, lru.cold_starts);
+  EXPECT_LT(prewarm.total_latency_s, lru.total_latency_s);
+}
+
+TEST(Prewarm, SystemSpecShape) {
+  const auto spec = make_prewarm_system();
+  EXPECT_EQ(spec.name, "Prewarm");
+  EXPECT_FALSE(spec.keep_alive_ttl_s.has_value());
+  EXPECT_FALSE(spec.eviction_factory()->reject_when_full());
+}
+
+}  // namespace
+}  // namespace mlcr::policies

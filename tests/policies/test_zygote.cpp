@@ -1,0 +1,157 @@
+#include "policies/zygote.hpp"
+
+#include <gtest/gtest.h>
+
+#include "policies/runner.hpp"
+#include "util/check.hpp"
+#include "testing/fixtures.hpp"
+
+namespace mlcr::policies {
+namespace {
+
+using mlcr::testing::TinyWorld;
+
+sim::ClusterEnv make_union_env(const TinyWorld& world,
+                               double pool_mb = 4096.0) {
+  sim::EnvConfig cfg;
+  cfg.pool_capacity_mb = pool_mb;
+  cfg.reuse_semantics = sim::ReuseSemantics::kUnion;
+  return sim::ClusterEnv(
+      world.functions, world.catalog, world.cost_model(), cfg,
+      [] { return std::make_unique<containers::LruEviction>(); });
+}
+
+TEST(Zygote, ContainerGrowsToServeBothFunctions) {
+  TinyWorld world;
+  auto env = make_union_env(world);
+  // flask -> numpy -> flask: the single container absorbs both runtimes and
+  // the third invocation is a free full warm start.
+  const sim::Trace trace =
+      TinyWorld::make_trace({TinyWorld::inv(world.fn_py_flask, 0.0, 0.5),
+                             TinyWorld::inv(world.fn_py_numpy, 100.0, 0.5),
+                             TinyWorld::inv(world.fn_py_flask, 200.0, 0.5)});
+  ZygoteScheduler sched;
+  const auto s = run_episode(env, sched, trace);
+  EXPECT_EQ(s.cold_starts, 1U);
+  EXPECT_EQ(s.warm_l2, 1U) << "numpy was missing on first reuse";
+  EXPECT_EQ(s.warm_l3, 1U) << "flask still present after absorbing numpy";
+}
+
+TEST(Zygote, UnionReuseKeepsOldPackages) {
+  TinyWorld world;
+  auto env = make_union_env(world);
+  const sim::Trace trace =
+      TinyWorld::make_trace({TinyWorld::inv(world.fn_py_flask, 0.0, 0.5),
+                             TinyWorld::inv(world.fn_py_numpy, 100.0, 0.5),
+                             TinyWorld::inv(world.fn_py_numpy, 200.0, 0.5)});
+  env.reset(trace);
+  (void)env.step(sim::Action::cold());
+  const auto idle = env.pool().idle_containers();
+  ASSERT_EQ(idle.size(), 1U);
+  const containers::ContainerId id = idle[0]->id;
+  (void)env.step(sim::Action::reuse(id));
+  (void)env.step(sim::Action::reuse(id));
+  // After the union reuses the container holds flask AND numpy.
+  const containers::Container* c = env.pool().find(id);
+  ASSERT_NE(c, nullptr);
+  const auto rt = c->image.level(containers::Level::kRuntime);
+  EXPECT_EQ(rt.size(), 2U);
+}
+
+TEST(Zygote, FullContainmentCostsOnlyInit) {
+  TinyWorld world;
+  const auto cost = world.cost_model();
+  const auto& flask = world.functions.get(world.fn_py_flask);
+  // A container that already holds flask + numpy.
+  containers::ImageSpec zygote({world.os_a}, {world.lang_py},
+                               {world.rt_flask, world.rt_numpy});
+  const auto b = cost.union_warm_start(flask, zygote);
+  EXPECT_DOUBLE_EQ(b.pull_s, 0.0);
+  EXPECT_DOUBLE_EQ(b.install_s, 0.0);
+  EXPECT_DOUBLE_EQ(b.runtime_init_s, 0.0);
+  EXPECT_GT(b.function_init_s, 0.0);
+}
+
+TEST(Zygote, UnionCostPaysOnlyMissingPackages) {
+  TinyWorld world;
+  const auto cost = world.cost_model();
+  const auto& numpy_fn = world.functions.get(world.fn_py_numpy);
+  const containers::ImageSpec flask_only({world.os_a}, {world.lang_py},
+                                         {world.rt_flask});
+  const auto b = cost.union_warm_start(numpy_fn, flask_only);
+  const auto& cfg = cost.config();
+  // Only numpy (30 MB, 1 package) is missing.
+  EXPECT_DOUBLE_EQ(b.pull_s, 30.0 / cfg.pull_bandwidth_mb_s + cfg.pull_rtt_s);
+  EXPECT_DOUBLE_EQ(b.install_s, 0.5);
+  EXPECT_DOUBLE_EQ(b.runtime_init_s, numpy_fn.runtime_init_s);
+}
+
+TEST(Zygote, UnionRequiresMatchingOs) {
+  TinyWorld world;
+  const auto cost = world.cost_model();
+  const auto& other = world.functions.get(world.fn_other_os);
+  const containers::ImageSpec os_a_img({world.os_a}, {world.lang_py},
+                                       {world.rt_flask});
+  EXPECT_THROW((void)cost.union_warm_start(other, os_a_img),
+               util::CheckError);
+}
+
+TEST(Zygote, SchedulerColdStartsAcrossOsBoundaries) {
+  TinyWorld world;
+  auto env = make_union_env(world);
+  const sim::Trace trace =
+      TinyWorld::make_trace({TinyWorld::inv(world.fn_py_flask, 0.0, 0.5),
+                             TinyWorld::inv(world.fn_other_os, 100.0, 0.5)});
+  ZygoteScheduler sched;
+  const auto s = run_episode(env, sched, trace);
+  EXPECT_EQ(s.cold_starts, 2U);
+}
+
+TEST(Zygote, GrowingFootprintPressuresTheWarmPool) {
+  TinyWorld world;
+  // Tight pool: the growing zygote footprint must stay within capacity.
+  auto env = make_union_env(world, 230.0);
+  std::vector<sim::Invocation> invs;
+  double t = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    invs.push_back(TinyWorld::inv(
+        i % 2 ? world.fn_py_flask : world.fn_py_numpy, t, 0.3));
+    t += 40.0;
+  }
+  const sim::Trace trace{std::move(invs)};
+  ZygoteScheduler sched;
+  const auto s = run_episode(env, sched, trace);
+  EXPECT_LE(s.peak_pool_mb, 230.0 + 1e-9);
+  EXPECT_EQ(s.invocations, 12U);
+}
+
+TEST(Zygote, SystemSpecUsesUnionSemantics) {
+  const auto spec = make_zygote_system();
+  EXPECT_EQ(spec.name, "Zygote");
+  EXPECT_EQ(spec.reuse_semantics, sim::ReuseSemantics::kUnion);
+}
+
+TEST(Zygote, BeatsSameConfigOnNonRepeatingFamilies) {
+  TinyWorld world;
+  // Alternating flask/numpy with a huge pool: same-config reuse warms only
+  // same-type repeats; the zygote serves both types from one container.
+  std::vector<sim::Invocation> invs;
+  double t = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    invs.push_back(TinyWorld::inv(
+        i % 2 ? world.fn_py_flask : world.fn_py_numpy, t, 0.3));
+    t += 50.0;
+  }
+  const sim::Trace trace{std::move(invs)};
+  const auto zygote = run_system(make_zygote_system(), world.functions,
+                                 world.catalog, world.cost_model(), 4096.0,
+                                 trace);
+  const auto lru = run_system(make_lru_system(), world.functions,
+                              world.catalog, world.cost_model(), 4096.0,
+                              trace);
+  EXPECT_LT(zygote.total_latency_s, lru.total_latency_s);
+  EXPECT_LT(zygote.cold_starts, lru.cold_starts);
+}
+
+}  // namespace
+}  // namespace mlcr::policies

@@ -1,0 +1,70 @@
+#include "rl/replay_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace mlcr::rl {
+namespace {
+
+Transition make_transition(float reward) {
+  Transition t;
+  t.state = nn::Tensor(1, 1, reward);
+  t.reward = reward;
+  t.next_state = nn::Tensor(1, 1);
+  t.next_mask = {1};
+  return t;
+}
+
+TEST(ReplayBuffer, GrowsUntilCapacity) {
+  ReplayBuffer buf(3);
+  EXPECT_TRUE(buf.empty());
+  buf.push(make_transition(1.0F));
+  buf.push(make_transition(2.0F));
+  EXPECT_EQ(buf.size(), 2U);
+  buf.push(make_transition(3.0F));
+  buf.push(make_transition(4.0F));
+  EXPECT_EQ(buf.size(), 3U) << "capacity bound";
+}
+
+TEST(ReplayBuffer, RingOverwritesOldest) {
+  ReplayBuffer buf(2);
+  buf.push(make_transition(1.0F));
+  buf.push(make_transition(2.0F));
+  buf.push(make_transition(3.0F));  // overwrites reward=1
+  util::Rng rng(1);
+  bool saw_one = false;
+  for (int i = 0; i < 200; ++i)
+    for (const Transition* t : buf.sample(2, rng))
+      if (t->reward == 1.0F) saw_one = true;
+  EXPECT_FALSE(saw_one);
+}
+
+TEST(ReplayBuffer, SampleEmptyThrows) {
+  ReplayBuffer buf(4);
+  util::Rng rng(1);
+  EXPECT_THROW((void)buf.sample(1, rng), util::CheckError);
+}
+
+TEST(ReplayBuffer, SampleReturnsRequestedCount) {
+  ReplayBuffer buf(8);
+  buf.push(make_transition(1.0F));
+  util::Rng rng(1);
+  EXPECT_EQ(buf.sample(5, rng).size(), 5U);  // with replacement
+}
+
+TEST(ReplayBuffer, ClearEmpties) {
+  ReplayBuffer buf(4);
+  buf.push(make_transition(1.0F));
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+  buf.push(make_transition(2.0F));
+  EXPECT_EQ(buf.size(), 1U);
+}
+
+TEST(ReplayBuffer, ZeroCapacityRejected) {
+  EXPECT_THROW(ReplayBuffer(0), util::CheckError);
+}
+
+}  // namespace
+}  // namespace mlcr::rl

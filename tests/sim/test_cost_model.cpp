@@ -1,0 +1,115 @@
+#include "sim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.hpp"
+#include "util/check.hpp"
+
+namespace mlcr::sim {
+namespace {
+
+using containers::MatchLevel;
+using mlcr::testing::TinyWorld;
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  TinyWorld world_;
+  StartupCostModel model_ = world_.cost_model();
+};
+
+TEST_F(CostModelTest, ColdStartIncludesAllComponents) {
+  const auto& fn = world_.functions.get(world_.fn_py_flask);
+  const StartupBreakdown b = model_.cold_start(fn);
+  EXPECT_GT(b.sandbox_s, 0.0);
+  EXPECT_GT(b.pull_s, 0.0);
+  EXPECT_GT(b.install_s, 0.0);
+  EXPECT_DOUBLE_EQ(b.runtime_init_s, fn.runtime_init_s);
+  EXPECT_DOUBLE_EQ(b.function_init_s, fn.function_init_s);
+  EXPECT_DOUBLE_EQ(b.cleaner_s, 0.0);
+  EXPECT_DOUBLE_EQ(
+      b.total(), b.sandbox_s + b.pull_s + b.install_s + b.runtime_init_s +
+                     b.function_init_s);
+}
+
+TEST_F(CostModelTest, ColdPullMatchesCatalogSizes) {
+  const auto& fn = world_.functions.get(world_.fn_py_flask);
+  const StartupBreakdown b = model_.cold_start(fn);
+  // os-a (80) + python (50) + flask (10) = 140 MB over 3 packages.
+  const auto& cfg = model_.config();
+  EXPECT_DOUBLE_EQ(b.pull_s,
+                   140.0 / cfg.pull_bandwidth_mb_s + 3.0 * cfg.pull_rtt_s);
+  EXPECT_DOUBLE_EQ(b.install_s, 0.4 + 1.0 + 0.3);
+}
+
+TEST_F(CostModelTest, WarmStartCostDecreasesWithMatchLevel) {
+  const auto& fn = world_.functions.get(world_.fn_py_numpy);
+  const double cold = model_.cold_start(fn).total();
+  const double l1 = model_.warm_start(fn, MatchLevel::kL1).total();
+  const double l2 = model_.warm_start(fn, MatchLevel::kL2).total();
+  const double l3 = model_.warm_start(fn, MatchLevel::kL3).total();
+  EXPECT_GT(cold, l1);
+  EXPECT_GT(l1, l2);
+  EXPECT_GT(l2, l3);
+}
+
+TEST_F(CostModelTest, FullMatchPaysOnlyInitAndCleaner) {
+  const auto& fn = world_.functions.get(world_.fn_py_flask);
+  const StartupBreakdown b = model_.warm_start(fn, MatchLevel::kL3);
+  EXPECT_DOUBLE_EQ(b.sandbox_s, 0.0);
+  EXPECT_DOUBLE_EQ(b.pull_s, 0.0);
+  EXPECT_DOUBLE_EQ(b.install_s, 0.0);
+  EXPECT_DOUBLE_EQ(b.runtime_init_s, 0.0);
+  EXPECT_DOUBLE_EQ(b.function_init_s, fn.function_init_s);
+  EXPECT_GT(b.cleaner_s, 0.0);
+}
+
+TEST_F(CostModelTest, L2ReprovisionsRuntimeOnly) {
+  const auto& fn = world_.functions.get(world_.fn_py_numpy);
+  const StartupBreakdown b = model_.warm_start(fn, MatchLevel::kL2);
+  const auto& cfg = model_.config();
+  // numpy: 30 MB, 1 package.
+  EXPECT_DOUBLE_EQ(b.pull_s,
+                   30.0 / cfg.pull_bandwidth_mb_s + cfg.pull_rtt_s);
+  EXPECT_DOUBLE_EQ(b.install_s, 0.5);
+  EXPECT_DOUBLE_EQ(b.runtime_init_s, fn.runtime_init_s);
+}
+
+TEST_F(CostModelTest, L1ReprovisionsLanguageAndRuntime) {
+  const auto& fn = world_.functions.get(world_.fn_py_numpy);
+  const StartupBreakdown b = model_.warm_start(fn, MatchLevel::kL1);
+  const auto& cfg = model_.config();
+  // python (50) + numpy (30) over 2 packages.
+  EXPECT_DOUBLE_EQ(b.pull_s,
+                   80.0 / cfg.pull_bandwidth_mb_s + 2.0 * cfg.pull_rtt_s);
+  EXPECT_DOUBLE_EQ(b.install_s, 1.0 + 0.5);
+}
+
+TEST_F(CostModelTest, WarmStartRejectsNoMatch) {
+  const auto& fn = world_.functions.get(world_.fn_py_flask);
+  EXPECT_THROW((void)model_.warm_start(fn, MatchLevel::kNoMatch),
+               util::CheckError);
+}
+
+TEST_F(CostModelTest, StartCostDegradesToColdOnNoMatch) {
+  const auto& fn = world_.functions.get(world_.fn_py_flask);
+  EXPECT_DOUBLE_EQ(model_.start_cost(fn, MatchLevel::kNoMatch).total(),
+                   model_.cold_start(fn).total());
+  EXPECT_DOUBLE_EQ(model_.start_cost(fn, MatchLevel::kL2).total(),
+                   model_.warm_start(fn, MatchLevel::kL2).total());
+}
+
+TEST_F(CostModelTest, PullTimeScalesWithSizeAndCount) {
+  EXPECT_DOUBLE_EQ(model_.pull_time_s(0.0, 0), 0.0);
+  const double one = model_.pull_time_s(30.0, 1);
+  const double two = model_.pull_time_s(60.0, 2);
+  EXPECT_NEAR(two, 2.0 * one, 1e-12);
+}
+
+TEST_F(CostModelTest, ConfigValidation) {
+  CostModelConfig bad;
+  bad.pull_bandwidth_mb_s = 0.0;
+  EXPECT_THROW(StartupCostModel(world_.catalog, bad), util::CheckError);
+}
+
+}  // namespace
+}  // namespace mlcr::sim

@@ -1,0 +1,223 @@
+#include "sim/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include "containers/matching.hpp"
+#include "testing/fixtures.hpp"
+#include "util/check.hpp"
+
+namespace mlcr::sim {
+namespace {
+
+using containers::MatchLevel;
+using mlcr::testing::TinyWorld;
+
+class EnvTest : public ::testing::Test {
+ protected:
+  TinyWorld world_;
+};
+
+TEST_F(EnvTest, ColdStartCreatesContainerAndRecordsBreakdown) {
+  auto env = world_.make_env();
+  const Trace trace = TinyWorld::make_trace(
+      {TinyWorld::inv(world_.fn_py_flask, 0.0)});
+  env.reset(trace);
+  ASSERT_FALSE(env.done());
+  const StepResult r = env.step(Action::cold());
+  EXPECT_TRUE(r.cold);
+  EXPECT_EQ(r.match, MatchLevel::kNoMatch);
+  const auto& fn = world_.functions.get(world_.fn_py_flask);
+  EXPECT_DOUBLE_EQ(r.latency_s, world_.cost_model().cold_start(fn).total());
+  EXPECT_TRUE(env.done());
+  EXPECT_EQ(env.metrics().cold_start_count(), 1U);
+}
+
+TEST_F(EnvTest, ContainerReturnsToPoolAfterExecution) {
+  auto env = world_.make_env();
+  // Second arrival is after the first completes.
+  const Trace trace =
+      TinyWorld::make_trace({TinyWorld::inv(world_.fn_py_flask, 0.0, 0.5),
+                             TinyWorld::inv(world_.fn_py_flask, 100.0)});
+  env.reset(trace);
+  (void)env.step(Action::cold());
+  ASSERT_FALSE(env.done());
+  EXPECT_EQ(env.pool().size(), 1U);  // warm container parked
+  const auto idle = env.pool().idle_containers();
+  ASSERT_EQ(idle.size(), 1U);
+  const StepResult r = env.step(Action::reuse(idle[0]->id));
+  EXPECT_FALSE(r.cold);
+  EXPECT_EQ(r.match, MatchLevel::kL3);
+  EXPECT_EQ(env.metrics().warm_starts_at(MatchLevel::kL3), 1U);
+}
+
+TEST_F(EnvTest, ReuseOfUnknownContainerDegradesToCold) {
+  auto env = world_.make_env();
+  const Trace trace = TinyWorld::make_trace(
+      {TinyWorld::inv(world_.fn_py_flask, 0.0)});
+  env.reset(trace);
+  const StepResult r = env.step(Action::reuse(12345));
+  EXPECT_TRUE(r.cold);
+}
+
+TEST_F(EnvTest, ReuseOfNoMatchContainerDegradesToCold) {
+  auto env = world_.make_env();
+  const Trace trace =
+      TinyWorld::make_trace({TinyWorld::inv(world_.fn_py_flask, 0.0, 0.5),
+                             TinyWorld::inv(world_.fn_other_os, 100.0)});
+  env.reset(trace);
+  (void)env.step(Action::cold());
+  const auto idle = env.pool().idle_containers();
+  ASSERT_EQ(idle.size(), 1U);
+  const StepResult r = env.step(Action::reuse(idle[0]->id));
+  EXPECT_TRUE(r.cold);
+  // The no-match container must still be in the pool, untouched.
+  EXPECT_NE(env.pool().find(idle[0]->id), nullptr);
+}
+
+TEST_F(EnvTest, BusyContainerIsNotReusable) {
+  auto env = world_.make_env();
+  // Second invocation arrives while the first is still executing.
+  const Trace trace =
+      TinyWorld::make_trace({TinyWorld::inv(world_.fn_py_flask, 0.0, 1000.0),
+                             TinyWorld::inv(world_.fn_py_flask, 1.0)});
+  env.reset(trace);
+  const StepResult first = env.step(Action::cold());
+  EXPECT_EQ(env.busy_count(), 1U);
+  // Busy containers are not in the pool, so the reuse degrades to cold.
+  const StepResult second = env.step(Action::reuse(first.container));
+  EXPECT_TRUE(second.cold);
+  EXPECT_NE(second.container, first.container);
+}
+
+TEST_F(EnvTest, MultiLevelReuseRepacksContainer) {
+  auto env = world_.make_env();
+  const Trace trace =
+      TinyWorld::make_trace({TinyWorld::inv(world_.fn_py_flask, 0.0, 0.5),
+                             TinyWorld::inv(world_.fn_py_numpy, 100.0, 0.5),
+                             TinyWorld::inv(world_.fn_py_flask, 200.0)});
+  env.reset(trace);
+  (void)env.step(Action::cold());
+  auto idle = env.pool().idle_containers();
+  ASSERT_EQ(idle.size(), 1U);
+  const containers::ContainerId id = idle[0]->id;
+
+  // L2 reuse: the container is repacked to the numpy image.
+  const StepResult r2 = env.step(Action::reuse(id));
+  EXPECT_EQ(r2.match, MatchLevel::kL2);
+  EXPECT_EQ(r2.container, id) << "repacked container keeps its identity";
+
+  // After it returns, it now full-matches fn_py_numpy, not fn_py_flask.
+  EXPECT_EQ(env.match_for(id, world_.fn_py_numpy), MatchLevel::kL3);
+  EXPECT_EQ(env.match_for(id, world_.fn_py_flask), MatchLevel::kL2);
+}
+
+TEST_F(EnvTest, MatchForUnknownContainerIsNoMatch) {
+  auto env = world_.make_env();
+  const Trace trace = TinyWorld::make_trace(
+      {TinyWorld::inv(world_.fn_py_flask, 0.0)});
+  env.reset(trace);
+  EXPECT_EQ(env.match_for(777, world_.fn_py_flask), MatchLevel::kNoMatch);
+}
+
+TEST_F(EnvTest, KeepAliveTtlExpiresIdleContainers) {
+  auto env = world_.make_env(4096.0, /*ttl=*/10.0);
+  const Trace trace =
+      TinyWorld::make_trace({TinyWorld::inv(world_.fn_py_flask, 0.0, 0.5),
+                             TinyWorld::inv(world_.fn_py_flask, 1000.0)});
+  env.reset(trace);
+  (void)env.step(Action::cold());
+  // By the time the second invocation arrives the container expired.
+  EXPECT_EQ(env.pool().size(), 0U);
+  EXPECT_EQ(env.pool().eviction_count(), 1U);
+}
+
+TEST_F(EnvTest, MetricsTotalsAreConsistent) {
+  auto env = world_.make_env();
+  const Trace trace =
+      TinyWorld::make_trace({TinyWorld::inv(world_.fn_py_flask, 0.0, 0.5),
+                             TinyWorld::inv(world_.fn_py_flask, 50.0, 0.5),
+                             TinyWorld::inv(world_.fn_js, 100.0, 0.5)});
+  env.reset(trace);
+  while (!env.done()) {
+    const auto idle = env.pool().idle_containers();
+    const auto& fn_image =
+        world_.functions.get(env.current().function).image;
+    Action a = Action::cold();
+    for (const auto* c : idle)
+      if (containers::reusable(containers::match(fn_image, c->image)))
+        a = Action::reuse(c->id);
+    (void)env.step(a);
+  }
+  const auto& m = env.metrics();
+  EXPECT_EQ(m.invocation_count(), 3U);
+  const std::size_t warm = m.warm_starts_at(MatchLevel::kL1) +
+                           m.warm_starts_at(MatchLevel::kL2) +
+                           m.warm_starts_at(MatchLevel::kL3);
+  EXPECT_EQ(m.cold_start_count() + warm, 3U);
+  double total = 0.0;
+  for (const auto& rec : m.records()) total += rec.latency_s;
+  EXPECT_DOUBLE_EQ(total, m.total_latency_s());
+  EXPECT_DOUBLE_EQ(m.average_latency_s(), total / 3.0);
+}
+
+TEST_F(EnvTest, CumulativeSeriesMatchRecords) {
+  auto env = world_.make_env();
+  const Trace trace =
+      TinyWorld::make_trace({TinyWorld::inv(world_.fn_py_flask, 0.0, 0.5),
+                             TinyWorld::inv(world_.fn_js, 1.0, 0.5)});
+  env.reset(trace);
+  (void)env.step(Action::cold());
+  (void)env.step(Action::cold());
+  const auto cum = env.metrics().cumulative_latency();
+  ASSERT_EQ(cum.size(), 2U);
+  EXPECT_GT(cum[1], cum[0]);
+  const auto colds = env.metrics().cumulative_cold_starts();
+  EXPECT_EQ(colds.back(), 2U);
+}
+
+TEST_F(EnvTest, DeterministicAcrossRuns) {
+  const Trace trace =
+      TinyWorld::make_trace({TinyWorld::inv(world_.fn_py_flask, 0.0, 0.5),
+                             TinyWorld::inv(world_.fn_py_numpy, 20.0, 0.4),
+                             TinyWorld::inv(world_.fn_py_flask, 40.0, 0.3),
+                             TinyWorld::inv(world_.fn_js, 60.0, 0.2)});
+  auto run = [&] {
+    auto env = world_.make_env();
+    env.reset(trace);
+    while (!env.done()) {
+      const auto idle = env.pool().idle_containers();
+      (void)env.step(idle.empty() ? Action::cold()
+                                  : Action::reuse(idle[0]->id));
+    }
+    return env.metrics().total_latency_s();
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST_F(EnvTest, StepAfterDoneThrows) {
+  auto env = world_.make_env();
+  const Trace trace = TinyWorld::make_trace(
+      {TinyWorld::inv(world_.fn_py_flask, 0.0)});
+  env.reset(trace);
+  (void)env.step(Action::cold());
+  EXPECT_THROW((void)env.step(Action::cold()), util::CheckError);
+  EXPECT_THROW((void)env.current(), util::CheckError);
+}
+
+TEST_F(EnvTest, PoolCapacityForcesEvictions) {
+  // Pool fits one container only (~156 MB each with base overhead).
+  auto env = world_.make_env(200.0);
+  const Trace trace =
+      TinyWorld::make_trace({TinyWorld::inv(world_.fn_py_flask, 0.0, 0.5),
+                             TinyWorld::inv(world_.fn_js, 1.0, 0.5),
+                             TinyWorld::inv(world_.fn_py_flask, 100.0)});
+  env.reset(trace);
+  (void)env.step(Action::cold());
+  (void)env.step(Action::cold());
+  (void)env.step(Action::cold());
+  EXPECT_GE(env.pool().eviction_count(), 1U);
+  EXPECT_LE(env.pool().used_mb(), 200.0);
+}
+
+}  // namespace
+}  // namespace mlcr::sim

@@ -1,0 +1,164 @@
+// Property sweeps over the cluster environment: randomized policies on
+// randomized workloads must preserve the simulator's core invariants.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "containers/matching.hpp"
+#include "fstartbench/workloads.hpp"
+#include "policies/runner.hpp"
+#include "testing/fixtures.hpp"
+#include "util/rng.hpp"
+
+namespace mlcr::sim {
+namespace {
+
+using mlcr::testing::TinyWorld;
+
+class EnvPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EnvPropertyTest, InvariantsHoldUnderRandomPolicy) {
+  TinyWorld world;
+  util::Rng rng(GetParam());
+
+  // Random workload over all four TinyWorld types.
+  std::vector<Invocation> invs;
+  double t = 0.0;
+  const sim::FunctionTypeId types[] = {world.fn_py_flask, world.fn_py_numpy,
+                                       world.fn_js, world.fn_other_os};
+  for (int i = 0; i < 120; ++i) {
+    t += rng.exponential(0.2);
+    Invocation inv;
+    inv.function = types[rng.uniform_index(4)];
+    inv.arrival_s = t;
+    inv.exec_s = rng.uniform(0.1, 2.0);
+    invs.push_back(inv);
+  }
+  const Trace trace{std::move(invs)};
+
+  const double capacity = rng.uniform(300.0, 2000.0);
+  auto env = world.make_env(capacity);
+  env.reset(trace);
+
+  std::set<containers::ContainerId> seen_ids;
+  while (!env.done()) {
+    // Random action: cold, a random idle container (may be no-match), or a
+    // bogus id — all must be handled.
+    Action action = Action::cold();
+    const auto idle = env.pool().idle_containers();
+    const double coin = rng.uniform();
+    if (coin < 0.4 && !idle.empty())
+      action = Action::reuse(idle[rng.uniform_index(idle.size())]->id);
+    else if (coin < 0.5)
+      action = Action::reuse(999'999);  // unknown container
+
+    const Invocation inv = env.current();
+    const StepResult r = env.step(action);
+
+    // Latency is exactly the breakdown total and matches the cost model.
+    EXPECT_NEAR(r.latency_s, r.breakdown.total(), 1e-12);
+    const auto& fn = world.functions.get(inv.function);
+    if (r.cold) {
+      EXPECT_EQ(r.match, containers::MatchLevel::kNoMatch);
+      EXPECT_NEAR(r.latency_s, world.cost_model().cold_start(fn).total(),
+                  1e-9);
+      EXPECT_TRUE(seen_ids.insert(r.container).second)
+          << "cold starts must create fresh container ids";
+    } else {
+      EXPECT_TRUE(containers::reusable(r.match));
+      EXPECT_NEAR(r.latency_s,
+                  world.cost_model().warm_start(fn, r.match).total(), 1e-9);
+      EXPECT_TRUE(seen_ids.count(r.container))
+          << "warm starts must reuse an existing container";
+    }
+
+    // Pool accounting invariants at every step.
+    EXPECT_LE(env.pool().used_mb(), capacity + 1e-9);
+    EXPECT_GE(env.pool().free_mb(), -1e-9);
+    EXPECT_LE(env.pool().used_mb(), env.pool().peak_used_mb() + 1e-9);
+  }
+
+  // Terminal accounting.
+  const auto& m = env.metrics();
+  EXPECT_EQ(m.invocation_count(), trace.size());
+  const std::size_t warm = m.warm_starts_at(containers::MatchLevel::kL1) +
+                           m.warm_starts_at(containers::MatchLevel::kL2) +
+                           m.warm_starts_at(containers::MatchLevel::kL3);
+  EXPECT_EQ(m.cold_start_count() + warm, trace.size());
+  EXPECT_EQ(env.busy_count(), 0U) << "episode must drain all executions";
+  const auto cum = m.cumulative_latency();
+  EXPECT_NEAR(cum.back(), m.total_latency_s(), 1e-9);
+}
+
+TEST_P(EnvPropertyTest, RepackNeverChangesOsLevel) {
+  TinyWorld world;
+  util::Rng rng(GetParam() ^ 0xABCD);
+  std::vector<Invocation> invs;
+  double t = 0.0;
+  const sim::FunctionTypeId types[] = {world.fn_py_flask, world.fn_py_numpy,
+                                       world.fn_js};
+  for (int i = 0; i < 60; ++i) {
+    t += rng.exponential(0.1);
+    Invocation inv;
+    inv.function = types[rng.uniform_index(3)];
+    inv.arrival_s = t;
+    inv.exec_s = 0.2;
+    invs.push_back(inv);
+  }
+  const Trace trace{std::move(invs)};
+
+  auto env = world.make_env();
+  env.reset(trace);
+  while (!env.done()) {
+    const auto idle = env.pool().idle_containers();
+    Action action = Action::cold();
+    if (!idle.empty() && rng.bernoulli(0.7))
+      action = Action::reuse(idle[rng.uniform_index(idle.size())]->id);
+    const StepResult r = env.step(action);
+    if (!r.cold) {
+      // Reused container (now busy) kept its OS: observable on return.
+      // All TinyWorld types here share os_a, so every pooled container
+      // must report os_a forever.
+      for (const auto* c : env.pool().idle_containers())
+        EXPECT_EQ(c->image.level(containers::Level::kOs),
+                  std::vector<containers::PackageId>{world.os_a});
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnvPropertyTest,
+                         ::testing::Values(1, 7, 42, 1234, 98765));
+
+class FStartBenchPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FStartBenchPropertyTest, SchedulersAgreeOnAccounting) {
+  // All built-in systems, one random FStartBench workload per seed: summary
+  // counts must always reconcile, regardless of scheduler/eviction combo.
+  const auto bench = fstartbench::make_benchmark();
+  const StartupCostModel cost(bench.catalog,
+                              fstartbench::default_cost_config());
+  util::Rng rng(GetParam());
+  const Trace trace = fstartbench::make_overall_workload(bench, 120, rng);
+  const double pool = rng.uniform(1000.0, 8000.0);
+  for (const auto& make :
+       {policies::make_lru_system, policies::make_faascache_system,
+        policies::make_greedy_match_system,
+        +[] { return policies::make_keepalive_system(120.0); },
+        +[] { return policies::make_random_system(3); }}) {
+    const auto spec = make();
+    const auto s = policies::run_system(spec, bench.functions, bench.catalog,
+                                        cost, pool, trace);
+    EXPECT_EQ(s.invocations, trace.size()) << spec.name;
+    EXPECT_EQ(s.cold_starts + s.warm_l1 + s.warm_l2 + s.warm_l3, trace.size())
+        << spec.name;
+    EXPECT_GE(s.cold_starts, 1U) << spec.name;  // first start is always cold
+    EXPECT_LE(s.peak_pool_mb, pool + 1e-6) << spec.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FStartBenchPropertyTest,
+                         ::testing::Values(10, 20, 30, 40));
+
+}  // namespace
+}  // namespace mlcr::sim

@@ -1,0 +1,52 @@
+#include "sim/invocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace mlcr::sim {
+namespace {
+
+Invocation inv(FunctionTypeId fn, double at, double exec = 0.5) {
+  Invocation i;
+  i.function = fn;
+  i.arrival_s = at;
+  i.exec_s = exec;
+  return i;
+}
+
+TEST(Trace, SortsByArrivalAndAssignsSeq) {
+  const Trace t({inv(0, 5.0), inv(1, 1.0), inv(2, 3.0)});
+  ASSERT_EQ(t.size(), 3U);
+  EXPECT_EQ(t.at(0).function, 1U);
+  EXPECT_EQ(t.at(1).function, 2U);
+  EXPECT_EQ(t.at(2).function, 0U);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.at(i).seq, i);
+}
+
+TEST(Trace, StableSortPreservesTiedOrder) {
+  const Trace t({inv(7, 1.0), inv(8, 1.0), inv(9, 1.0)});
+  EXPECT_EQ(t.at(0).function, 7U);
+  EXPECT_EQ(t.at(1).function, 8U);
+  EXPECT_EQ(t.at(2).function, 9U);
+}
+
+TEST(Trace, SpanIsLastMinusFirst) {
+  const Trace t({inv(0, 2.0), inv(0, 10.5)});
+  EXPECT_DOUBLE_EQ(t.span_s(), 8.5);
+  EXPECT_DOUBLE_EQ(Trace({inv(0, 3.0)}).span_s(), 0.0);
+  EXPECT_DOUBLE_EQ(Trace().span_s(), 0.0);
+}
+
+TEST(Trace, RejectsInvalidEntries) {
+  EXPECT_THROW(Trace({inv(0, -1.0)}), util::CheckError);
+  EXPECT_THROW(Trace({inv(0, 1.0, 0.0)}), util::CheckError);
+}
+
+TEST(Trace, AtRejectsOutOfRange) {
+  const Trace t({inv(0, 0.0)});
+  EXPECT_THROW((void)t.at(1), util::CheckError);
+}
+
+}  // namespace
+}  // namespace mlcr::sim

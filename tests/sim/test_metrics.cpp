@@ -1,0 +1,76 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlcr::sim {
+namespace {
+
+InvocationRecord rec(std::uint64_t seq, double latency, bool cold,
+                     containers::MatchLevel match) {
+  InvocationRecord r;
+  r.seq = seq;
+  r.latency_s = latency;
+  r.cold = cold;
+  r.match = match;
+  return r;
+}
+
+TEST(Metrics, EmptyCollector) {
+  const MetricsCollector m;
+  EXPECT_EQ(m.invocation_count(), 0U);
+  EXPECT_DOUBLE_EQ(m.total_latency_s(), 0.0);
+  EXPECT_DOUBLE_EQ(m.average_latency_s(), 0.0);
+  EXPECT_TRUE(m.latencies().empty());
+  EXPECT_TRUE(m.cumulative_latency().empty());
+}
+
+TEST(Metrics, AggregatesTotalsAndCategories) {
+  MetricsCollector m;
+  m.record(rec(0, 5.0, true, containers::MatchLevel::kNoMatch));
+  m.record(rec(1, 1.0, false, containers::MatchLevel::kL2));
+  m.record(rec(2, 0.5, false, containers::MatchLevel::kL3));
+  m.record(rec(3, 0.5, false, containers::MatchLevel::kL3));
+  EXPECT_EQ(m.invocation_count(), 4U);
+  EXPECT_DOUBLE_EQ(m.total_latency_s(), 7.0);
+  EXPECT_DOUBLE_EQ(m.average_latency_s(), 1.75);
+  EXPECT_EQ(m.cold_start_count(), 1U);
+  EXPECT_EQ(m.warm_starts_at(containers::MatchLevel::kL1), 0U);
+  EXPECT_EQ(m.warm_starts_at(containers::MatchLevel::kL2), 1U);
+  EXPECT_EQ(m.warm_starts_at(containers::MatchLevel::kL3), 2U);
+}
+
+TEST(Metrics, CumulativeSeriesAreMonotone) {
+  MetricsCollector m;
+  m.record(rec(0, 2.0, true, containers::MatchLevel::kNoMatch));
+  m.record(rec(1, 1.0, false, containers::MatchLevel::kL3));
+  m.record(rec(2, 3.0, true, containers::MatchLevel::kNoMatch));
+  const auto lat = m.cumulative_latency();
+  const auto cold = m.cumulative_cold_starts();
+  ASSERT_EQ(lat.size(), 3U);
+  EXPECT_DOUBLE_EQ(lat[0], 2.0);
+  EXPECT_DOUBLE_EQ(lat[1], 3.0);
+  EXPECT_DOUBLE_EQ(lat[2], 6.0);
+  EXPECT_EQ(cold[0], 1U);
+  EXPECT_EQ(cold[1], 1U);
+  EXPECT_EQ(cold[2], 2U);
+}
+
+TEST(Metrics, ClearResetsEverything) {
+  MetricsCollector m;
+  m.record(rec(0, 2.0, true, containers::MatchLevel::kNoMatch));
+  m.clear();
+  EXPECT_EQ(m.invocation_count(), 0U);
+  EXPECT_EQ(m.cold_start_count(), 0U);
+  EXPECT_EQ(m.warm_starts_at(containers::MatchLevel::kL3), 0U);
+  EXPECT_DOUBLE_EQ(m.total_latency_s(), 0.0);
+}
+
+TEST(Metrics, LatenciesPreserveArrivalOrder) {
+  MetricsCollector m;
+  m.record(rec(0, 3.0, true, containers::MatchLevel::kNoMatch));
+  m.record(rec(1, 1.0, false, containers::MatchLevel::kL3));
+  EXPECT_EQ(m.latencies(), (std::vector<double>{3.0, 1.0}));
+}
+
+}  // namespace
+}  // namespace mlcr::sim

@@ -1,0 +1,87 @@
+#include "sim/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "testing/fixtures.hpp"
+#include "util/check.hpp"
+
+namespace mlcr::sim {
+namespace {
+
+using mlcr::testing::TinyWorld;
+
+TEST(TraceIo, RoundTripPreservesInvocations) {
+  TinyWorld world;
+  const Trace original =
+      TinyWorld::make_trace({TinyWorld::inv(world.fn_py_flask, 0.5, 0.25),
+                             TinyWorld::inv(world.fn_js, 1.75, 0.125)});
+  std::stringstream buffer;
+  write_trace_csv(original, buffer);
+  const Trace loaded = read_trace_csv(buffer, world.functions);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded.at(i).function, original.at(i).function);
+    EXPECT_DOUBLE_EQ(loaded.at(i).arrival_s, original.at(i).arrival_s);
+    EXPECT_DOUBLE_EQ(loaded.at(i).exec_s, original.at(i).exec_s);
+  }
+}
+
+TEST(TraceIo, ReaderSortsByArrival) {
+  TinyWorld world;
+  std::stringstream buffer(
+      "function_id,arrival_s,exec_s\n0,5.0,0.5\n1,1.0,0.5\n");
+  const Trace t = read_trace_csv(buffer, world.functions);
+  EXPECT_EQ(t.at(0).function, 1U);
+  EXPECT_EQ(t.at(1).function, 0U);
+}
+
+TEST(TraceIo, RejectsMissingHeader) {
+  TinyWorld world;
+  std::stringstream buffer("0,1.0,0.5\n");
+  EXPECT_THROW((void)read_trace_csv(buffer, world.functions),
+               util::CheckError);
+}
+
+TEST(TraceIo, RejectsUnknownFunctionId) {
+  TinyWorld world;
+  std::stringstream buffer("function_id,arrival_s,exec_s\n99,1.0,0.5\n");
+  EXPECT_THROW((void)read_trace_csv(buffer, world.functions),
+               util::CheckError);
+}
+
+TEST(TraceIo, RejectsMalformedRows) {
+  TinyWorld world;
+  {
+    std::stringstream buffer("function_id,arrival_s,exec_s\n0,1.0\n");
+    EXPECT_THROW((void)read_trace_csv(buffer, world.functions),
+                 util::CheckError);
+  }
+  {
+    std::stringstream buffer("function_id,arrival_s,exec_s\n0,abc,0.5\n");
+    EXPECT_THROW((void)read_trace_csv(buffer, world.functions),
+                 util::CheckError);
+  }
+}
+
+TEST(TraceIo, SkipsBlankLinesAndHandlesEmptyTrace) {
+  TinyWorld world;
+  std::stringstream buffer("function_id,arrival_s,exec_s\n\n\n");
+  const Trace t = read_trace_csv(buffer, world.functions);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  TinyWorld world;
+  const Trace original = TinyWorld::make_trace(
+      {TinyWorld::inv(world.fn_py_numpy, 2.5, 0.75)});
+  const std::string path = ::testing::TempDir() + "/mlcr_trace.csv";
+  write_trace_csv(original, path);
+  const Trace loaded = read_trace_csv(path, world.functions);
+  ASSERT_EQ(loaded.size(), 1U);
+  EXPECT_EQ(loaded.at(0).function, world.fn_py_numpy);
+}
+
+}  // namespace
+}  // namespace mlcr::sim

@@ -1,0 +1,90 @@
+// Shared test world: a small catalog, a handful of function types and env
+// builders, so simulator/policy/core tests stay terse.
+#pragma once
+
+#include <memory>
+
+#include "containers/pool.hpp"
+#include "sim/env.hpp"
+
+namespace mlcr::testing {
+
+/// A compact universe: two OSes, two languages, three runtimes, and four
+/// function types covering every match relationship.
+struct TinyWorld {
+  containers::PackageCatalog catalog;
+  sim::FunctionTable functions;
+
+  containers::PackageId os_a{}, os_b{};
+  containers::PackageId lang_py{}, lang_js{};
+  containers::PackageId rt_flask{}, rt_numpy{}, rt_express{};
+
+  // fn_py_flask / fn_py_numpy share OS+language (L2 pair);
+  // fn_js shares only the OS with them (L1);
+  // fn_other_os matches nothing.
+  sim::FunctionTypeId fn_py_flask{}, fn_py_numpy{}, fn_js{}, fn_other_os{};
+
+  TinyWorld() {
+    using containers::Level;
+    os_a = catalog.add("os-a", Level::kOs, 80.0, 0.4);
+    os_b = catalog.add("os-b", Level::kOs, 100.0, 0.5);
+    lang_py = catalog.add("python", Level::kLanguage, 50.0, 1.0);
+    lang_js = catalog.add("node", Level::kLanguage, 60.0, 0.6);
+    rt_flask = catalog.add("flask", Level::kRuntime, 10.0, 0.3);
+    rt_numpy = catalog.add("numpy", Level::kRuntime, 30.0, 0.5);
+    rt_express = catalog.add("express", Level::kRuntime, 5.0, 0.2);
+
+    fn_py_flask = add_fn("py-flask", {os_a}, {lang_py}, {rt_flask}, 0.2, 0.5);
+    fn_py_numpy = add_fn("py-numpy", {os_a}, {lang_py}, {rt_numpy}, 0.3, 0.8);
+    fn_js = add_fn("js-express", {os_a}, {lang_js}, {rt_express}, 0.15, 0.3);
+    fn_other_os = add_fn("other-os", {os_b}, {lang_py}, {rt_flask}, 0.2, 0.5);
+  }
+
+  sim::FunctionTypeId add_fn(std::string name,
+                             std::vector<containers::PackageId> os,
+                             std::vector<containers::PackageId> lang,
+                             std::vector<containers::PackageId> rt,
+                             double runtime_init_s, double mean_exec_s) {
+    sim::FunctionType f;
+    f.name = std::move(name);
+    f.image = containers::ImageSpec(std::move(os), std::move(lang),
+                                    std::move(rt));
+    f.runtime_init_s = runtime_init_s;
+    f.function_init_s = 0.05;
+    f.mean_exec_s = mean_exec_s;
+    return functions.add(std::move(f));
+  }
+
+  [[nodiscard]] sim::StartupCostModel cost_model() const {
+    return sim::StartupCostModel(catalog);
+  }
+
+  [[nodiscard]] sim::ClusterEnv make_env(
+      double pool_mb = 4096.0,
+      std::optional<double> ttl = std::nullopt) const {
+    sim::EnvConfig cfg;
+    cfg.pool_capacity_mb = pool_mb;
+    cfg.keep_alive_ttl_s = ttl;
+    return sim::ClusterEnv(
+        functions, catalog, cost_model(), cfg,
+        [] { return std::make_unique<containers::LruEviction>(); });
+  }
+
+  /// Build a trace from (function, arrival, exec) triples.
+  [[nodiscard]] static sim::Trace make_trace(
+      std::initializer_list<sim::Invocation> invocations) {
+    return sim::Trace(std::vector<sim::Invocation>(invocations));
+  }
+
+  [[nodiscard]] static sim::Invocation inv(sim::FunctionTypeId fn,
+                                           double arrival_s,
+                                           double exec_s = 0.5) {
+    sim::Invocation i;
+    i.function = fn;
+    i.arrival_s = arrival_s;
+    i.exec_s = exec_s;
+    return i;
+  }
+};
+
+}  // namespace mlcr::testing

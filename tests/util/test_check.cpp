@@ -1,0 +1,46 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlcr::util {
+namespace {
+
+TEST(Check, PassingConditionDoesNothing) {
+  EXPECT_NO_THROW(MLCR_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(MLCR_CHECK_MSG(true, "never shown"));
+}
+
+TEST(Check, FailureThrowsCheckError) {
+  EXPECT_THROW(MLCR_CHECK(false), CheckError);
+  EXPECT_THROW(MLCR_CHECK_MSG(false, "boom"), CheckError);
+}
+
+TEST(Check, MessageContainsExpressionLocationAndDetail) {
+  try {
+    MLCR_CHECK_MSG(2 > 3, "detail " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+    EXPECT_NE(what.find("detail 42"), std::string::npos);
+  }
+}
+
+TEST(Check, IsALogicError) {
+  // Callers may catch std::logic_error generically.
+  EXPECT_THROW(MLCR_CHECK(false), std::logic_error);
+}
+
+TEST(Check, ConditionEvaluatedOnce) {
+  int calls = 0;
+  auto count = [&] {
+    ++calls;
+    return true;
+  };
+  MLCR_CHECK(count());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace mlcr::util

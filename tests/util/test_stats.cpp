@@ -1,0 +1,101 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mlcr::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8U);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(5);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1'000; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2U);
+  b.merge(a);  // adopt
+  EXPECT_EQ(b.count(), 2U);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  const std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+}
+
+TEST(Percentile, InterpolatesBetweenPoints) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 75.0), 7.5);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW((void)percentile({}, 50.0), CheckError);
+  EXPECT_THROW((void)percentile({1.0}, -1.0), CheckError);
+  EXPECT_THROW((void)percentile({1.0}, 101.0), CheckError);
+}
+
+TEST(BoxStats, FiveNumberSummary) {
+  std::vector<double> v;
+  for (int i = 1; i <= 101; ++i) v.push_back(static_cast<double>(i));
+  const BoxStats b = box_stats(v);
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.q1, 26.0);
+  EXPECT_DOUBLE_EQ(b.median, 51.0);
+  EXPECT_DOUBLE_EQ(b.q3, 76.0);
+  EXPECT_DOUBLE_EQ(b.max, 101.0);
+  EXPECT_DOUBLE_EQ(b.mean, 51.0);
+  EXPECT_EQ(b.count, 101U);
+}
+
+TEST(PopulationVariance, KnownValue) {
+  EXPECT_DOUBLE_EQ(population_variance({2.0, 4.0, 6.0}), 8.0 / 3.0);
+  EXPECT_DOUBLE_EQ(population_variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(population_variance({5.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace mlcr::util

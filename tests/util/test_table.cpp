@@ -1,0 +1,52 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mlcr::util {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.50"});
+  t.add_row({"beta", "22.00"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22.00"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2U);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 0), "3");
+  EXPECT_EQ(Table::num(static_cast<std::size_t>(42)), "42");
+}
+
+TEST(Csv, WritesHeaderAndEscapes) {
+  std::ostringstream os;
+  CsvWriter csv(os, {"a", "b"});
+  csv.add_row({"plain", "has,comma"});
+  csv.add_row({"has\"quote", "x"});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("a,b\n"), std::string::npos);
+  EXPECT_NE(s.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Csv, RejectsWrongArity) {
+  std::ostringstream os;
+  CsvWriter csv(os, {"a"});
+  EXPECT_THROW(csv.add_row({"x", "y"}), CheckError);
+}
+
+}  // namespace
+}  // namespace mlcr::util
