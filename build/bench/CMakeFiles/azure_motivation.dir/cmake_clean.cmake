@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/azure_motivation.dir/azure_motivation.cpp.o"
+  "CMakeFiles/azure_motivation.dir/azure_motivation.cpp.o.d"
+  "azure_motivation"
+  "azure_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/azure_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

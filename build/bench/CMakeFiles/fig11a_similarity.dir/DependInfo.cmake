@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11a_similarity.cpp" "bench/CMakeFiles/fig11a_similarity.dir/fig11a_similarity.cpp.o" "gcc" "bench/CMakeFiles/fig11a_similarity.dir/fig11a_similarity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mlcr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fstartbench/CMakeFiles/mlcr_fstartbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/mlcr_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/mlcr_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mlcr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mlcr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/containers/CMakeFiles/mlcr_containers.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mlcr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

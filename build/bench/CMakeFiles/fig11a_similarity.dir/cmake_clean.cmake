@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_similarity.dir/fig11a_similarity.cpp.o"
+  "CMakeFiles/fig11a_similarity.dir/fig11a_similarity.cpp.o.d"
+  "fig11a_similarity"
+  "fig11a_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

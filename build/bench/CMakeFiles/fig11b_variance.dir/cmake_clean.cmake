@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_variance.dir/fig11b_variance.cpp.o"
+  "CMakeFiles/fig11b_variance.dir/fig11b_variance.cpp.o.d"
+  "fig11b_variance"
+  "fig11b_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

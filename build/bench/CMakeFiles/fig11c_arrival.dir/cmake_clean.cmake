@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11c_arrival.dir/fig11c_arrival.cpp.o"
+  "CMakeFiles/fig11c_arrival.dir/fig11c_arrival.cpp.o.d"
+  "fig11c_arrival"
+  "fig11c_arrival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11c_arrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_registry.dir/fig3_registry.cpp.o"
+  "CMakeFiles/fig3_registry.dir/fig3_registry.cpp.o.d"
+  "fig3_registry"
+  "fig3_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_overall.dir/fig8_overall.cpp.o"
+  "CMakeFiles/fig8_overall.dir/fig8_overall.cpp.o.d"
+  "fig8_overall"
+  "fig8_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_trace.dir/fig9_trace.cpp.o"
+  "CMakeFiles/fig9_trace.dir/fig9_trace.cpp.o.d"
+  "fig9_trace"
+  "fig9_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

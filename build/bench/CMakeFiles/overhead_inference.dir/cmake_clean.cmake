@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_inference.dir/overhead_inference.cpp.o"
+  "CMakeFiles/overhead_inference.dir/overhead_inference.cpp.o.d"
+  "overhead_inference"
+  "overhead_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_functions.dir/tab2_functions.cpp.o"
+  "CMakeFiles/tab2_functions.dir/tab2_functions.cpp.o.d"
+  "tab2_functions"
+  "tab2_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

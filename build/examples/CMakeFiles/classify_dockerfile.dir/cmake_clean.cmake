@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_dockerfile.dir/classify_dockerfile.cpp.o"
+  "CMakeFiles/classify_dockerfile.dir/classify_dockerfile.cpp.o.d"
+  "classify_dockerfile"
+  "classify_dockerfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_dockerfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcr_cli.dir/mlcr_cli.cpp.o"
+  "CMakeFiles/mlcr_cli.dir/mlcr_cli.cpp.o.d"
+  "mlcr_cli"
+  "mlcr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

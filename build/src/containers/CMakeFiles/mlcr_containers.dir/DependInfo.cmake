@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/containers/cleaner.cpp" "src/containers/CMakeFiles/mlcr_containers.dir/cleaner.cpp.o" "gcc" "src/containers/CMakeFiles/mlcr_containers.dir/cleaner.cpp.o.d"
+  "/root/repo/src/containers/dockerfile.cpp" "src/containers/CMakeFiles/mlcr_containers.dir/dockerfile.cpp.o" "gcc" "src/containers/CMakeFiles/mlcr_containers.dir/dockerfile.cpp.o.d"
+  "/root/repo/src/containers/image.cpp" "src/containers/CMakeFiles/mlcr_containers.dir/image.cpp.o" "gcc" "src/containers/CMakeFiles/mlcr_containers.dir/image.cpp.o.d"
+  "/root/repo/src/containers/matching.cpp" "src/containers/CMakeFiles/mlcr_containers.dir/matching.cpp.o" "gcc" "src/containers/CMakeFiles/mlcr_containers.dir/matching.cpp.o.d"
+  "/root/repo/src/containers/package.cpp" "src/containers/CMakeFiles/mlcr_containers.dir/package.cpp.o" "gcc" "src/containers/CMakeFiles/mlcr_containers.dir/package.cpp.o.d"
+  "/root/repo/src/containers/pool.cpp" "src/containers/CMakeFiles/mlcr_containers.dir/pool.cpp.o" "gcc" "src/containers/CMakeFiles/mlcr_containers.dir/pool.cpp.o.d"
+  "/root/repo/src/containers/registry.cpp" "src/containers/CMakeFiles/mlcr_containers.dir/registry.cpp.o" "gcc" "src/containers/CMakeFiles/mlcr_containers.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mlcr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

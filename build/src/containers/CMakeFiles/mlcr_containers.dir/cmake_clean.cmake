@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcr_containers.dir/cleaner.cpp.o"
+  "CMakeFiles/mlcr_containers.dir/cleaner.cpp.o.d"
+  "CMakeFiles/mlcr_containers.dir/dockerfile.cpp.o"
+  "CMakeFiles/mlcr_containers.dir/dockerfile.cpp.o.d"
+  "CMakeFiles/mlcr_containers.dir/image.cpp.o"
+  "CMakeFiles/mlcr_containers.dir/image.cpp.o.d"
+  "CMakeFiles/mlcr_containers.dir/matching.cpp.o"
+  "CMakeFiles/mlcr_containers.dir/matching.cpp.o.d"
+  "CMakeFiles/mlcr_containers.dir/package.cpp.o"
+  "CMakeFiles/mlcr_containers.dir/package.cpp.o.d"
+  "CMakeFiles/mlcr_containers.dir/pool.cpp.o"
+  "CMakeFiles/mlcr_containers.dir/pool.cpp.o.d"
+  "CMakeFiles/mlcr_containers.dir/registry.cpp.o"
+  "CMakeFiles/mlcr_containers.dir/registry.cpp.o.d"
+  "libmlcr_containers.a"
+  "libmlcr_containers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcr_containers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

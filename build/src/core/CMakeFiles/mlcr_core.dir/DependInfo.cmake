@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/mlcr.cpp" "src/core/CMakeFiles/mlcr_core.dir/mlcr.cpp.o" "gcc" "src/core/CMakeFiles/mlcr_core.dir/mlcr.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/mlcr_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/mlcr_core.dir/online.cpp.o.d"
+  "/root/repo/src/core/state_encoder.cpp" "src/core/CMakeFiles/mlcr_core.dir/state_encoder.cpp.o" "gcc" "src/core/CMakeFiles/mlcr_core.dir/state_encoder.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/mlcr_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/mlcr_core.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rl/CMakeFiles/mlcr_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/mlcr_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mlcr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mlcr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mlcr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/containers/CMakeFiles/mlcr_containers.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

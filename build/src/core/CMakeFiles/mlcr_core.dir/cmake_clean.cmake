@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcr_core.dir/mlcr.cpp.o"
+  "CMakeFiles/mlcr_core.dir/mlcr.cpp.o.d"
+  "CMakeFiles/mlcr_core.dir/online.cpp.o"
+  "CMakeFiles/mlcr_core.dir/online.cpp.o.d"
+  "CMakeFiles/mlcr_core.dir/state_encoder.cpp.o"
+  "CMakeFiles/mlcr_core.dir/state_encoder.cpp.o.d"
+  "CMakeFiles/mlcr_core.dir/trainer.cpp.o"
+  "CMakeFiles/mlcr_core.dir/trainer.cpp.o.d"
+  "libmlcr_core.a"
+  "libmlcr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fstartbench/azure_like.cpp" "src/fstartbench/CMakeFiles/mlcr_fstartbench.dir/azure_like.cpp.o" "gcc" "src/fstartbench/CMakeFiles/mlcr_fstartbench.dir/azure_like.cpp.o.d"
+  "/root/repo/src/fstartbench/benchmark.cpp" "src/fstartbench/CMakeFiles/mlcr_fstartbench.dir/benchmark.cpp.o" "gcc" "src/fstartbench/CMakeFiles/mlcr_fstartbench.dir/benchmark.cpp.o.d"
+  "/root/repo/src/fstartbench/workloads.cpp" "src/fstartbench/CMakeFiles/mlcr_fstartbench.dir/workloads.cpp.o" "gcc" "src/fstartbench/CMakeFiles/mlcr_fstartbench.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mlcr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/mlcr_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/containers/CMakeFiles/mlcr_containers.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mlcr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcr_fstartbench.dir/azure_like.cpp.o"
+  "CMakeFiles/mlcr_fstartbench.dir/azure_like.cpp.o.d"
+  "CMakeFiles/mlcr_fstartbench.dir/benchmark.cpp.o"
+  "CMakeFiles/mlcr_fstartbench.dir/benchmark.cpp.o.d"
+  "CMakeFiles/mlcr_fstartbench.dir/workloads.cpp.o"
+  "CMakeFiles/mlcr_fstartbench.dir/workloads.cpp.o.d"
+  "libmlcr_fstartbench.a"
+  "libmlcr_fstartbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcr_fstartbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

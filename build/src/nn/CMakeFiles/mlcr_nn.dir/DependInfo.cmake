@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/mlcr_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/mlcr_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/gradcheck.cpp" "src/nn/CMakeFiles/mlcr_nn.dir/gradcheck.cpp.o" "gcc" "src/nn/CMakeFiles/mlcr_nn.dir/gradcheck.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/mlcr_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/mlcr_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/mlcr_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/mlcr_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/mlcr_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/mlcr_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/mlcr_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/mlcr_nn.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mlcr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcr_nn.dir/attention.cpp.o"
+  "CMakeFiles/mlcr_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/mlcr_nn.dir/gradcheck.cpp.o"
+  "CMakeFiles/mlcr_nn.dir/gradcheck.cpp.o.d"
+  "CMakeFiles/mlcr_nn.dir/layers.cpp.o"
+  "CMakeFiles/mlcr_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/mlcr_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/mlcr_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/mlcr_nn.dir/serialize.cpp.o"
+  "CMakeFiles/mlcr_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/mlcr_nn.dir/tensor.cpp.o"
+  "CMakeFiles/mlcr_nn.dir/tensor.cpp.o.d"
+  "libmlcr_nn.a"
+  "libmlcr_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcr_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

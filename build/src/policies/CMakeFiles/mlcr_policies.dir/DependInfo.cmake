@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policies/baselines.cpp" "src/policies/CMakeFiles/mlcr_policies.dir/baselines.cpp.o" "gcc" "src/policies/CMakeFiles/mlcr_policies.dir/baselines.cpp.o.d"
+  "/root/repo/src/policies/oracle.cpp" "src/policies/CMakeFiles/mlcr_policies.dir/oracle.cpp.o" "gcc" "src/policies/CMakeFiles/mlcr_policies.dir/oracle.cpp.o.d"
+  "/root/repo/src/policies/prewarm.cpp" "src/policies/CMakeFiles/mlcr_policies.dir/prewarm.cpp.o" "gcc" "src/policies/CMakeFiles/mlcr_policies.dir/prewarm.cpp.o.d"
+  "/root/repo/src/policies/runner.cpp" "src/policies/CMakeFiles/mlcr_policies.dir/runner.cpp.o" "gcc" "src/policies/CMakeFiles/mlcr_policies.dir/runner.cpp.o.d"
+  "/root/repo/src/policies/zygote.cpp" "src/policies/CMakeFiles/mlcr_policies.dir/zygote.cpp.o" "gcc" "src/policies/CMakeFiles/mlcr_policies.dir/zygote.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mlcr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/containers/CMakeFiles/mlcr_containers.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mlcr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcr_policies.dir/baselines.cpp.o"
+  "CMakeFiles/mlcr_policies.dir/baselines.cpp.o.d"
+  "CMakeFiles/mlcr_policies.dir/oracle.cpp.o"
+  "CMakeFiles/mlcr_policies.dir/oracle.cpp.o.d"
+  "CMakeFiles/mlcr_policies.dir/prewarm.cpp.o"
+  "CMakeFiles/mlcr_policies.dir/prewarm.cpp.o.d"
+  "CMakeFiles/mlcr_policies.dir/runner.cpp.o"
+  "CMakeFiles/mlcr_policies.dir/runner.cpp.o.d"
+  "CMakeFiles/mlcr_policies.dir/zygote.cpp.o"
+  "CMakeFiles/mlcr_policies.dir/zygote.cpp.o.d"
+  "libmlcr_policies.a"
+  "libmlcr_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcr_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcr_rl.dir/dqn.cpp.o"
+  "CMakeFiles/mlcr_rl.dir/dqn.cpp.o.d"
+  "CMakeFiles/mlcr_rl.dir/qnetwork.cpp.o"
+  "CMakeFiles/mlcr_rl.dir/qnetwork.cpp.o.d"
+  "CMakeFiles/mlcr_rl.dir/replay_buffer.cpp.o"
+  "CMakeFiles/mlcr_rl.dir/replay_buffer.cpp.o.d"
+  "libmlcr_rl.a"
+  "libmlcr_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcr_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

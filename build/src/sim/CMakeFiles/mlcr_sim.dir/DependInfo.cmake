@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/mlcr_sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/mlcr_sim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sim/env.cpp" "src/sim/CMakeFiles/mlcr_sim.dir/env.cpp.o" "gcc" "src/sim/CMakeFiles/mlcr_sim.dir/env.cpp.o.d"
+  "/root/repo/src/sim/function_type.cpp" "src/sim/CMakeFiles/mlcr_sim.dir/function_type.cpp.o" "gcc" "src/sim/CMakeFiles/mlcr_sim.dir/function_type.cpp.o.d"
+  "/root/repo/src/sim/invocation.cpp" "src/sim/CMakeFiles/mlcr_sim.dir/invocation.cpp.o" "gcc" "src/sim/CMakeFiles/mlcr_sim.dir/invocation.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/mlcr_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/mlcr_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/trace_io.cpp" "src/sim/CMakeFiles/mlcr_sim.dir/trace_io.cpp.o" "gcc" "src/sim/CMakeFiles/mlcr_sim.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/containers/CMakeFiles/mlcr_containers.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mlcr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcr_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/mlcr_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/mlcr_sim.dir/env.cpp.o"
+  "CMakeFiles/mlcr_sim.dir/env.cpp.o.d"
+  "CMakeFiles/mlcr_sim.dir/function_type.cpp.o"
+  "CMakeFiles/mlcr_sim.dir/function_type.cpp.o.d"
+  "CMakeFiles/mlcr_sim.dir/invocation.cpp.o"
+  "CMakeFiles/mlcr_sim.dir/invocation.cpp.o.d"
+  "CMakeFiles/mlcr_sim.dir/metrics.cpp.o"
+  "CMakeFiles/mlcr_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/mlcr_sim.dir/trace_io.cpp.o"
+  "CMakeFiles/mlcr_sim.dir/trace_io.cpp.o.d"
+  "libmlcr_sim.a"
+  "libmlcr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

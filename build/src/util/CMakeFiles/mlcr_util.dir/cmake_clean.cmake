@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlcr_util.dir/rng.cpp.o"
+  "CMakeFiles/mlcr_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mlcr_util.dir/stats.cpp.o"
+  "CMakeFiles/mlcr_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mlcr_util.dir/table.cpp.o"
+  "CMakeFiles/mlcr_util.dir/table.cpp.o.d"
+  "CMakeFiles/mlcr_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/mlcr_util.dir/thread_pool.cpp.o.d"
+  "libmlcr_util.a"
+  "libmlcr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlcr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/containers/test_cleaner.cpp" "tests/CMakeFiles/mlcr_tests.dir/containers/test_cleaner.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/containers/test_cleaner.cpp.o.d"
+  "/root/repo/tests/containers/test_dockerfile.cpp" "tests/CMakeFiles/mlcr_tests.dir/containers/test_dockerfile.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/containers/test_dockerfile.cpp.o.d"
+  "/root/repo/tests/containers/test_image.cpp" "tests/CMakeFiles/mlcr_tests.dir/containers/test_image.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/containers/test_image.cpp.o.d"
+  "/root/repo/tests/containers/test_image_subset.cpp" "tests/CMakeFiles/mlcr_tests.dir/containers/test_image_subset.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/containers/test_image_subset.cpp.o.d"
+  "/root/repo/tests/containers/test_matching.cpp" "tests/CMakeFiles/mlcr_tests.dir/containers/test_matching.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/containers/test_matching.cpp.o.d"
+  "/root/repo/tests/containers/test_package.cpp" "tests/CMakeFiles/mlcr_tests.dir/containers/test_package.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/containers/test_package.cpp.o.d"
+  "/root/repo/tests/containers/test_pool.cpp" "tests/CMakeFiles/mlcr_tests.dir/containers/test_pool.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/containers/test_pool.cpp.o.d"
+  "/root/repo/tests/containers/test_pool_model.cpp" "tests/CMakeFiles/mlcr_tests.dir/containers/test_pool_model.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/containers/test_pool_model.cpp.o.d"
+  "/root/repo/tests/containers/test_registry.cpp" "tests/CMakeFiles/mlcr_tests.dir/containers/test_registry.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/containers/test_registry.cpp.o.d"
+  "/root/repo/tests/core/test_mlcr.cpp" "tests/CMakeFiles/mlcr_tests.dir/core/test_mlcr.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/core/test_mlcr.cpp.o.d"
+  "/root/repo/tests/core/test_online.cpp" "tests/CMakeFiles/mlcr_tests.dir/core/test_online.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/core/test_online.cpp.o.d"
+  "/root/repo/tests/core/test_state_encoder.cpp" "tests/CMakeFiles/mlcr_tests.dir/core/test_state_encoder.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/core/test_state_encoder.cpp.o.d"
+  "/root/repo/tests/fstartbench/test_azure_like.cpp" "tests/CMakeFiles/mlcr_tests.dir/fstartbench/test_azure_like.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/fstartbench/test_azure_like.cpp.o.d"
+  "/root/repo/tests/fstartbench/test_benchmark.cpp" "tests/CMakeFiles/mlcr_tests.dir/fstartbench/test_benchmark.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/fstartbench/test_benchmark.cpp.o.d"
+  "/root/repo/tests/fstartbench/test_workloads.cpp" "tests/CMakeFiles/mlcr_tests.dir/fstartbench/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/fstartbench/test_workloads.cpp.o.d"
+  "/root/repo/tests/integration/test_determinism.cpp" "tests/CMakeFiles/mlcr_tests.dir/integration/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/integration/test_determinism.cpp.o.d"
+  "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/mlcr_tests.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/integration/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/nn/test_attention.cpp" "tests/CMakeFiles/mlcr_tests.dir/nn/test_attention.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/nn/test_attention.cpp.o.d"
+  "/root/repo/tests/nn/test_layers.cpp" "tests/CMakeFiles/mlcr_tests.dir/nn/test_layers.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/nn/test_layers.cpp.o.d"
+  "/root/repo/tests/nn/test_learning.cpp" "tests/CMakeFiles/mlcr_tests.dir/nn/test_learning.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/nn/test_learning.cpp.o.d"
+  "/root/repo/tests/nn/test_optimizer.cpp" "tests/CMakeFiles/mlcr_tests.dir/nn/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/nn/test_optimizer.cpp.o.d"
+  "/root/repo/tests/nn/test_serialize.cpp" "tests/CMakeFiles/mlcr_tests.dir/nn/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/nn/test_serialize.cpp.o.d"
+  "/root/repo/tests/nn/test_tensor.cpp" "tests/CMakeFiles/mlcr_tests.dir/nn/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/nn/test_tensor.cpp.o.d"
+  "/root/repo/tests/policies/test_baselines.cpp" "tests/CMakeFiles/mlcr_tests.dir/policies/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/policies/test_baselines.cpp.o.d"
+  "/root/repo/tests/policies/test_oracle.cpp" "tests/CMakeFiles/mlcr_tests.dir/policies/test_oracle.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/policies/test_oracle.cpp.o.d"
+  "/root/repo/tests/policies/test_prewarm.cpp" "tests/CMakeFiles/mlcr_tests.dir/policies/test_prewarm.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/policies/test_prewarm.cpp.o.d"
+  "/root/repo/tests/policies/test_zygote.cpp" "tests/CMakeFiles/mlcr_tests.dir/policies/test_zygote.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/policies/test_zygote.cpp.o.d"
+  "/root/repo/tests/rl/test_dqn.cpp" "tests/CMakeFiles/mlcr_tests.dir/rl/test_dqn.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/rl/test_dqn.cpp.o.d"
+  "/root/repo/tests/rl/test_qnetwork.cpp" "tests/CMakeFiles/mlcr_tests.dir/rl/test_qnetwork.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/rl/test_qnetwork.cpp.o.d"
+  "/root/repo/tests/rl/test_replay.cpp" "tests/CMakeFiles/mlcr_tests.dir/rl/test_replay.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/rl/test_replay.cpp.o.d"
+  "/root/repo/tests/sim/test_cost_model.cpp" "tests/CMakeFiles/mlcr_tests.dir/sim/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/sim/test_cost_model.cpp.o.d"
+  "/root/repo/tests/sim/test_env.cpp" "tests/CMakeFiles/mlcr_tests.dir/sim/test_env.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/sim/test_env.cpp.o.d"
+  "/root/repo/tests/sim/test_env_properties.cpp" "tests/CMakeFiles/mlcr_tests.dir/sim/test_env_properties.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/sim/test_env_properties.cpp.o.d"
+  "/root/repo/tests/sim/test_invocation.cpp" "tests/CMakeFiles/mlcr_tests.dir/sim/test_invocation.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/sim/test_invocation.cpp.o.d"
+  "/root/repo/tests/sim/test_metrics.cpp" "tests/CMakeFiles/mlcr_tests.dir/sim/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/sim/test_metrics.cpp.o.d"
+  "/root/repo/tests/sim/test_trace_io.cpp" "tests/CMakeFiles/mlcr_tests.dir/sim/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/sim/test_trace_io.cpp.o.d"
+  "/root/repo/tests/util/test_check.cpp" "tests/CMakeFiles/mlcr_tests.dir/util/test_check.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/util/test_check.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/mlcr_tests.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/mlcr_tests.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/util/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/CMakeFiles/mlcr_tests.dir/util/test_table.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/util/test_table.cpp.o.d"
+  "/root/repo/tests/util/test_thread_pool.cpp" "tests/CMakeFiles/mlcr_tests.dir/util/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/mlcr_tests.dir/util/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mlcr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fstartbench/CMakeFiles/mlcr_fstartbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/mlcr_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/mlcr_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mlcr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mlcr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/containers/CMakeFiles/mlcr_containers.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mlcr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
