@@ -51,17 +51,21 @@ int main(int argc, char** argv) {
   for (const auto& v : variants) {
     const auto agent = benchtools::trained_agent(suite, v.tag, factory,
                                                  train_pools, v.cfg, options);
-    const auto spec = core::make_mlcr_system(agent, v.cfg.encoder);
     const auto stats = benchtools::run_replications(
-        suite, spec, factory, pools.moderate_mb, options.reps);
+        suite, benchtools::mlcr_system_factory(agent, v.cfg.encoder), factory,
+        pools.moderate_mb, options.reps, options.threads);
     table.add_row({v.label, util::Table::num(stats.total_latency_s.mean(), 1),
                    util::Table::num(stats.cold_starts.mean(), 1)});
   }
-  for (const auto& spec :
-       {policies::make_greedy_match_system(), policies::make_random_system()}) {
+  const std::vector<benchtools::NamedSystem> baselines = {
+      {"Greedy-Match", [] { return policies::make_greedy_match_system(); }},
+      {"Random", [] { return policies::make_random_system(); }}};
+  for (const auto& system : baselines) {
     const auto stats = benchtools::run_replications(
-        suite, spec, factory, pools.moderate_mb, options.reps);
-    table.add_row({spec.name, util::Table::num(stats.total_latency_s.mean(), 1),
+        suite, system.make, factory, pools.moderate_mb, options.reps,
+        options.threads);
+    table.add_row({system.name,
+                   util::Table::num(stats.total_latency_s.mean(), 1),
                    util::Table::num(stats.cold_starts.mean(), 1)});
   }
 

@@ -52,9 +52,13 @@ int main(int argc, char** argv) {
         fstartbench::make_azure_like_workload(cfg, world_rng.split()));
 
   auto systems = benchtools::paper_systems();
-  systems.push_back(policies::make_prewarm_system());
-  systems.push_back(policies::make_zygote_system());
-  for (const auto& spec : systems) {
+  systems.push_back(
+      {"Prewarm", [] { return policies::make_prewarm_system(); }});
+  systems.push_back({"Zygote", [] { return policies::make_zygote_system(); }});
+  for (const auto& system : systems) {
+    // One spec across all worlds, matching the pre-factory behaviour
+    // (scheduler state carries between worlds, as a live deployment's would).
+    const auto spec = system.make();
     util::RunningStats total, cold, partial, full;
     for (const auto& w : worlds) {
       const sim::StartupCostModel w_cost(w.catalog);
@@ -65,7 +69,7 @@ int main(int argc, char** argv) {
       partial.add(static_cast<double>(s.warm_l1 + s.warm_l2));
       full.add(static_cast<double>(s.warm_l3));
     }
-    table.add_row({spec.name, util::Table::num(total.mean(), 1),
+    table.add_row({system.name, util::Table::num(total.mean(), 1),
                    util::Table::num(cold.mean(), 1),
                    util::Table::num(partial.mean(), 1),
                    util::Table::num(full.mean(), 1)});

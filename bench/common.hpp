@@ -16,6 +16,7 @@
 #include "policies/runner.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mlcr::benchtools {
 
@@ -28,10 +29,15 @@ struct Suite {
 /// Command-line knobs shared by the figure benches:
 ///   --reps N       replications per configuration (default 7; paper: 50)
 ///   --episodes N   MLCR training episodes (default 30)
+///   --threads N    worker threads for the replication loop (default 1;
+///                  0 = hardware concurrency). Results are bit-identical
+///                  for any thread count: every rep owns a split Rng and a
+///                  fresh system instance.
 ///   --fresh        ignore cached models, retrain
 struct BenchOptions {
   std::size_t reps = 7;
   std::size_t episodes = 30;
+  std::size_t threads = 1;
   bool fresh = false;
 
   static BenchOptions parse(int argc, char** argv) {
@@ -46,6 +52,8 @@ struct BenchOptions {
         o.reps = next();
       else if (arg == "--episodes")
         o.episodes = next();
+      else if (arg == "--threads")
+        o.threads = next();
       else if (arg == "--fresh")
         o.fresh = true;
       else
@@ -108,17 +116,56 @@ inline std::shared_ptr<rl::DqnAgent> trained_agent(
   return agent;
 }
 
+/// Builds a fresh, fully independent SystemSpec. Replications call this once
+/// per rep so no mutable scheduler state (Rngs, DQN caches) is shared across
+/// reps — the requirement for running reps on the thread pool and for
+/// bit-identical results regardless of execution order.
+using SystemFactory = std::function<policies::SystemSpec()>;
+
+struct NamedSystem {
+  std::string name;
+  SystemFactory make;
+};
+
+/// Snapshot a trained agent's weights and return a factory that builds a
+/// fresh agent carrying those weights. Inference is identical to sharing the
+/// original agent (greedy actions depend only on the weights), but every
+/// caller gets its own network buffers, so factories built on top of this
+/// are safe to invoke from the replication thread pool.
+inline std::function<std::shared_ptr<rl::DqnAgent>()> agent_cloner(
+    const std::shared_ptr<rl::DqnAgent>& trained) {
+  const auto weights = trained->snapshot_weights();
+  const rl::DqnConfig cfg = trained->config();
+  return [weights, cfg] {
+    auto agent = std::make_shared<rl::DqnAgent>(cfg, util::Rng(0));
+    agent->restore_weights(weights);
+    return agent;
+  };
+}
+
+/// SystemFactory for MLCR backed by a trained agent (cloned per rep).
+inline SystemFactory mlcr_system_factory(
+    const std::shared_ptr<rl::DqnAgent>& trained,
+    const core::StateEncoderConfig& encoder) {
+  return [clone = agent_cloner(trained), encoder] {
+    return core::make_mlcr_system(clone(), encoder);
+  };
+}
+
 /// The paper's five systems. MLCR is included only when an agent is given.
-inline std::vector<policies::SystemSpec> paper_systems(
-    std::shared_ptr<rl::DqnAgent> mlcr_agent = nullptr,
+inline std::vector<NamedSystem> paper_systems(
+    const std::shared_ptr<rl::DqnAgent>& mlcr_agent = nullptr,
     const core::StateEncoderConfig* encoder = nullptr) {
-  std::vector<policies::SystemSpec> systems;
-  systems.push_back(policies::make_lru_system());
-  systems.push_back(policies::make_faascache_system());
-  systems.push_back(policies::make_keepalive_system());
-  systems.push_back(policies::make_greedy_match_system());
+  std::vector<NamedSystem> systems;
+  systems.push_back({"LRU", [] { return policies::make_lru_system(); }});
+  systems.push_back(
+      {"FaasCache", [] { return policies::make_faascache_system(); }});
+  systems.push_back(
+      {"KeepAlive", [] { return policies::make_keepalive_system(); }});
+  systems.push_back(
+      {"Greedy-Match", [] { return policies::make_greedy_match_system(); }});
   if (mlcr_agent != nullptr && encoder != nullptr)
-    systems.push_back(core::make_mlcr_system(std::move(mlcr_agent), *encoder));
+    systems.push_back({"MLCR", mlcr_system_factory(mlcr_agent, *encoder)});
   return systems;
 }
 
@@ -131,19 +178,40 @@ struct RepStats {
   std::vector<double> totals;  ///< raw per-rep totals, for box stats
 };
 
-/// Run `spec` over `reps` freshly generated traces at the given pool size.
+/// Run a fresh system (one per rep, from `make_system`) over `reps` freshly
+/// generated traces at the given pool size. Each rep owns an Rng split off
+/// the trace seed in rep order, so running the reps on `threads` workers
+/// (0 = hardware concurrency) produces bit-identical statistics to the
+/// serial loop — results are folded in rep order after all reps finish.
 inline RepStats run_replications(const Suite& suite,
-                                 const policies::SystemSpec& spec,
+                                 const SystemFactory& make_system,
                                  const TraceFactory& factory,
                                  double pool_capacity_mb, std::size_t reps,
+                                 std::size_t threads = 1,
                                  std::uint64_t trace_seed = 9000) {
-  RepStats stats;
-  util::Rng rng(trace_seed);
-  for (std::size_t r = 0; r < reps; ++r) {
+  std::vector<util::Rng> rep_rngs;
+  rep_rngs.reserve(reps);
+  util::Rng root(trace_seed);
+  for (std::size_t r = 0; r < reps; ++r) rep_rngs.push_back(root.split());
+
+  std::vector<policies::EpisodeSummary> results(reps);
+  const auto run_one = [&](std::size_t r) {
+    util::Rng rng = rep_rngs[r];
+    const policies::SystemSpec spec = make_system();
     const sim::Trace trace = factory(rng);
-    const auto s =
+    results[r] =
         policies::run_system(spec, suite.bench.functions, suite.bench.catalog,
                              suite.cost, pool_capacity_mb, trace);
+  };
+  if (threads == 1) {
+    for (std::size_t r = 0; r < reps; ++r) run_one(r);
+  } else {
+    util::ThreadPool pool(threads);
+    pool.parallel_for(reps, run_one);
+  }
+
+  RepStats stats;
+  for (const auto& s : results) {
     stats.total_latency_s.add(s.total_latency_s);
     stats.cold_starts.add(static_cast<double>(s.cold_starts));
     stats.peak_pool_mb.add(s.peak_pool_mb);
@@ -186,11 +254,12 @@ inline void run_fig11(const Suite& suite, const BenchOptions& options,
 
     util::Table table({"system", "25% pool (s)", "50% pool (s)",
                        "75% pool (s)", "100% pool (s)"});
-    for (const auto& spec : paper_systems(agent, &cfg.encoder)) {
-      std::vector<std::string> cells = {spec.name};
+    for (const auto& system : paper_systems(agent, &cfg.encoder)) {
+      std::vector<std::string> cells = {system.name};
       for (const double frac : {0.25, 0.5, 0.75, 1.0}) {
-        auto stats = run_replications(suite, spec, family.factory,
-                                      loose * frac, options.reps);
+        auto stats = run_replications(suite, system.make, family.factory,
+                                      loose * frac, options.reps,
+                                      options.threads);
         cells.push_back(box_cell(util::box_stats(std::move(stats.totals))));
       }
       table.add_row(std::move(cells));

@@ -46,24 +46,33 @@ int main(int argc, char** argv) {
         suite, family.tag, family.factory,
         {pools.tight_mb, pools.moderate_mb, pools.loose_mb}, cfg, options);
 
-    std::vector<policies::SystemSpec> systems;
-    systems.push_back(policies::make_lru_system());
-    systems.push_back(policies::make_prewarm_system());
-    systems.push_back(policies::make_zygote_system());
-    systems.push_back(policies::make_greedy_match_system());
-    systems.push_back(core::make_mlcr_system(agent, cfg.encoder));
-    systems.push_back(core::make_online_mlcr_system(agent, cfg.encoder,
-                                                    cfg.reward_scale_s));
+    const auto clone = benchtools::agent_cloner(agent);
+    std::vector<benchtools::NamedSystem> systems;
+    systems.push_back({"LRU", [] { return policies::make_lru_system(); }});
+    systems.push_back(
+        {"Prewarm", [] { return policies::make_prewarm_system(); }});
+    systems.push_back(
+        {"Zygote", [] { return policies::make_zygote_system(); }});
+    systems.push_back(
+        {"Greedy-Match", [] { return policies::make_greedy_match_system(); }});
+    systems.push_back({"MLCR", benchtools::mlcr_system_factory(agent,
+                                                               cfg.encoder)});
+    systems.push_back({"MLCR-online", [clone, &cfg] {
+                         return core::make_online_mlcr_system(
+                             clone(), cfg.encoder, cfg.reward_scale_s);
+                       }});
 
     util::Table table({"system", "Tight total (s)", "Tight cold",
                        "Moderate total (s)", "Moderate cold",
                        "Moderate peak pool (MB)"});
-    for (const auto& spec : systems) {
+    for (const auto& system : systems) {
       const auto tight = benchtools::run_replications(
-          suite, spec, family.factory, pools.tight_mb, options.reps);
+          suite, system.make, family.factory, pools.tight_mb, options.reps,
+          options.threads);
       const auto moderate = benchtools::run_replications(
-          suite, spec, family.factory, pools.moderate_mb, options.reps);
-      table.add_row({spec.name,
+          suite, system.make, family.factory, pools.moderate_mb, options.reps,
+          options.threads);
+      table.add_row({system.name,
                      util::Table::num(tight.total_latency_s.mean(), 1),
                      util::Table::num(tight.cold_starts.mean(), 1),
                      util::Table::num(moderate.total_latency_s.mean(), 1),

@@ -29,10 +29,11 @@ int main(int argc, char** argv) {
 
   util::Table table({"system", "peak pool (MB)", "peak / Loose %",
                      "evictions", "total latency (s)"});
-  for (const auto& spec : benchtools::paper_systems(agent, &cfg.encoder)) {
-    const auto stats = benchtools::run_replications(suite, spec, factory,
-                                                    loose, options.reps);
-    table.add_row({spec.name, util::Table::num(stats.peak_pool_mb.mean(), 0),
+  for (const auto& system : benchtools::paper_systems(agent, &cfg.encoder)) {
+    const auto stats = benchtools::run_replications(
+        suite, system.make, factory, loose, options.reps, options.threads);
+    table.add_row({system.name,
+                   util::Table::num(stats.peak_pool_mb.mean(), 0),
                    util::Table::num(100.0 * stats.peak_pool_mb.mean() / loose,
                                     0),
                    util::Table::num(stats.evictions.mean(), 1),

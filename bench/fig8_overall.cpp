@@ -48,13 +48,14 @@ int main(int argc, char** argv) {
   std::vector<std::vector<Cell>> grid;
 
   const auto systems = benchtools::paper_systems(agent, &cfg.encoder);
-  for (const auto& spec : systems) {
+  for (const auto& system : systems) {
     std::vector<Cell> row;
-    std::vector<std::string> lat_cells = {spec.name};
-    std::vector<std::string> cold_cells = {spec.name};
+    std::vector<std::string> lat_cells = {system.name};
+    std::vector<std::string> cold_cells = {system.name};
     for (const auto& size : sizes) {
       const auto stats = benchtools::run_replications(
-          suite, spec, factory, size.mb, options.reps);
+          suite, system.make, factory, size.mb, options.reps,
+          options.threads);
       row.push_back({stats.total_latency_s.mean(), stats.cold_starts.mean()});
       lat_cells.push_back(util::Table::num(stats.total_latency_s.mean(), 1));
       cold_cells.push_back(util::Table::num(stats.cold_starts.mean(), 1));

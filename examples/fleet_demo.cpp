@@ -1,0 +1,48 @@
+// Fleet demo: the same workload through a 4-node cluster under two routing
+// policies. Shows why the placement step matters — random routing scatters
+// invocations away from their warm containers, package-affinity and
+// warm-aware routing preserve the multi-level reuse that MLCR's Table-I
+// matching enables inside each node.
+#include <iostream>
+
+#include "fleet/fleet_env.hpp"
+#include "fleet/router.hpp"
+#include "fstartbench/workloads.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mlcr;
+
+  const auto bench = fstartbench::make_benchmark();
+  const sim::StartupCostModel cost(bench.catalog,
+                                   fstartbench::default_cost_config());
+  util::Rng rng(42);
+  const sim::Trace trace = fstartbench::make_overall_workload(bench, 400, rng);
+
+  fleet::FleetConfig cfg;
+  cfg.nodes = 4;
+  cfg.node_env.pool_capacity_mb = 1024.0;  // per node
+  cfg.seed = 1;
+
+  util::Table table(
+      {"router", "total latency (s)", "cold", "warm L1/L2/L3", "imbalance"});
+  for (const auto& router_spec : fleet::standard_routers()) {
+    fleet::FleetEnv env(bench.functions, bench.catalog, cost, cfg,
+                        fleet::uniform_system(policies::make_greedy_match_system));
+    const auto router = router_spec.make();
+    const fleet::FleetSummary fs = env.run(trace, *router);
+    table.add_row({router_spec.name,
+                   util::Table::num(fs.total.total_latency_s, 1),
+                   std::to_string(fs.total.cold_starts),
+                   std::to_string(fs.total.warm_l1) + "/" +
+                       std::to_string(fs.total.warm_l2) + "/" +
+                       std::to_string(fs.total.warm_l3),
+                   util::Table::num(fs.routing_imbalance, 2)});
+  }
+  std::cout << "=== 4-node fleet, Greedy-Match on every node, 400 "
+               "invocations ===\n";
+  table.print(std::cout);
+  std::cout << "(warm-aware and hash-affinity routing preserve the reuse "
+               "random routing destroys)\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "fleet/fleet_env.hpp"
+
+#include "fleet/router.hpp"
+#include "util/check.hpp"
+
+namespace mlcr::fleet {
+
+NodeSystemFactory uniform_system(std::function<policies::SystemSpec()> make) {
+  MLCR_CHECK(make != nullptr);
+  return [make = std::move(make)](std::size_t node, util::Rng rng) {
+    (void)node;
+    (void)rng;
+    return make();
+  };
+}
+
+FleetEnv::FleetEnv(const sim::FunctionTable& functions,
+                   const containers::PackageCatalog& catalog,
+                   const sim::StartupCostModel& cost_model, FleetConfig config,
+                   const NodeSystemFactory& make_system)
+    : functions_(functions), catalog_(catalog), config_(config) {
+  MLCR_CHECK_MSG(config_.nodes > 0, "a fleet needs at least one node");
+  MLCR_CHECK(make_system != nullptr);
+  util::Rng master(config_.seed);
+  nodes_.reserve(config_.nodes);
+  for (std::size_t i = 0; i < config_.nodes; ++i) {
+    Node node;
+    node.spec = make_system(i, master.split());
+    MLCR_CHECK(node.spec.scheduler != nullptr);
+    MLCR_CHECK(node.spec.eviction_factory != nullptr);
+    sim::EnvConfig env_cfg = config_.node_env;
+    env_cfg.keep_alive_ttl_s = node.spec.keep_alive_ttl_s;
+    env_cfg.reuse_semantics = node.spec.reuse_semantics;
+    node.env = std::make_unique<sim::ClusterEnv>(
+        functions_, catalog_, cost_model, env_cfg, node.spec.eviction_factory);
+    nodes_.push_back(std::move(node));
+  }
+  system_name_ = nodes_.front().spec.name;
+}
+
+const sim::ClusterEnv& FleetEnv::node(std::size_t i) const {
+  MLCR_CHECK(i < nodes_.size());
+  return *nodes_[i].env;
+}
+
+FleetSummary FleetEnv::run(const sim::Trace& trace, Router& router) {
+  for (Node& node : nodes_) {
+    node.env->reset_streaming();
+    node.spec.scheduler->on_episode_start(*node.env);
+  }
+  router.on_episode_start(*this);
+
+  for (const sim::Invocation& inv : trace.invocations()) {
+    // Keep every node's clock at the global arrival time before routing, so
+    // the router (and the chosen node's scheduler) observe completions and
+    // TTL expiry up to "now" even on nodes that received no recent traffic.
+    for (Node& node : nodes_) node.env->advance_idle(inv.arrival_s);
+
+    const std::size_t target = router.route(*this, inv);
+    MLCR_CHECK_MSG(target < nodes_.size(), "router picked an invalid node");
+    Node& node = nodes_[target];
+    node.env->offer(inv);
+    const sim::Action action = node.spec.scheduler->decide(*node.env, inv);
+    const sim::StepResult result = node.env->step(action);
+    node.spec.scheduler->on_step_result(*node.env, result);
+  }
+
+  std::vector<NodeObservation> observations;
+  observations.reserve(nodes_.size());
+  for (Node& node : nodes_) {
+    node.env->finish_streaming();
+    observations.push_back(
+        {policies::summarize_env(*node.env, node.spec.scheduler->name()),
+         &node.env->metrics()});
+  }
+  return aggregate_fleet(router.name(), system_name_, observations);
+}
+
+}  // namespace mlcr::fleet

@@ -1,0 +1,96 @@
+// FleetEnv: a multi-node serverless cluster. Each of the N worker nodes is
+// an independent ClusterEnv — its own warm pool, eviction policy and
+// scheduler built from the SystemSpec registry — and a front-end Router
+// assigns every invocation of a global trace to one node.
+//
+// The single-node decision problem of the paper (which warm container
+// absorbs an invocation) is unchanged inside each node; the fleet layer adds
+// the placement step that precedes it. Determinism is preserved: the trace
+// is processed in arrival order, every node draws from an Rng stream split
+// off the fleet seed, and a 1-node fleet reproduces run_episode() exactly
+// (asserted in tests/fleet).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/metrics.hpp"
+#include "policies/baselines.hpp"
+#include "sim/env.hpp"
+#include "util/rng.hpp"
+
+namespace mlcr::fleet {
+
+class Router;
+
+struct FleetConfig {
+  /// Number of worker nodes.
+  std::size_t nodes = 1;
+  /// Per-node environment knobs (pool capacity is per node, so a fixed
+  /// cluster-wide budget should be divided by `nodes` by the caller).
+  /// keep_alive_ttl_s / reuse_semantics are overridden per node from the
+  /// SystemSpec, exactly as policies::run_system does.
+  sim::EnvConfig node_env;
+  /// Master seed; each node's factory receives an independent split stream.
+  std::uint64_t seed = 1;
+};
+
+/// Builds the per-node system (scheduler + eviction + TTL + reuse
+/// semantics). Called once per node at construction; `node` is the node
+/// index and `rng` an independent stream split from the fleet seed, for
+/// stochastic schedulers.
+using NodeSystemFactory =
+    std::function<policies::SystemSpec(std::size_t node, util::Rng rng)>;
+
+/// Adapts a parameterless SystemSpec factory (e.g. make_greedy_match_system)
+/// to a NodeSystemFactory: every node gets an identical, independent system.
+[[nodiscard]] NodeSystemFactory uniform_system(
+    std::function<policies::SystemSpec()> make);
+
+class FleetEnv {
+ public:
+  FleetEnv(const sim::FunctionTable& functions,
+           const containers::PackageCatalog& catalog,
+           const sim::StartupCostModel& cost_model, FleetConfig config,
+           const NodeSystemFactory& make_system);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] const sim::ClusterEnv& node(std::size_t i) const;
+  [[nodiscard]] const sim::FunctionTable& functions() const noexcept {
+    return functions_;
+  }
+  [[nodiscard]] const containers::PackageCatalog& catalog() const noexcept {
+    return catalog_;
+  }
+  [[nodiscard]] const FleetConfig& config() const noexcept { return config_; }
+  /// Name of the per-node scheduler system (node 0's; all nodes share it
+  /// when built via uniform_system).
+  [[nodiscard]] const std::string& system_name() const noexcept {
+    return system_name_;
+  }
+
+  /// Route and execute `trace`: every invocation is assigned to a node by
+  /// `router` (observing current fleet state), then offered to that node's
+  /// streaming episode and scheduled by the node's own scheduler. Idle
+  /// nodes' clocks advance in lockstep with the global clock, so TTL expiry
+  /// and completions are visible to the router. Resets all nodes.
+  FleetSummary run(const sim::Trace& trace, Router& router);
+
+ private:
+  struct Node {
+    policies::SystemSpec spec;
+    std::unique_ptr<sim::ClusterEnv> env;
+  };
+
+  const sim::FunctionTable& functions_;
+  const containers::PackageCatalog& catalog_;
+  FleetConfig config_;
+  std::vector<Node> nodes_;
+  std::string system_name_;
+};
+
+}  // namespace mlcr::fleet

@@ -1,0 +1,41 @@
+#include "fleet/metrics.hpp"
+
+#include <algorithm>
+
+namespace mlcr::fleet {
+
+FleetSummary aggregate_fleet(std::string router, std::string system,
+                             const std::vector<NodeObservation>& nodes) {
+  FleetSummary fs;
+  fs.router = std::move(router);
+  fs.system = std::move(system);
+  fs.nodes = nodes.size();
+  fs.total.scheduler = fs.system;
+
+  std::size_t max_invocations = 0;
+  for (const NodeObservation& node : nodes) {
+    const policies::EpisodeSummary& s = node.summary;
+    fs.per_node.push_back(s);
+    fs.total.invocations += s.invocations;
+    fs.total.total_latency_s += s.total_latency_s;
+    fs.total.cold_starts += s.cold_starts;
+    fs.total.warm_l1 += s.warm_l1;
+    fs.total.warm_l2 += s.warm_l2;
+    fs.total.warm_l3 += s.warm_l3;
+    fs.total.peak_pool_mb += s.peak_pool_mb;
+    fs.total.evictions += s.evictions;
+    fs.total.rejections += s.rejections;
+    max_invocations = std::max(max_invocations, s.invocations);
+    if (node.metrics != nullptr) fs.merged.merge(*node.metrics);
+  }
+  if (fs.total.invocations > 0) {
+    fs.total.average_latency_s =
+        fs.total.total_latency_s / static_cast<double>(fs.total.invocations);
+    fs.routing_imbalance =
+        static_cast<double>(max_invocations) * static_cast<double>(fs.nodes) /
+        static_cast<double>(fs.total.invocations);
+  }
+  return fs;
+}
+
+}  // namespace mlcr::fleet

@@ -1,0 +1,53 @@
+// Fleet-wide metrics: merges per-node MetricsCollector output into one
+// cluster-level summary (total/average startup latency, cold starts, warm
+// starts by Table-I level, aggregate pool memory) plus per-node breakdowns
+// and routing-balance measures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "policies/runner.hpp"
+#include "sim/metrics.hpp"
+
+namespace mlcr::fleet {
+
+/// One node's view after an episode: its summary row and (optionally) its
+/// raw metrics records for fleet-wide series.
+struct NodeObservation {
+  policies::EpisodeSummary summary;
+  const sim::MetricsCollector* metrics = nullptr;  ///< may be null
+};
+
+/// Cluster-level episode result.
+struct FleetSummary {
+  std::string router;  ///< routing policy that produced the assignment
+  std::string system;  ///< per-node scheduler system (e.g. "Greedy-Match")
+  std::size_t nodes = 0;
+
+  /// Fleet-wide totals. Latency/cold/warm fields are sums over nodes;
+  /// peak_pool_mb is the sum of per-node peaks (aggregate warm memory);
+  /// average_latency_s is total latency over total invocations.
+  policies::EpisodeSummary total;
+
+  /// Per-node summaries, indexed by node.
+  std::vector<policies::EpisodeSummary> per_node;
+
+  /// Max over nodes of invocations routed there, divided by the balanced
+  /// share (total/nodes); 1.0 = perfectly balanced, nodes = all on one node.
+  double routing_imbalance = 0.0;
+
+  /// All invocation records across nodes, re-ordered by global trace
+  /// sequence (for fleet-wide cumulative series). Populated only when the
+  /// observations carried metrics pointers.
+  sim::MetricsCollector merged;
+};
+
+/// Merge per-node observations into a FleetSummary. `system` names the
+/// per-node scheduler family; per-node scheduler names are preserved in
+/// per_node[i].scheduler.
+[[nodiscard]] FleetSummary aggregate_fleet(
+    std::string router, std::string system,
+    const std::vector<NodeObservation>& nodes);
+
+}  // namespace mlcr::fleet

@@ -1,0 +1,160 @@
+#include "fleet/router.hpp"
+
+#include <algorithm>
+
+#include "containers/matching.hpp"
+#include "fleet/fleet_env.hpp"
+#include "util/check.hpp"
+
+namespace mlcr::fleet {
+
+namespace {
+
+/// One splitmix64 pass: a cheap, well-mixed 64-bit hash step.
+[[nodiscard]] std::uint64_t mix(std::uint64_t x) noexcept {
+  return util::splitmix64(x);
+}
+
+/// Hash of the OS + language package lists of an image: the affinity key of
+/// ConsistentHashRouter. The runtime level is deliberately excluded so that
+/// functions differing only in their runtime packages still colocate (and
+/// can serve each other at Table-I L2).
+[[nodiscard]] std::uint64_t affinity_key(
+    const containers::ImageSpec& image) noexcept {
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+  for (const containers::Level level :
+       {containers::Level::kOs, containers::Level::kLanguage})
+    for (const containers::PackageId id : image.level(level))
+      h = mix(h ^ (static_cast<std::uint64_t>(id) + 1));
+  return h;
+}
+
+[[nodiscard]] std::size_t least_outstanding_node(const FleetEnv& fleet) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < fleet.node_count(); ++i)
+    if (fleet.node(i).busy_count() < fleet.node(best).busy_count()) best = i;
+  return best;
+}
+
+}  // namespace
+
+void RandomRouter::on_episode_start(const FleetEnv& fleet) {
+  (void)fleet;
+  rng_ = util::Rng(seed_);
+}
+
+std::size_t RandomRouter::route(const FleetEnv& fleet,
+                                const sim::Invocation& inv) {
+  (void)inv;
+  return rng_.uniform_index(fleet.node_count());
+}
+
+void RoundRobinRouter::on_episode_start(const FleetEnv& fleet) {
+  (void)fleet;
+  next_ = 0;
+}
+
+std::size_t RoundRobinRouter::route(const FleetEnv& fleet,
+                                    const sim::Invocation& inv) {
+  (void)inv;
+  const std::size_t node = next_;
+  next_ = (next_ + 1) % fleet.node_count();
+  return node;
+}
+
+std::size_t LeastOutstandingRouter::route(const FleetEnv& fleet,
+                                          const sim::Invocation& inv) {
+  (void)inv;
+  return least_outstanding_node(fleet);
+}
+
+ConsistentHashRouter::ConsistentHashRouter(std::size_t virtual_nodes)
+    : virtual_nodes_(virtual_nodes) {
+  MLCR_CHECK(virtual_nodes_ > 0);
+}
+
+void ConsistentHashRouter::on_episode_start(const FleetEnv& fleet) {
+  ring_.clear();
+  ring_.reserve(fleet.node_count() * virtual_nodes_);
+  for (std::size_t node = 0; node < fleet.node_count(); ++node) {
+    // Each (node, replica) pair gets a deterministic ring position; the
+    // double-mix decorrelates adjacent indices.
+    std::uint64_t h = mix(0xF1EE7000ULL + node);
+    for (std::size_t v = 0; v < virtual_nodes_; ++v) {
+      h = mix(h + v + 1);
+      ring_.push_back({h, node});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const RingPoint& a, const RingPoint& b) {
+              if (a.hash != b.hash) return a.hash < b.hash;
+              return a.node < b.node;  // deterministic on (improbable) ties
+            });
+}
+
+std::size_t ConsistentHashRouter::route(const FleetEnv& fleet,
+                                        const sim::Invocation& inv) {
+  MLCR_CHECK_MSG(!ring_.empty(), "route() before on_episode_start()");
+  const std::uint64_t key =
+      affinity_key(fleet.functions().get(inv.function).image);
+  // First ring point clockwise of the key (wrapping).
+  auto it = std::lower_bound(ring_.begin(), ring_.end(), key,
+                             [](const RingPoint& p, std::uint64_t k) {
+                               return p.hash < k;
+                             });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->node;
+}
+
+std::size_t WarmAwareRouter::route(const FleetEnv& fleet,
+                                   const sim::Invocation& inv) {
+  const auto& fn_image = fleet.functions().get(inv.function).image;
+
+  std::size_t best_node = fleet.node_count();
+  containers::MatchLevel best_level = containers::MatchLevel::kNoMatch;
+  for (std::size_t i = 0; i < fleet.node_count(); ++i) {
+    const sim::ClusterEnv& env = fleet.node(i);
+    containers::MatchLevel node_best = containers::MatchLevel::kNoMatch;
+    for (const containers::Container* c : env.pool().idle_containers()) {
+      node_best = std::max(node_best, containers::match(fn_image, c->image));
+      if (node_best == containers::MatchLevel::kL3) break;
+    }
+    if (!containers::reusable(node_best)) continue;
+    if (best_node == fleet.node_count()) {
+      best_node = i;
+      best_level = node_best;
+      continue;
+    }
+    const sim::ClusterEnv& best_env = fleet.node(best_node);
+    const bool better =
+        node_best > best_level ||
+        (node_best == best_level &&
+         (env.busy_count() < best_env.busy_count() ||
+          (env.busy_count() == best_env.busy_count() &&
+           env.pool().free_mb() > best_env.pool().free_mb())));
+    if (better) {
+      best_node = i;
+      best_level = node_best;
+    }
+  }
+  if (best_node != fleet.node_count()) return best_node;
+  // Fleet-wide cold start: place it where the least work is outstanding.
+  return least_outstanding_node(fleet);
+}
+
+std::vector<RouterSpec> standard_routers(std::uint64_t seed) {
+  std::vector<RouterSpec> routers;
+  routers.push_back(
+      {"Random", [seed] { return std::make_unique<RandomRouter>(seed); }});
+  routers.push_back(
+      {"Round-Robin", [] { return std::make_unique<RoundRobinRouter>(); }});
+  routers.push_back({"Least-Outstanding",
+                     [] { return std::make_unique<LeastOutstandingRouter>(); }});
+  routers.push_back({"Hash-Affinity",
+                     [] { return std::make_unique<ConsistentHashRouter>(); }});
+  routers.push_back(
+      {"Warm-Aware", [] { return std::make_unique<WarmAwareRouter>(); }});
+  return routers;
+}
+
+}  // namespace mlcr::fleet

@@ -1,0 +1,132 @@
+// Front-end request routing for a multi-node fleet. The router decides
+// *which node* sees an invocation before that node's own scheduler decides
+// *which container* serves it — at cluster scale this placement step
+// dominates cold-start outcomes, because a warm container on the wrong node
+// is worth nothing.
+//
+// Five policies:
+//   Random            — seeded uniform choice; the sanity floor.
+//   Round-Robin       — classic load spreading, oblivious to warm state.
+//   Least-Outstanding — fewest in-flight executions (power-of-all-choices).
+//   Hash-Affinity     — consistent hashing on the function image's OS +
+//                       language levels: functions sharing a package stack
+//                       colocate, so Table-I L2/L3 matches stay possible,
+//                       and the mapping is stable as nodes are added.
+//   Warm-Aware        — inspect every node's pool and route to the best
+//                       Table-I match for this invocation (the fleet analog
+//                       of Greedy-Match; an upper bound for state-aware
+//                       routing at O(nodes × pool) cost per request).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/invocation.hpp"
+#include "util/rng.hpp"
+
+namespace mlcr::fleet {
+
+class FleetEnv;
+
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  /// Called once per episode, before the first route(); resets per-episode
+  /// state and lets ring-based routers size themselves to the fleet.
+  virtual void on_episode_start(const FleetEnv& fleet) { (void)fleet; }
+
+  /// Pick the node (in [0, fleet.node_count())) that serves `inv`.
+  [[nodiscard]] virtual std::size_t route(const FleetEnv& fleet,
+                                          const sim::Invocation& inv) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Seeded uniform-random node choice.
+class RandomRouter final : public Router {
+ public:
+  explicit RandomRouter(std::uint64_t seed = 1) : seed_(seed), rng_(seed) {}
+
+  void on_episode_start(const FleetEnv& fleet) override;
+  [[nodiscard]] std::size_t route(const FleetEnv& fleet,
+                                  const sim::Invocation& inv) override;
+  [[nodiscard]] std::string name() const override { return "Random"; }
+
+ private:
+  std::uint64_t seed_;
+  util::Rng rng_;
+};
+
+/// Cycles through nodes in index order.
+class RoundRobinRouter final : public Router {
+ public:
+  void on_episode_start(const FleetEnv& fleet) override;
+  [[nodiscard]] std::size_t route(const FleetEnv& fleet,
+                                  const sim::Invocation& inv) override;
+  [[nodiscard]] std::string name() const override { return "Round-Robin"; }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+/// Node with the fewest in-flight executions; ties break to the lowest
+/// index, so results are deterministic.
+class LeastOutstandingRouter final : public Router {
+ public:
+  [[nodiscard]] std::size_t route(const FleetEnv& fleet,
+                                  const sim::Invocation& inv) override;
+  [[nodiscard]] std::string name() const override {
+    return "Least-Outstanding";
+  }
+};
+
+/// Consistent hashing with virtual nodes over the function image's OS and
+/// language package levels. Functions that share an OS + language stack map
+/// to the same node (preserving multi-level reuse), a single function type
+/// always maps to one node (preserving classic L3 warm starts), and only
+/// ~1/N of keys move when the fleet grows by one node.
+class ConsistentHashRouter final : public Router {
+ public:
+  explicit ConsistentHashRouter(std::size_t virtual_nodes = 64);
+
+  void on_episode_start(const FleetEnv& fleet) override;
+  [[nodiscard]] std::size_t route(const FleetEnv& fleet,
+                                  const sim::Invocation& inv) override;
+  [[nodiscard]] std::string name() const override { return "Hash-Affinity"; }
+
+ private:
+  struct RingPoint {
+    std::uint64_t hash = 0;
+    std::size_t node = 0;
+  };
+  std::size_t virtual_nodes_;
+  std::vector<RingPoint> ring_;  ///< sorted by hash
+};
+
+/// Scans every node's warm pool for the best Table-I match with the
+/// invocation's image and routes there. Ties break to the node with fewer
+/// in-flight executions, then more free pool memory, then the lowest index.
+/// When no node holds any match (a fleet-wide cold start), falls back to
+/// least-outstanding placement.
+class WarmAwareRouter final : public Router {
+ public:
+  [[nodiscard]] std::size_t route(const FleetEnv& fleet,
+                                  const sim::Invocation& inv) override;
+  [[nodiscard]] std::string name() const override { return "Warm-Aware"; }
+};
+
+/// A named router source, so benches can sweep policies the way they sweep
+/// systems (each episode gets a fresh router instance).
+struct RouterSpec {
+  std::string name;
+  std::function<std::unique_ptr<Router>()> make;
+};
+
+/// The five standard policies. `seed` feeds the random router.
+[[nodiscard]] std::vector<RouterSpec> standard_routers(std::uint64_t seed = 1);
+
+}  // namespace mlcr::fleet

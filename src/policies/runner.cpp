@@ -4,20 +4,11 @@
 
 namespace mlcr::policies {
 
-EpisodeSummary run_episode(sim::ClusterEnv& env, Scheduler& scheduler,
-                           const sim::Trace& trace) {
-  env.reset(trace);
-  scheduler.on_episode_start(env);
-  while (!env.done()) {
-    const sim::Invocation& inv = env.current();
-    const sim::Action action = scheduler.decide(env, inv);
-    const sim::StepResult result = env.step(action);
-    scheduler.on_step_result(env, result);
-  }
-
+EpisodeSummary summarize_env(const sim::ClusterEnv& env,
+                             std::string scheduler_name) {
   const auto& m = env.metrics();
   EpisodeSummary s;
-  s.scheduler = scheduler.name();
+  s.scheduler = std::move(scheduler_name);
   s.invocations = m.invocation_count();
   s.total_latency_s = m.total_latency_s();
   s.average_latency_s = m.average_latency_s();
@@ -29,6 +20,19 @@ EpisodeSummary run_episode(sim::ClusterEnv& env, Scheduler& scheduler,
   s.evictions = env.pool().eviction_count();
   s.rejections = env.pool().rejection_count();
   return s;
+}
+
+EpisodeSummary run_episode(sim::ClusterEnv& env, Scheduler& scheduler,
+                           const sim::Trace& trace) {
+  env.reset(trace);
+  scheduler.on_episode_start(env);
+  while (!env.done()) {
+    const sim::Invocation& inv = env.current();
+    const sim::Action action = scheduler.decide(env, inv);
+    const sim::StepResult result = env.step(action);
+    scheduler.on_step_result(env, result);
+  }
+  return summarize_env(env, scheduler.name());
 }
 
 EpisodeSummary run_system(const SystemSpec& spec,

@@ -25,6 +25,12 @@ struct EpisodeSummary {
   std::size_t rejections = 0;
 };
 
+/// Build the summary row from an environment's collected metrics and pool
+/// statistics. Factored out of run_episode so the fleet layer can summarize
+/// each node with identical accounting.
+[[nodiscard]] EpisodeSummary summarize_env(const sim::ClusterEnv& env,
+                                           std::string scheduler_name);
+
 /// Run one full episode of `scheduler` on `trace` in `env` (resets the env).
 EpisodeSummary run_episode(sim::ClusterEnv& env, Scheduler& scheduler,
                            const sim::Trace& trace);

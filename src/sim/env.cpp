@@ -22,26 +22,66 @@ ClusterEnv::ClusterEnv(const FunctionTable& functions,
   MLCR_CHECK(config_.pool_capacity_mb > 0.0);
 }
 
-void ClusterEnv::reset(const Trace& trace) {
-  trace_ = &trace;
+void ClusterEnv::reset_common() {
   next_index_ = 0;
-  now_ = trace.empty() ? 0.0 : trace.at(0).arrival_s;
   pool_ = std::make_unique<containers::WarmPool>(config_.pool_capacity_mb,
                                                  eviction_factory_(),
                                                  config_.max_pool_containers);
   busy_ = {};
   next_container_id_ = 0;
   metrics_.clear();
+}
+
+void ClusterEnv::reset(const Trace& trace) {
+  trace_ = &trace;
+  streaming_ = false;
+  stream_.clear();
+  now_ = trace.empty() ? 0.0 : trace.at(0).arrival_s;
+  reset_common();
   episode_finished_ = trace.empty();
 }
 
+void ClusterEnv::reset_streaming() {
+  trace_ = nullptr;
+  streaming_ = true;
+  stream_.clear();
+  now_ = 0.0;
+  reset_common();
+  episode_finished_ = false;
+}
+
+void ClusterEnv::offer(Invocation inv) {
+  MLCR_CHECK_MSG(streaming_, "offer() requires reset_streaming()");
+  MLCR_CHECK_MSG(done(), "previous invocation has not been stepped yet");
+  MLCR_CHECK_MSG(inv.arrival_s >= now_,
+                 "streaming invocations must arrive in time order");
+  stream_.push_back(inv);
+  advance_to(inv.arrival_s);
+}
+
+void ClusterEnv::advance_idle(double time) {
+  MLCR_CHECK_MSG(done(), "advance_idle() with a pending invocation");
+  if (time > now_) advance_to(time);
+}
+
+void ClusterEnv::finish_streaming() {
+  MLCR_CHECK_MSG(streaming_, "finish_streaming() requires reset_streaming()");
+  MLCR_CHECK_MSG(done(), "finish_streaming() with a pending invocation");
+  finish_episode();
+}
+
 bool ClusterEnv::done() const noexcept {
+  if (streaming_) return next_index_ >= stream_.size();
   return trace_ == nullptr || next_index_ >= trace_->size();
+}
+
+const Invocation& ClusterEnv::at(std::size_t i) const {
+  return streaming_ ? stream_[i] : trace_->at(i);
 }
 
 const Invocation& ClusterEnv::current() const {
   MLCR_CHECK_MSG(!done(), "no current invocation: episode is done");
-  return trace_->at(next_index_);
+  return at(next_index_);
 }
 
 const containers::WarmPool& ClusterEnv::pool() const {
@@ -164,10 +204,13 @@ StepResult ClusterEnv::step(const Action& action) {
   metrics_.record(std::move(rec));
 
   ++next_index_;
-  if (done())
-    finish_episode();
-  else
-    advance_to(trace_->at(next_index_).arrival_s);
+  if (done()) {
+    // A streaming episode never knows whether more invocations will arrive;
+    // finish_streaming() drains it explicitly.
+    if (!streaming_) finish_episode();
+  } else {
+    advance_to(at(next_index_).arrival_s);
+  }
 
   return result;
 }

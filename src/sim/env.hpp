@@ -23,6 +23,7 @@
 #include <memory>
 #include <optional>
 #include <queue>
+#include <vector>
 
 #include "containers/pool.hpp"
 #include "sim/cost_model.hpp"
@@ -88,6 +89,30 @@ class ClusterEnv {
   /// episode). Rebuilds the pool with a fresh eviction policy.
   void reset(const Trace& trace);
 
+  /// Start an open-ended streaming episode: the trace is not known up front
+  /// and invocations are appended one at a time via offer(). Used by the
+  /// fleet layer, where a front-end router decides online which node sees
+  /// each invocation. The event sequence of offer()+step() is identical to
+  /// the traced protocol, so a streaming episode fed the whole trace
+  /// reproduces reset(trace)+step() bit-for-bit.
+  void reset_streaming();
+
+  /// Append the next invocation of a streaming episode and advance simulated
+  /// time to its arrival (so schedulers observe the same pool state as in
+  /// the traced protocol). Requires done() — the previous invocation must
+  /// have been stepped — and a non-decreasing arrival time.
+  void offer(Invocation inv);
+
+  /// Advance simulated time with no work arriving (completions are admitted
+  /// to the pool, TTL expiry applies). Lets the fleet keep idle nodes'
+  /// clocks in lockstep with the global clock. Requires done().
+  void advance_idle(double time);
+
+  /// End a streaming episode: drain outstanding executions so pool
+  /// peak/eviction statistics are complete (the traced protocol does this
+  /// automatically after the last invocation).
+  void finish_streaming();
+
   [[nodiscard]] bool done() const noexcept;
   /// Next invocation to schedule. Requires !done().
   [[nodiscard]] const Invocation& current() const;
@@ -136,6 +161,8 @@ class ClusterEnv {
   /// Process completions up to `time` (inclusive) and TTL expiry.
   void advance_to(double time);
   void finish_episode();
+  void reset_common();
+  [[nodiscard]] const Invocation& at(std::size_t i) const;
 
   const FunctionTable& functions_;
   const containers::PackageCatalog& catalog_;
@@ -144,6 +171,8 @@ class ClusterEnv {
   EvictionPolicyFactory eviction_factory_;
 
   const Trace* trace_ = nullptr;
+  bool streaming_ = false;
+  std::vector<Invocation> stream_;  ///< offered invocations (streaming mode)
   std::size_t next_index_ = 0;
   double now_ = 0.0;
   std::unique_ptr<containers::WarmPool> pool_;

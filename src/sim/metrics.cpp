@@ -1,5 +1,7 @@
 #include "sim/metrics.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace mlcr::sim {
@@ -11,6 +13,19 @@ void MetricsCollector::record(InvocationRecord rec) {
   else
     ++by_level_[static_cast<std::size_t>(rec.match)];
   records_.push_back(std::move(rec));
+}
+
+void MetricsCollector::merge(const MetricsCollector& other) {
+  records_.insert(records_.end(), other.records_.begin(),
+                  other.records_.end());
+  total_latency_s_ += other.total_latency_s_;
+  cold_starts_ += other.cold_starts_;
+  for (std::size_t i = 0; i < by_level_.size(); ++i)
+    by_level_[i] += other.by_level_[i];
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const InvocationRecord& a, const InvocationRecord& b) {
+                     return a.seq < b.seq;
+                   });
 }
 
 void MetricsCollector::clear() {

@@ -31,6 +31,11 @@ class MetricsCollector {
   void record(InvocationRecord rec);
   void clear();
 
+  /// Fold another collector into this one (fleet-wide aggregation across
+  /// nodes). Records are re-ordered by trace sequence number so cumulative
+  /// series stay in global arrival order.
+  void merge(const MetricsCollector& other);
+
   [[nodiscard]] const std::vector<InvocationRecord>& records() const noexcept {
     return records_;
   }

@@ -1,0 +1,93 @@
+// Determinism at fleet scope and in the threaded bench replication loop:
+// the same seed must give identical summaries no matter how many worker
+// threads execute the replications, and fleet episodes themselves must be
+// reproducible when run concurrently.
+#include <gtest/gtest.h>
+
+#include "bench/common.hpp"
+#include "fleet/fleet_env.hpp"
+#include "fleet/router.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mlcr {
+namespace {
+
+/// run_replications must be bit-identical for --threads 1 vs --threads N,
+/// including for stateful schedulers (Random owns an Rng): every rep gets a
+/// fresh system and an Rng split in rep order.
+TEST(FleetDeterminism, RunReplicationsThreadedMatchesSerial) {
+  const benchtools::Suite suite;
+  const benchtools::TraceFactory factory = [&](util::Rng& rng) {
+    return fstartbench::make_overall_workload(suite.bench, 80, rng);
+  };
+  const std::vector<benchtools::SystemFactory> systems = {
+      [] { return policies::make_greedy_match_system(); },
+      [] { return policies::make_random_system(3); },
+      [] { return policies::make_keepalive_system(); },
+  };
+  for (const auto& make_system : systems) {
+    const auto serial = benchtools::run_replications(
+        suite, make_system, factory, 1200.0, /*reps=*/6, /*threads=*/1);
+    const auto threaded = benchtools::run_replications(
+        suite, make_system, factory, 1200.0, /*reps=*/6, /*threads=*/4);
+    EXPECT_EQ(serial.totals, threaded.totals);
+    EXPECT_DOUBLE_EQ(serial.total_latency_s.mean(),
+                     threaded.total_latency_s.mean());
+    EXPECT_DOUBLE_EQ(serial.cold_starts.mean(), threaded.cold_starts.mean());
+    EXPECT_DOUBLE_EQ(serial.peak_pool_mb.mean(),
+                     threaded.peak_pool_mb.mean());
+    EXPECT_DOUBLE_EQ(serial.evictions.mean(), threaded.evictions.mean());
+  }
+}
+
+/// Fleet episodes replicated across a thread pool (each rep with its own
+/// split Rng, fleet and router) equal the serial loop element-wise.
+TEST(FleetDeterminism, FleetReplicationsThreadedMatchSerial) {
+  const benchtools::Suite suite;
+  constexpr std::size_t kReps = 6;
+
+  auto rep_summaries = [&](std::size_t threads) {
+    std::vector<util::Rng> rep_rngs;
+    util::Rng root(4242);
+    for (std::size_t r = 0; r < kReps; ++r) rep_rngs.push_back(root.split());
+    std::vector<fleet::FleetSummary> out(kReps);
+    const auto run_one = [&](std::size_t r) {
+      util::Rng rng = rep_rngs[r];
+      const sim::Trace trace =
+          fstartbench::make_overall_workload(suite.bench, 100, rng);
+      fleet::FleetConfig cfg;
+      cfg.nodes = 4;
+      cfg.node_env.pool_capacity_mb = 700.0;
+      cfg.seed = 50 + r;
+      fleet::FleetEnv env(
+          suite.bench.functions, suite.bench.catalog, suite.cost, cfg,
+          fleet::uniform_system(policies::make_greedy_match_system));
+      fleet::WarmAwareRouter router;
+      out[r] = env.run(trace, router);
+    };
+    if (threads == 1) {
+      for (std::size_t r = 0; r < kReps; ++r) run_one(r);
+    } else {
+      util::ThreadPool pool(threads);
+      pool.parallel_for(kReps, run_one);
+    }
+    return out;
+  };
+
+  const auto serial = rep_summaries(1);
+  const auto threaded = rep_summaries(3);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t r = 0; r < kReps; ++r) {
+    EXPECT_DOUBLE_EQ(serial[r].total.total_latency_s,
+                     threaded[r].total.total_latency_s);
+    EXPECT_EQ(serial[r].total.cold_starts, threaded[r].total.cold_starts);
+    EXPECT_EQ(serial[r].total.warm_l3, threaded[r].total.warm_l3);
+    ASSERT_EQ(serial[r].per_node.size(), threaded[r].per_node.size());
+    for (std::size_t i = 0; i < serial[r].per_node.size(); ++i)
+      EXPECT_EQ(serial[r].per_node[i].invocations,
+                threaded[r].per_node[i].invocations);
+  }
+}
+
+}  // namespace
+}  // namespace mlcr

@@ -1,0 +1,171 @@
+// Router policies: determinism, range, and the placement properties each
+// policy promises (round-robin cycling, least-outstanding load tracking,
+// consistent-hash stability + affinity, warm-aware match chasing).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fleet/fleet_env.hpp"
+#include "fleet/router.hpp"
+#include "testing/fixtures.hpp"
+
+namespace mlcr {
+namespace {
+
+using testing::TinyWorld;
+
+fleet::FleetEnv make_fleet(const TinyWorld& world, std::size_t nodes,
+                           double pool_mb = 4096.0) {
+  fleet::FleetConfig cfg;
+  cfg.nodes = nodes;
+  cfg.node_env.pool_capacity_mb = pool_mb;
+  cfg.seed = 5;
+  return fleet::FleetEnv(
+      world.functions, world.catalog, world.cost_model(), cfg,
+      fleet::uniform_system(policies::make_greedy_match_system));
+}
+
+TEST(Router, RoundRobinCyclesThroughNodes) {
+  const TinyWorld world;
+  auto env = make_fleet(world, 3);
+  fleet::RoundRobinRouter router;
+  router.on_episode_start(env);
+  const auto inv = TinyWorld::inv(world.fn_py_flask, 0.0);
+  for (std::size_t i = 0; i < 7; ++i)
+    EXPECT_EQ(router.route(env, inv), i % 3);
+}
+
+TEST(Router, RandomStaysInRangeAndIsSeedDeterministic) {
+  const TinyWorld world;
+  auto env = make_fleet(world, 4);
+  const auto inv = TinyWorld::inv(world.fn_py_flask, 0.0);
+
+  auto sequence = [&](std::uint64_t seed) {
+    fleet::RandomRouter router(seed);
+    router.on_episode_start(env);
+    std::vector<std::size_t> out;
+    for (int i = 0; i < 50; ++i) out.push_back(router.route(env, inv));
+    return out;
+  };
+  const auto a = sequence(3);
+  const auto b = sequence(3);
+  EXPECT_EQ(a, b);
+  for (const std::size_t node : a) EXPECT_LT(node, 4U);
+  // All four nodes should appear in 50 draws.
+  EXPECT_EQ(std::set<std::size_t>(a.begin(), a.end()).size(), 4U);
+}
+
+TEST(Router, LeastOutstandingPicksIdleNode) {
+  const TinyWorld world;
+  auto env = make_fleet(world, 2);
+  fleet::LeastOutstandingRouter router;
+  router.on_episode_start(env);
+
+  // Run a short trace through warm-aware-free routing by hand: send one
+  // long-running invocation to node 0 via a full episode, then check the
+  // router prefers the idle node 1 while node 0 is busy.
+  const sim::Trace trace = TinyWorld::make_trace(
+      {TinyWorld::inv(world.fn_py_flask, 0.0, /*exec_s=*/100.0),
+       TinyWorld::inv(world.fn_py_numpy, 0.1, /*exec_s=*/100.0)});
+  // Route manually through the fleet run: both policies below exercise the
+  // fleet; here we only check the router's tie-breaking and load logic via
+  // a run that leaves node occupancy observable through the summary.
+  const auto summary = env.run(trace, router);
+  ASSERT_EQ(summary.per_node.size(), 2U);
+  // First invocation goes to node 0 (tie -> lowest index); while it is
+  // still executing, the second must go to node 1.
+  EXPECT_EQ(summary.per_node[0].invocations, 1U);
+  EXPECT_EQ(summary.per_node[1].invocations, 1U);
+}
+
+TEST(Router, ConsistentHashIsStableAndColocatesSharedStacks) {
+  const TinyWorld world;
+  auto env = make_fleet(world, 4);
+  fleet::ConsistentHashRouter router;
+  router.on_episode_start(env);
+
+  const auto flask = TinyWorld::inv(world.fn_py_flask, 0.0);
+  const auto numpy = TinyWorld::inv(world.fn_py_numpy, 0.0);
+  const auto js = TinyWorld::inv(world.fn_js, 0.0);
+
+  // Same function always maps to the same node.
+  EXPECT_EQ(router.route(env, flask), router.route(env, flask));
+  // Functions sharing OS + language (L2 pair) colocate: the affinity key
+  // excludes the runtime level by design.
+  EXPECT_EQ(router.route(env, flask), router.route(env, numpy));
+  // A different language stack is allowed to map elsewhere (not asserted:
+  // hashing may collide), but the mapping must be deterministic.
+  EXPECT_EQ(router.route(env, js), router.route(env, js));
+}
+
+TEST(Router, ConsistentHashMovesFewKeysWhenFleetGrows) {
+  const TinyWorld world;
+  auto env4 = make_fleet(world, 4);
+  auto env5 = make_fleet(world, 5);
+  fleet::ConsistentHashRouter router(/*virtual_nodes=*/128);
+
+  // With only 4 function types the key space is tiny; use all of them and
+  // check that growing the fleet does not reshuffle every assignment (the
+  // whole point of the ring vs. modulo hashing).
+  const std::vector<sim::FunctionTypeId> fns = {
+      world.fn_py_flask, world.fn_py_numpy, world.fn_js, world.fn_other_os};
+  router.on_episode_start(env4);
+  std::vector<std::size_t> before;
+  for (const auto fn : fns)
+    before.push_back(router.route(env4, TinyWorld::inv(fn, 0.0)));
+  router.on_episode_start(env5);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < fns.size(); ++i)
+    if (router.route(env5, TinyWorld::inv(fns[i], 0.0)) != before[i]) ++moved;
+  EXPECT_LE(moved, fns.size() - 1) << "growing 4->5 nodes moved every key";
+}
+
+TEST(Router, WarmAwareRoutesToBestMatch) {
+  const TinyWorld world;
+  auto env = make_fleet(world, 3);
+  fleet::WarmAwareRouter router;
+  router.on_episode_start(env);
+
+  // Seed node 2 with a warm py-flask container by running a trace where
+  // round-robin would not land fn_py_flask there: drive the fleet with a
+  // short episode, then inspect routing decisions inside a second episode.
+  // Simpler: run one episode where the only invocation lands on node 0 (all
+  // pools empty -> least-outstanding fallback -> node 0), then check the
+  // next invocation of an L2-compatible function routes back to node 0.
+  const sim::Trace trace = TinyWorld::make_trace(
+      {TinyWorld::inv(world.fn_py_flask, 0.0, /*exec_s=*/0.1),
+       TinyWorld::inv(world.fn_py_numpy, 60.0, /*exec_s=*/0.1),
+       TinyWorld::inv(world.fn_other_os, 61.0, /*exec_s=*/0.1)});
+  const auto summary = env.run(trace, router);
+  ASSERT_EQ(summary.per_node.size(), 3U);
+  // fn_py_flask cold-starts on node 0; fn_py_numpy finds its L2 match there;
+  // fn_other_os matches nothing anywhere and falls back to the least
+  // outstanding node — node 1 (node 0 may still be admitting, but both are
+  // idle, so lowest index among idle nodes: node 1 only if node 0 busy;
+  // with exec 0.1s node 0 is idle again, so fallback picks node 0 or 1 by
+  // busy count = 0 tie -> node 0... assert via totals instead).
+  EXPECT_EQ(summary.total.invocations, 3U);
+  EXPECT_EQ(summary.per_node[0].invocations +
+                summary.per_node[1].invocations +
+                summary.per_node[2].invocations,
+            3U);
+  // The L2 reuse must have happened: exactly one warm start at level 2.
+  EXPECT_EQ(summary.total.warm_l2, 1U);
+  EXPECT_EQ(summary.total.cold_starts, 2U);
+}
+
+TEST(Router, StandardRoutersExposeAllFivePolicies) {
+  const auto routers = fleet::standard_routers();
+  ASSERT_EQ(routers.size(), 5U);
+  std::set<std::string> names;
+  for (const auto& r : routers) {
+    auto instance = r.make();
+    ASSERT_NE(instance, nullptr);
+    EXPECT_EQ(instance->name(), r.name);
+    names.insert(r.name);
+  }
+  EXPECT_EQ(names.size(), 5U);
+}
+
+}  // namespace
+}  // namespace mlcr
