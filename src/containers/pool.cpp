@@ -1,8 +1,10 @@
 #include "containers/pool.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
+#include "util/audit.hpp"
 #include "util/check.hpp"
 
 namespace mlcr::containers {
@@ -68,6 +70,7 @@ WarmPool::AdmitOutcome WarmPool::admit(Container container, double now) {
 
   if (container.memory_mb > capacity_mb_) {
     ++rejections_;
+    MLCR_AUDIT_POINT(audit());
     return AdmitOutcome::kRejected;
   }
   auto over_budget = [&] {
@@ -76,6 +79,7 @@ WarmPool::AdmitOutcome WarmPool::admit(Container container, double now) {
   };
   if (over_budget() && eviction_->reject_when_full()) {
     ++rejections_;
+    MLCR_AUDIT_POINT(audit());
     return AdmitOutcome::kRejected;
   }
   while (over_budget()) {
@@ -92,6 +96,7 @@ WarmPool::AdmitOutcome WarmPool::admit(Container container, double now) {
   peak_used_mb_ = std::max(peak_used_mb_, used_mb_);
   const ContainerId id = container.id;
   by_id_.emplace(id, std::move(container));
+  MLCR_AUDIT_POINT(audit());
   return AdmitOutcome::kAdmitted;
 }
 
@@ -102,6 +107,7 @@ std::optional<Container> WarmPool::take(ContainerId id, double now) {
   used_mb_ -= c.memory_mb;
   by_id_.erase(it);
   eviction_->on_take(c, now);
+  MLCR_AUDIT_POINT(audit());
   return c;
 }
 
@@ -123,14 +129,15 @@ std::vector<const Container*> WarmPool::idle_containers() const {
 }
 
 std::size_t WarmPool::expire_older_than(double now, double ttl_s) {
+  // by_id_ is id-ordered, so `expired` is already deterministic.
   std::vector<ContainerId> expired;
   for (const auto& [id, c] : by_id_)
     if (now - c.last_idle_at > ttl_s) expired.push_back(id);
-  std::sort(expired.begin(), expired.end());
   for (ContainerId id : expired) {
     erase(id);
     ++evictions_;
   }
+  MLCR_AUDIT_POINT(audit());
   return expired.size();
 }
 
@@ -139,6 +146,33 @@ void WarmPool::erase(ContainerId id) {
   MLCR_CHECK(it != by_id_.end());
   used_mb_ -= it->second.memory_mb;
   by_id_.erase(it);
+}
+
+void WarmPool::audit() const {
+  double summed_mb = 0.0;
+  for (const auto& [id, c] : by_id_) {
+    MLCR_CHECK_MSG(id == c.id, "pool key " << id << " maps to container "
+                                           << c.id);
+    MLCR_CHECK_MSG(c.id != kInvalidContainer, "invalid container id in pool");
+    MLCR_CHECK_MSG(c.state == ContainerState::kIdle,
+                   "container " << c.id << " is busy while pooled");
+    MLCR_CHECK_MSG(c.memory_mb > 0.0,
+                   "container " << c.id << " has non-positive footprint");
+    summed_mb += c.memory_mb;
+  }
+  // used_mb_ is maintained incrementally; allow float-accumulation slack.
+  MLCR_CHECK_MSG(
+      std::abs(summed_mb - used_mb_) <= 1e-6 * std::max(1.0, summed_mb),
+      "pool byte accounting drifted: tracked " << used_mb_ << " MB, summed "
+                                               << summed_mb << " MB");
+  MLCR_CHECK_MSG(used_mb_ <= capacity_mb_ + 1e-6,
+                 "pool over capacity: " << used_mb_ << " of " << capacity_mb_
+                                        << " MB");
+  MLCR_CHECK_MSG(max_count_ == 0 || by_id_.size() <= max_count_,
+                 "pool over container cap: " << by_id_.size() << " of "
+                                             << max_count_);
+  MLCR_CHECK_MSG(peak_used_mb_ + 1e-6 >= used_mb_,
+                 "peak usage below current usage");
 }
 
 }  // namespace mlcr::containers

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -137,13 +138,25 @@ class WarmPool {
     return *eviction_;
   }
 
+  /// Invariant auditor: byte accounting matches the summed container sizes,
+  /// every pooled container is idle with a consistent id, and capacity /
+  /// count caps hold. Throws util::CheckError on violation. Called after
+  /// every mutation in audit-enabled builds (see util/audit.hpp); tests call
+  /// it directly on corrupted state.
+  void audit() const;
+
  private:
+  friend struct PoolTestPeer;  ///< test-only corruption hook (tests/sim)
+
   void erase(ContainerId id);
 
-  double capacity_mb_;
-  std::size_t max_count_;
+  double capacity_mb_ = 0.0;
+  std::size_t max_count_ = 0;
   std::unique_ptr<EvictionPolicy> eviction_;
-  std::unordered_map<ContainerId, Container> by_id_;
+  /// Ordered by id: every scan over the pool (idle listing, TTL expiry,
+  /// audit) is deterministic by construction. simlint bans iterating
+  /// unordered containers into metrics/eviction decisions.
+  std::map<ContainerId, Container> by_id_;
   double used_mb_ = 0.0;
   double peak_used_mb_ = 0.0;
   std::size_t evictions_ = 0;

@@ -1,7 +1,7 @@
 #include "containers/registry.hpp"
 
 #include <algorithm>
-#include <unordered_map>
+#include <map>
 
 #include "util/check.hpp"
 
@@ -58,7 +58,9 @@ SyntheticRegistry::SyntheticRegistry(const PackageCatalog& catalog,
 
 std::vector<PackagePopularity> SyntheticRegistry::popularity(
     Level level) const {
-  std::unordered_map<PackageId, std::uint64_t> pulls;
+  // Aggregated in deterministic key order (std::map): the rows feed the
+  // Fig. 3 tables directly, so iteration order must not depend on hashing.
+  std::map<PackageId, std::uint64_t> pulls;
   std::uint64_t total = 0;
   for (const auto& img : images_) {
     total += img.pull_count;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "containers/matching.hpp"
+#include "util/audit.hpp"
 #include "util/check.hpp"
 
 namespace mlcr::core {
@@ -167,7 +168,42 @@ EncodedState StateEncoder::encode(const sim::ClusterEnv& env,
     state.slot_ids[s] = c.id;
   }
 
+  MLCR_AUDIT_POINT(audit(env, inv, state));
   return state;
+}
+
+void StateEncoder::audit(const sim::ClusterEnv& env, const sim::Invocation& inv,
+                         const EncodedState& state) const {
+  MLCR_CHECK_MSG(state.mask.size() == num_actions(), "mask size mismatch");
+  MLCR_CHECK_MSG(state.slot_ids.size() == config_.num_slots,
+                 "slot mapping size mismatch");
+  MLCR_CHECK_MSG(state.mask.back() == 1, "cold start must always be allowed");
+  const sim::FunctionType& fn = env.functions().get(inv.function);
+  for (std::size_t s = 0; s < config_.num_slots; ++s) {
+    const containers::ContainerId id = state.slot_ids[s];
+    if (!config_.mask_invalid_actions) {
+      // Masking ablated: every action allowed, invalid ones degrade to cold.
+      MLCR_CHECK_MSG(state.mask[s] == 1, "ablated mask must allow everything");
+      continue;
+    }
+    const containers::Container* c =
+        id == containers::kInvalidContainer ? nullptr : env.pool().find(id);
+    const bool reusable =
+        c != nullptr && containers::reusable(containers::match(fn.image,
+                                                               c->image));
+    if (state.mask[s] != 0) {
+      MLCR_CHECK_MSG(id != containers::kInvalidContainer,
+                     "mask exposes an empty slot " << s);
+      MLCR_CHECK_MSG(c != nullptr, "mask exposes absent/busy container "
+                                       << id << " in slot " << s);
+      MLCR_CHECK_MSG(reusable, "mask exposes no-match container "
+                                   << id << " in slot " << s);
+    } else {
+      MLCR_CHECK_MSG(!reusable, "reusable container " << id
+                                                      << " masked out in slot "
+                                                      << s);
+    }
+  }
 }
 
 sim::Action StateEncoder::to_sim_action(const EncodedState& state,

@@ -53,6 +53,15 @@ class StateEncoder {
   [[nodiscard]] sim::Action to_sim_action(const EncodedState& state,
                                           std::size_t action) const;
 
+  /// Invariant auditor for the Sec. IV-C action mask: cold start is always
+  /// allowed, and no enabled slot action may point at an absent (busy /
+  /// evicted) or no-match container — the DQN must never be shown an action
+  /// that cannot be executed as encoded. Throws util::CheckError on
+  /// violation. Runs after every encode() in audit-enabled builds (see
+  /// util/audit.hpp); tests call it directly on corrupted states.
+  void audit(const sim::ClusterEnv& env, const sim::Invocation& inv,
+             const EncodedState& state) const;
+
   [[nodiscard]] const StateEncoderConfig& config() const noexcept {
     return config_;
   }

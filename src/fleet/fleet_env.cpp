@@ -1,9 +1,33 @@
 #include "fleet/fleet_env.hpp"
 
 #include "fleet/router.hpp"
+#include "util/audit.hpp"
 #include "util/check.hpp"
 
 namespace mlcr::fleet {
+
+namespace {
+
+/// Invariant auditor for a completed fleet episode: every node's summary
+/// agrees with its metrics collector, and the per-node invocation counts sum
+/// to the global trace — no invocation lost or duplicated by routing.
+[[maybe_unused]] void audit_fleet_run(
+    const sim::Trace& trace,
+    const std::vector<NodeObservation>& observations) {
+  std::size_t routed = 0;
+  for (const NodeObservation& obs : observations) {
+    MLCR_CHECK(obs.metrics != nullptr);
+    obs.metrics->audit();
+    MLCR_CHECK_MSG(obs.summary.invocations == obs.metrics->invocation_count(),
+                   "node summary and metrics disagree on invocation count");
+    routed += obs.summary.invocations;
+  }
+  MLCR_CHECK_MSG(routed == trace.size(),
+                 "fleet routed " << routed << " invocations of a trace of "
+                                 << trace.size());
+}
+
+}  // namespace
 
 NodeSystemFactory uniform_system(std::function<policies::SystemSpec()> make) {
   MLCR_CHECK(make != nullptr);
@@ -73,6 +97,7 @@ FleetSummary FleetEnv::run(const sim::Trace& trace, Router& router) {
         {policies::summarize_env(*node.env, node.spec.scheduler->name()),
          &node.env->metrics()});
   }
+  MLCR_AUDIT_POINT(audit_fleet_run(trace, observations));
   return aggregate_fleet(router.name(), system_name_, observations);
 }
 

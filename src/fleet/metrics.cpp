@@ -1,8 +1,38 @@
 #include "fleet/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "util/audit.hpp"
+#include "util/check.hpp"
 
 namespace mlcr::fleet {
+
+namespace {
+
+/// Per-node metrics must sum to the fleet totals: the merged record stream
+/// carries exactly the invocations the summaries counted, level by level.
+[[maybe_unused]] void audit_aggregation(const FleetSummary& fs) {
+  fs.merged.audit();
+  MLCR_CHECK_MSG(fs.merged.invocation_count() == fs.total.invocations,
+                 "merged records disagree with summed node invocations");
+  MLCR_CHECK_MSG(fs.merged.cold_start_count() == fs.total.cold_starts,
+                 "merged cold starts disagree with summed node cold starts");
+  MLCR_CHECK_MSG(
+      fs.merged.warm_starts_at(containers::MatchLevel::kL1) ==
+              fs.total.warm_l1 &&
+          fs.merged.warm_starts_at(containers::MatchLevel::kL2) ==
+              fs.total.warm_l2 &&
+          fs.merged.warm_starts_at(containers::MatchLevel::kL3) ==
+              fs.total.warm_l3,
+      "merged warm-start levels disagree with summed node levels");
+  MLCR_CHECK_MSG(
+      std::abs(fs.merged.total_latency_s() - fs.total.total_latency_s) <=
+          1e-9 * std::max(1.0, fs.total.total_latency_s),
+      "merged total latency disagrees with summed node latency");
+}
+
+}  // namespace
 
 FleetSummary aggregate_fleet(std::string router, std::string system,
                              const std::vector<NodeObservation>& nodes) {
@@ -13,6 +43,7 @@ FleetSummary aggregate_fleet(std::string router, std::string system,
   fs.total.scheduler = fs.system;
 
   std::size_t max_invocations = 0;
+  bool all_metrics = true;
   for (const NodeObservation& node : nodes) {
     const policies::EpisodeSummary& s = node.summary;
     fs.per_node.push_back(s);
@@ -26,7 +57,10 @@ FleetSummary aggregate_fleet(std::string router, std::string system,
     fs.total.evictions += s.evictions;
     fs.total.rejections += s.rejections;
     max_invocations = std::max(max_invocations, s.invocations);
-    if (node.metrics != nullptr) fs.merged.merge(*node.metrics);
+    if (node.metrics != nullptr)
+      fs.merged.merge(*node.metrics);
+    else
+      all_metrics = false;
   }
   if (fs.total.invocations > 0) {
     fs.total.average_latency_s =
@@ -35,6 +69,7 @@ FleetSummary aggregate_fleet(std::string router, std::string system,
         static_cast<double>(max_invocations) * static_cast<double>(fs.nodes) /
         static_cast<double>(fs.total.invocations);
   }
+  if (all_metrics) MLCR_AUDIT_POINT(audit_aggregation(fs));
   return fs;
 }
 

@@ -12,6 +12,10 @@ namespace mlcr::nn {
 namespace {
 constexpr char kMagic[] = "MLCRNN1\n";
 constexpr std::size_t kMagicLen = sizeof(kMagic) - 1;
+/// Hard cap on serialized parameter-name length: a truncated or corrupt file
+/// can yield an arbitrary 64-bit length, which would otherwise be fed
+/// straight into a string allocation.
+constexpr std::uint64_t kMaxNameLen = 1 << 16;
 
 void write_u64(std::ostream& os, std::uint64_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -47,7 +51,7 @@ void save_parameters(Module& module, const std::string& path) {
 }
 
 void load_parameters(Module& module, std::istream& is) {
-  char magic[kMagicLen];
+  char magic[kMagicLen] = {};
   is.read(magic, static_cast<std::streamsize>(kMagicLen));
   MLCR_CHECK_MSG(is.good() && std::string(magic, kMagicLen) == kMagic,
                  "not a MLCR parameter file");
@@ -58,8 +62,12 @@ void load_parameters(Module& module, std::istream& is) {
                      << count << ", module has " << params.size());
   for (Parameter* p : params) {
     const std::uint64_t name_len = read_u64(is);
+    MLCR_CHECK_MSG(name_len <= kMaxNameLen,
+                   "implausible parameter-name length "
+                       << name_len << " — corrupt or truncated file");
     std::string name(name_len, '\0');
     is.read(name.data(), static_cast<std::streamsize>(name_len));
+    MLCR_CHECK_MSG(is.good(), "truncated parameter file reading name");
     MLCR_CHECK_MSG(name == p->name, "parameter name mismatch: file '"
                                         << name << "' vs module '" << p->name
                                         << "'");

@@ -8,7 +8,7 @@
 // bench measures.
 #pragma once
 
-#include <unordered_map>
+#include <map>
 
 #include "containers/pool.hpp"
 #include "policies/baselines.hpp"
@@ -38,7 +38,9 @@ class InterArrivalEstimator {
     std::size_t observations = 0;
   };
   double alpha_;
-  std::unordered_map<containers::FunctionTypeId, FnStats> stats_;
+  /// Keyed map is ordered so any future scan over tracked functions (e.g.
+  /// proactive prewarm candidates) is deterministic by construction.
+  std::map<containers::FunctionTypeId, FnStats> stats_;
 };
 
 /// Eviction policy that keeps the containers predicted to be reused soonest.

@@ -1,6 +1,9 @@
 #include "sim/env.hpp"
 
+#include <set>
+
 #include "containers/matching.hpp"
+#include "util/audit.hpp"
 #include "util/check.hpp"
 
 namespace mlcr::sim {
@@ -57,17 +60,20 @@ void ClusterEnv::offer(Invocation inv) {
                  "streaming invocations must arrive in time order");
   stream_.push_back(inv);
   advance_to(inv.arrival_s);
+  MLCR_AUDIT_POINT(audit());
 }
 
 void ClusterEnv::advance_idle(double time) {
   MLCR_CHECK_MSG(done(), "advance_idle() with a pending invocation");
   if (time > now_) advance_to(time);
+  MLCR_AUDIT_POINT(audit());
 }
 
 void ClusterEnv::finish_streaming() {
   MLCR_CHECK_MSG(streaming_, "finish_streaming() requires reset_streaming()");
   MLCR_CHECK_MSG(done(), "finish_streaming() with a pending invocation");
   finish_episode();
+  MLCR_AUDIT_POINT(audit());
 }
 
 bool ClusterEnv::done() const noexcept {
@@ -212,7 +218,43 @@ StepResult ClusterEnv::step(const Action& action) {
     advance_to(at(next_index_).arrival_s);
   }
 
+  MLCR_AUDIT_POINT(audit());
   return result;
+}
+
+void ClusterEnv::audit() const {
+  if (pool_ == nullptr) return;  // before the first reset there is no state
+  pool_->audit();
+
+  // Busy containers: unique ids, disjoint from the pool ("no container
+  // simultaneously busy and reusable"), kBusy state, completion not in the
+  // simulated past, ids actually issued.
+  auto heap = busy_;
+  std::set<containers::ContainerId> seen;
+  while (!heap.empty()) {
+    const Completion& c = heap.top();
+    MLCR_CHECK_MSG(c.container.state == ContainerState::kBusy,
+                   "container " << c.container.id << " idle while executing");
+    MLCR_CHECK_MSG(seen.insert(c.container.id).second,
+                   "container " << c.container.id << " busy twice");
+    MLCR_CHECK_MSG(pool_->find(c.container.id) == nullptr,
+                   "container " << c.container.id
+                                << " simultaneously busy and pooled");
+    MLCR_CHECK_MSG(c.container.id < next_container_id_,
+                   "busy container id " << c.container.id << " never issued");
+    MLCR_CHECK_MSG(c.time >= now_, "completion scheduled in the past");
+    heap.pop();
+  }
+  for (const containers::Container* c : pool_->idle_containers())
+    MLCR_CHECK_MSG(c->id < next_container_id_,
+                   "pooled container id " << c->id << " never issued");
+
+  metrics_.audit();
+  const std::size_t episode_size =
+      streaming_ ? stream_.size() : (trace_ != nullptr ? trace_->size() : 0);
+  MLCR_CHECK_MSG(next_index_ <= episode_size, "episode index out of range");
+  MLCR_CHECK_MSG(metrics_.invocation_count() == next_index_,
+                 "metrics record count diverged from scheduled invocations");
 }
 
 }  // namespace mlcr::sim

@@ -146,7 +146,16 @@ class ClusterEnv {
   [[nodiscard]] containers::MatchLevel match_for(
       containers::ContainerId id, FunctionTypeId function) const;
 
+  /// Cross-structure invariant auditor: pool byte accounting, busy/pooled
+  /// disjointness (no container simultaneously busy and reusable), metrics
+  /// aggregate consistency, and clock/index sanity. Throws util::CheckError
+  /// on violation. Runs after every event in audit-enabled builds (see
+  /// util/audit.hpp); tests call it directly on corrupted state.
+  void audit() const;
+
  private:
+  friend struct EnvTestPeer;  ///< test-only corruption hook (tests/sim)
+
   struct Completion {
     double time = 0.0;
     containers::Container container;

@@ -1,6 +1,7 @@
 #include "sim/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.hpp"
 
@@ -62,6 +63,36 @@ std::vector<double> MetricsCollector::cumulative_latency() const {
     out.push_back(total);
   }
   return out;
+}
+
+void MetricsCollector::audit() const {
+  double total = 0.0;
+  std::size_t cold = 0;
+  std::array<std::size_t, 4> by_level{};
+  std::uint64_t prev_seq = 0;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const InvocationRecord& r = records_[i];
+    MLCR_CHECK_MSG(r.latency_s >= 0.0, "negative startup latency recorded");
+    total += r.latency_s;
+    if (r.cold)
+      ++cold;
+    else
+      ++by_level[static_cast<std::size_t>(r.match)];
+    MLCR_CHECK_MSG(i == 0 || r.seq >= prev_seq,
+                   "records out of trace-sequence order at seq " << r.seq);
+    prev_seq = r.seq;
+  }
+  MLCR_CHECK_MSG(cold == cold_starts_, "cold-start count drifted: tracked "
+                                           << cold_starts_ << ", recomputed "
+                                           << cold);
+  MLCR_CHECK_MSG(by_level == by_level_, "per-level warm counts drifted");
+  // merge() re-sorts records, so recomputation may fold in a different
+  // order; allow relative float slack.
+  MLCR_CHECK_MSG(
+      std::abs(total - total_latency_s_) <=
+          1e-9 * std::max(1.0, std::abs(total)),
+      "total latency drifted: tracked " << total_latency_s_
+                                        << ", recomputed " << total);
 }
 
 std::vector<std::size_t> MetricsCollector::cumulative_cold_starts() const {

@@ -61,7 +61,15 @@ class MetricsCollector {
   /// Cumulative cold-start count after each invocation (Fig. 9 series).
   [[nodiscard]] std::vector<std::size_t> cumulative_cold_starts() const;
 
+  /// Invariant auditor: the incremental aggregates (total latency, cold
+  /// count, per-level warm counts) match a recomputation from the records,
+  /// and records are in trace-sequence order. Throws util::CheckError on
+  /// violation; see util/audit.hpp for when it runs automatically.
+  void audit() const;
+
  private:
+  friend struct MetricsTestPeer;  ///< test-only corruption hook (tests/sim)
+
   std::vector<InvocationRecord> records_;
   double total_latency_s_ = 0.0;
   std::size_t cold_starts_ = 0;

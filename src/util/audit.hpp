@@ -1,0 +1,33 @@
+// Compile-time gate for the cross-structure invariant auditor.
+//
+// The auditor re-validates structural invariants (pool byte accounting,
+// busy/idle disjointness, metrics sums, action-mask validity) after every
+// state transition. The audit methods themselves (WarmPool::audit,
+// ClusterEnv::audit, MetricsCollector::audit, StateEncoder::audit) are always
+// compiled — tests call them directly — but the per-event call sites are
+// wrapped in MLCR_AUDIT_POINT, which compiles away in optimized builds:
+//
+//   - Debug builds (NDEBUG undefined): auditor on.
+//   - RelWithDebInfo / Release: auditor off, unless the build was configured
+//     with -DMLCR_AUDIT=ON (which defines MLCR_AUDIT_FORCE).
+//
+// Audit failures throw util::CheckError via MLCR_CHECK, so tests can assert
+// on corrupted state instead of aborting.
+#pragma once
+
+#if defined(MLCR_AUDIT_FORCE) || !defined(NDEBUG)
+#define MLCR_AUDIT_ENABLED 1
+#else
+#define MLCR_AUDIT_ENABLED 0
+#endif
+
+#if MLCR_AUDIT_ENABLED
+#define MLCR_AUDIT_POINT(expr) \
+  do {                         \
+    expr;                      \
+  } while (0)
+#else
+#define MLCR_AUDIT_POINT(expr) \
+  do {                         \
+  } while (0)
+#endif

@@ -41,7 +41,18 @@ void ThreadPool::parallel_for(std::size_t n,
   futures.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
     futures.push_back(submit([&fn, i] { fn(i); }));
-  for (auto& f : futures) f.get();
+  // Drain every future before propagating: tasks capture `fn` by reference,
+  // so returning (via throw) while later tasks are still queued or running
+  // would leave them racing against a dead reference.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (first == nullptr) first = std::current_exception();
+    }
+  }
+  if (first != nullptr) std::rethrow_exception(first);
 }
 
 }  // namespace mlcr::util

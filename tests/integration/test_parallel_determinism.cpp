@@ -1,0 +1,57 @@
+// The bench replication harness must produce bit-identical statistics for
+// any --threads value: every rep owns an Rng split off the trace seed in rep
+// order and a fresh system instance, and results are folded in rep order
+// after all reps finish. This pins the guarantee end to end through the real
+// harness (bench/common.hpp), not just the thread pool.
+#include <gtest/gtest.h>
+
+#include "bench/common.hpp"
+#include "fstartbench/workloads.hpp"
+#include "policies/baselines.hpp"
+
+namespace mlcr {
+namespace {
+
+benchtools::TraceFactory overall_factory(const benchtools::Suite& suite,
+                                         std::size_t invocations) {
+  return [&suite, invocations](util::Rng& rng) {
+    return fstartbench::make_overall_workload(suite.bench, invocations, rng);
+  };
+}
+
+TEST(ParallelDeterminism, ReplicationsAreBitIdenticalAcrossThreadCounts) {
+  const benchtools::Suite suite;
+  const auto factory = overall_factory(suite, 60);
+  const benchtools::SystemFactory lru = [] {
+    return policies::make_lru_system();
+  };
+
+  const auto serial =
+      benchtools::run_replications(suite, lru, factory, 2048.0, 6, 1);
+  for (const std::size_t threads : {2U, 4U}) {
+    const auto threaded =
+        benchtools::run_replications(suite, lru, factory, 2048.0, 6, threads);
+    // Exact double equality: the fold happens in rep order regardless of
+    // which worker finished first, so there is no tolerance to grant.
+    EXPECT_EQ(serial.totals, threaded.totals) << threads << " threads";
+  }
+}
+
+TEST(ParallelDeterminism, HoldsForStatefulEvictionPolicies) {
+  // FaasCache keeps mutable greedy-dual state per system instance; the
+  // factory hands every rep its own, so threading must not leak state.
+  const benchtools::Suite suite;
+  const auto factory = overall_factory(suite, 50);
+  const benchtools::SystemFactory faascache = [] {
+    return policies::make_faascache_system();
+  };
+
+  const auto serial =
+      benchtools::run_replications(suite, faascache, factory, 1024.0, 5, 1);
+  const auto threaded =
+      benchtools::run_replications(suite, faascache, factory, 1024.0, 5, 3);
+  EXPECT_EQ(serial.totals, threaded.totals);
+}
+
+}  // namespace
+}  // namespace mlcr

@@ -42,7 +42,9 @@ TEST(DqnAgent, TrainStepGatedOnMinReplay) {
     t.reward = 0.0F;
     t.terminal = true;
     agent.observe(std::move(t));
-    if (i < 2) EXPECT_EQ(agent.train_step(rng), std::nullopt);
+    if (i < 2) {
+      EXPECT_EQ(agent.train_step(rng), std::nullopt);
+    }
   }
   Transition t;
   t.state = bandit_state();

@@ -1,0 +1,190 @@
+// Fixture tests for simlint: every rule is pinned by a fixture under
+// tools/simlint/fixtures/, where each expected firing is marked with
+// `// VIOLATION <rule-id>` on the exact line the checker must report.
+// The tests parse those markers and require the lint output to match the
+// marker set exactly — no missed firings, no extras.
+#include "tools/simlint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#ifndef SIMLINT_FIXTURE_DIR
+#error "SIMLINT_FIXTURE_DIR must point at tools/simlint/fixtures"
+#endif
+
+namespace mlcr::simlint {
+namespace {
+
+using Marker = std::pair<std::size_t, std::string>;  // (line, rule id)
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(SIMLINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream is(path);
+  EXPECT_TRUE(is.is_open()) << "cannot open fixture " << path;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+/// Parse `// VIOLATION <rule-id>` markers; the marker's line number is the
+/// line the checker must report.
+std::set<Marker> expected_markers(const std::string& source) {
+  static const std::regex kMarker(R"(//\s*VIOLATION\s+([A-Za-z0-9-]+))");
+  std::set<Marker> out;
+  std::istringstream is(source);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::smatch m;
+    if (std::regex_search(line, m, kMarker)) out.insert({lineno, m[1].str()});
+  }
+  return out;
+}
+
+std::set<Marker> as_markers(const std::vector<Violation>& violations) {
+  std::set<Marker> out;
+  for (const Violation& v : violations) out.insert({v.line, v.rule});
+  return out;
+}
+
+std::string describe(const std::set<Marker>& markers) {
+  std::ostringstream ss;
+  for (const auto& [line, rule] : markers) ss << "  " << line << ": " << rule
+                                              << "\n";
+  return ss.str();
+}
+
+struct FixtureCase {
+  const char* file;     ///< file name under tools/simlint/fixtures/
+  const char* pretend;  ///< repo-relative path the fixture is linted as
+};
+
+const FixtureCase kFixtureCases[] = {
+    {"banned_random.cpp", "src/sim/banned_random.cpp"},
+    {"banned_clock.cpp", "src/sim/banned_clock.cpp"},
+    {"banned_getenv.cpp", "src/sim/banned_getenv.cpp"},
+    {"pointer_key.cpp", "src/sim/pointer_key.cpp"},
+    {"unordered_iteration.cpp", "src/sim/unordered_iteration.cpp"},
+    {"uninit_member.cpp", "src/containers/uninit_member.cpp"},
+    {"missing_transition_check.cpp", "src/sim/env.cpp"},
+    {"clean.cpp", "src/sim/clean.cpp"},
+};
+
+TEST(Simlint, EveryFixtureMarkerFiresExactlyOnItsLine) {
+  for (const FixtureCase& fc : kFixtureCases) {
+    const std::string source = read_fixture(fc.file);
+    ASSERT_FALSE(source.empty()) << fc.file;
+    const auto expected = expected_markers(source);
+    const auto actual = as_markers(lint_source(source, fc.pretend));
+    EXPECT_EQ(expected, actual)
+        << fc.file << " linted as " << fc.pretend << "\nexpected:\n"
+        << describe(expected) << "actual:\n"
+        << describe(actual);
+  }
+}
+
+TEST(Simlint, PathScopedRulesAreQuietOutsideTheirScope) {
+  // Wall-clock reads are legal inside src/util (that is where a timing
+  // interface would live) and getenv is legal outside simulator code.
+  const std::string clock_src = read_fixture("banned_clock.cpp");
+  EXPECT_TRUE(lint_source(clock_src, "src/util/wallclock.cpp").empty());
+  const std::string getenv_src = read_fixture("banned_getenv.cpp");
+  EXPECT_TRUE(lint_source(getenv_src, "bench/banned_getenv.cpp").empty());
+}
+
+TEST(Simlint, CleanFixtureIsQuietUnderEveryScope) {
+  const std::string source = read_fixture("clean.cpp");
+  for (const char* pretend :
+       {"src/sim/clean.cpp", "src/containers/clean.cpp", "src/util/clean.cpp",
+        "bench/clean.cpp", "tests/sim/clean.cpp"}) {
+    const auto violations = lint_source(source, pretend);
+    EXPECT_TRUE(violations.empty())
+        << "clean.cpp fired under " << pretend << ":\n"
+        << describe(as_markers(violations));
+  }
+}
+
+TEST(Simlint, EveryRegisteredRuleIsPinnedByAFixture) {
+  std::set<std::string> pinned;
+  for (const FixtureCase& fc : kFixtureCases)
+    for (const auto& [line, rule] : expected_markers(read_fixture(fc.file)))
+      pinned.insert(rule);
+  for (const RuleInfo& rule : rules())
+    EXPECT_TRUE(pinned.count(rule.id) == 1)
+        << "rule '" << rule.id << "' has no fixture marker pinning it";
+  // And no fixture pins a rule that does not exist (marker typo guard).
+  std::set<std::string> registered;
+  for (const RuleInfo& rule : rules()) registered.insert(rule.id);
+  for (const std::string& rule : pinned)
+    EXPECT_TRUE(registered.count(rule) == 1)
+        << "fixture marker names unknown rule '" << rule << "'";
+}
+
+TEST(Simlint, LineAndFileSuppressionsSilenceARule) {
+  const std::string bare = "int f() { return rand() % 3; }\n";
+  EXPECT_EQ(lint_source(bare, "src/sim/x.cpp").size(), 1U);
+
+  const std::string line_allow =
+      "int f() { return rand() % 3; }  // simlint:allow(banned-random)\n";
+  EXPECT_TRUE(lint_source(line_allow, "src/sim/x.cpp").empty());
+
+  const std::string prev_line_allow =
+      "// simlint:allow(banned-random) justified: fixture\n"
+      "int f() { return rand() % 3; }\n";
+  EXPECT_TRUE(lint_source(prev_line_allow, "src/sim/x.cpp").empty());
+
+  const std::string file_allow =
+      "// simlint:allow-file(banned-random)\n"
+      "int f() { return rand() % 3; }\n"
+      "int g() { return rand() % 5; }\n";
+  EXPECT_TRUE(lint_source(file_allow, "src/sim/x.cpp").empty());
+
+  // A suppression for one rule must not silence another.
+  const std::string wrong_allow =
+      "int f() { return rand() % 3; }  // simlint:allow(banned-clock)\n";
+  EXPECT_EQ(lint_source(wrong_allow, "src/sim/x.cpp").size(), 1U);
+}
+
+TEST(Simlint, PairedHeaderMembersFeedUnorderedIterationRule) {
+  const std::string header =
+      "#include <unordered_map>\n"
+      "class Stats {\n"
+      " public:\n"
+      "  double sum() const;\n"
+      " private:\n"
+      "  std::unordered_map<int, double> totals_;\n"
+      "};\n";
+  const std::string source =
+      "double Stats::sum() const {\n"
+      "  double s = 0.0;\n"
+      "  for (const auto& [k, v] : totals_) s += v;\n"
+      "  return s;\n"
+      "}\n";
+  // Without the header the member's type is unknown -> silent.
+  EXPECT_TRUE(lint_source(source, "src/sim/stats.cpp").empty());
+  // With the paired header the iteration is recognised as unordered.
+  const auto violations = lint_source(source, "src/sim/stats.cpp", header);
+  ASSERT_EQ(violations.size(), 1U);
+  EXPECT_EQ(violations[0].rule, "unordered-iteration");
+  EXPECT_EQ(violations[0].line, 3U);
+}
+
+TEST(Simlint, CommentsAndStringsNeverFire) {
+  const std::string source =
+      "// rand() and std::random_device in a comment\n"
+      "/* system_clock::now() in a block comment */\n"
+      "const char* kDoc = \"call getenv(\\\"X\\\") and rand()\";\n"
+      "const char* kRaw = R\"(std::random_device)\";\n";
+  EXPECT_TRUE(lint_source(source, "src/sim/docs.cpp").empty());
+}
+
+}  // namespace
+}  // namespace mlcr::simlint

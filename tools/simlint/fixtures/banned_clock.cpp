@@ -1,0 +1,20 @@
+// Fixture for the banned-clock rule. Linted twice: with pretend path
+// "src/sim/banned_clock.cpp" (fires) and "src/util/banned_clock.cpp"
+// (exempt — clocks are confined to util/).
+#include <chrono>
+
+double bad_wall_clock() {
+  const auto t = std::chrono::system_clock::now();  // VIOLATION banned-clock
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+double bad_steady() {
+  const auto t = std::chrono::steady_clock::now();  // VIOLATION banned-clock
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+double bad_hires() {
+  const auto t =
+      std::chrono::high_resolution_clock::now();  // VIOLATION banned-clock
+  return static_cast<double>(t.time_since_epoch().count());
+}

@@ -1,0 +1,12 @@
+// Fixture for the banned-getenv rule. Linted with pretend paths
+// "src/sim/banned_getenv.cpp" (fires) and "bench/banned_getenv.cpp"
+// (exempt — the rule is scoped to src/).
+#include <cstdlib>
+
+const char* bad_env() {
+  return std::getenv("MLCR_SEED");  // VIOLATION banned-getenv
+}
+
+const char* bad_env_unqualified() {
+  return getenv("MLCR_SEED");  // VIOLATION banned-getenv
+}

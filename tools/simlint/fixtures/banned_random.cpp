@@ -1,0 +1,21 @@
+// Fixture for the banned-random rule. Linted with pretend path
+// "src/sim/banned_random.cpp"; each marked line must fire.
+#include <cstdlib>
+#include <random>
+
+int bad_device() {
+  std::random_device rd;  // VIOLATION banned-random
+  return static_cast<int>(rd());
+}
+
+int bad_rand() {
+  std::srand(42);      // VIOLATION banned-random
+  return rand() % 10;  // VIOLATION banned-random
+}
+
+int allowed_rand() {
+  return rand() % 10;  // simlint:allow(banned-random) fixture suppression
+}
+
+// Mentions of rand() in comments and "rand()" in strings must not fire.
+const char* kNote = "call rand() never";

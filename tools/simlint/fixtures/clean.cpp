@@ -1,0 +1,37 @@
+// Clean fixture: representative simulator-style code that must produce zero
+// violations under every rule, even when linted with the most heavily
+// scoped pretend path ("src/sim/clean.cpp" and "src/containers/clean.cpp").
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+struct Record {
+  std::uint64_t seq = 0;
+  double latency_s = 0.0;
+  bool cold = true;
+};
+
+class Collector {
+ public:
+  void record(Record rec) {
+    total_latency_s_ += rec.latency_s;
+    by_seq_[rec.seq] = rec;
+  }
+
+  // std::map iteration is deterministic: fine to fold into metrics.
+  double recomputed_total() const {
+    double total = 0.0;
+    for (const auto& [seq, rec] : by_seq_) total += rec.latency_s;
+    return total;
+  }
+
+  // Unordered lookup (no iteration) is fine.
+  bool seen(std::uint64_t seq) const { return index_.count(seq) != 0; }
+  void mark(std::uint64_t seq, std::size_t slot) { index_[seq] = slot; }
+
+ private:
+  double total_latency_s_ = 0.0;
+  std::map<std::uint64_t, Record> by_seq_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+};

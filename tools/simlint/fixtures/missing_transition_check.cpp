@@ -1,0 +1,42 @@
+// Fixture for the missing-transition-check rule. Linted with pretend path
+// "src/sim/env.cpp", so the transition table expects ClusterEnv::offer,
+// step, advance_idle and finish_streaming to validate state. Here offer()
+// and step() have no check (each fires once); advance_idle (MLCR_CHECK) and
+// finish_streaming (MLCR_AUDIT point) are covered.
+struct Invocation {
+  double arrival_s = 0.0;
+};
+struct Action {};
+struct StepResult {};
+
+#define MLCR_CHECK(cond) (void)(cond)
+#define MLCR_AUDIT_POINT(expr) (void)0
+
+class ClusterEnv {
+ public:
+  void offer(Invocation inv);
+  StepResult step(const Action& action);
+  void advance_idle(double time);
+  void finish_streaming();
+  void audit() const {}
+
+ private:
+  double last_arrival_ = 0.0;
+};
+
+void ClusterEnv::offer(Invocation inv) {  // VIOLATION missing-transition-check
+  last_arrival_ = inv.arrival_s;
+}
+
+// The report lands on the line naming the function:
+StepResult ClusterEnv::step(const Action& a) {  // VIOLATION missing-transition-check
+  (void)a;
+  return StepResult{};
+}
+
+void ClusterEnv::advance_idle(double time) {
+  MLCR_CHECK(time >= last_arrival_);
+  last_arrival_ = time;
+}
+
+void ClusterEnv::finish_streaming() { MLCR_AUDIT_POINT(audit()); }

@@ -1,0 +1,16 @@
+// Fixture for the pointer-key rule. Linted with pretend path
+// "src/sim/pointer_key.cpp".
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Container;
+
+// clang-format off
+std::unordered_map<Container*, int> bad_umap;        // VIOLATION pointer-key
+std::map<const Container*, int> bad_map;             // VIOLATION pointer-key
+std::set<Container*> bad_set;                        // VIOLATION pointer-key
+std::unordered_set<const Container*> bad_uset;       // VIOLATION pointer-key
+std::map<int, Container*> fine_pointer_value;        // values are fine
+// clang-format on

@@ -1,0 +1,38 @@
+// Fixture for the uninit-member rule. Linted with pretend path
+// "src/containers/uninit_member.cpp" (the rule is scoped to src/sim and
+// src/containers).
+#include <cstdint>
+#include <string>
+#include <vector>
+
+struct BadRecord {
+  double latency_s;        // VIOLATION uninit-member
+  bool cold;               // VIOLATION uninit-member
+  std::uint64_t seq;       // VIOLATION uninit-member
+  std::size_t count;       // VIOLATION uninit-member
+  double ok_latency = 0.0;      // initialized: fine
+  std::string name;             // non-scalar: fine
+  std::vector<double> samples;  // non-scalar: fine
+  double legacy_field;  // simlint:allow(uninit-member) fixture suppression
+
+  // Members of inline functions are locals, not members: fine.
+  double sum() const {
+    double total = 0.0;
+    return total + latency_s;
+  }
+};
+
+class BadState {
+ public:
+  double api() const { return seen_; }
+
+ private:
+  double seen_;  // VIOLATION uninit-member
+};
+
+// Function-local scalars are not members: fine.
+double local_scalars() {
+  double x = 1.0;
+  int y = 2;
+  return x + y;
+}

@@ -1,0 +1,41 @@
+// Fixture for the unordered-iteration rule. Linted with pretend path
+// "src/sim/unordered_iteration.cpp" (metric-producing code).
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+struct Stats {
+  std::unordered_map<std::uint64_t, double> by_id_;
+  std::vector<double> ordered_;
+
+  double bad_range_for() const {
+    double best = 0.0;
+    for (const auto& [id, v] : by_id_) best = v;  // VIOLATION unordered-iteration
+    return best;
+  }
+
+  double bad_begin() const {
+    return by_id_.begin()->second;  // VIOLATION unordered-iteration
+  }
+
+  double allowed_sum() const {
+    double total = 0.0;
+    // Exact-sum folds are order-safe for integers; justified suppression.
+    for (const auto& [id, v] : by_id_)  // simlint:allow(unordered-iteration)
+      total += v;
+    return total;
+  }
+
+  double fine_vector() const {
+    double total = 0.0;
+    for (const double v : ordered_) total += v;
+    return total;
+  }
+};
+
+double local_unordered() {
+  std::unordered_map<int, double> pulls;
+  double share = 0.0;
+  for (const auto& [k, v] : pulls) share = v;  // VIOLATION unordered-iteration
+  return share;
+}

@@ -1,0 +1,53 @@
+// simlint: a repo-specific static checker for the determinism and
+// memory-safety contract of the MLCR simulator (see DESIGN.md, "Determinism
+// contract"). It scans C++ sources lexically — no compiler front-end — and
+// reports rule violations with file:line. Rules are table-driven: adding one
+// is a ~20-line entry in lint.cpp, pinned by a fixture under
+// tools/simlint/fixtures/.
+//
+// Suppression: append `// simlint:allow(<rule-id>)` to the flagged line (or
+// the line above it), or `// simlint:allow-file(<rule-id>)` anywhere in the
+// file to silence a rule for the whole file. Every suppression should carry a
+// justification comment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mlcr::simlint {
+
+/// One rule violation, reported as `file:line: [rule] message`.
+struct Violation {
+  std::string file;  ///< repo-relative path
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string id;
+  std::string description;
+};
+
+/// Metadata for every registered rule (for --list-rules and fixture tests).
+[[nodiscard]] const std::vector<RuleInfo>& rules();
+
+/// Lint one translation unit given as text. `rel_path` selects path-scoped
+/// rules (e.g. the uninitialized-member heuristic only runs under src/sim and
+/// src/containers). `paired_header` is the content of the unit's sibling
+/// header, if any; it contributes container-member declarations to the
+/// unordered-iteration rule but is not itself linted by this call.
+[[nodiscard]] std::vector<Violation> lint_source(
+    const std::string& source, const std::string& rel_path,
+    const std::string& paired_header = {});
+
+/// Lint a file on disk; reads the paired .hpp next to a .cpp automatically.
+[[nodiscard]] std::vector<Violation> lint_file(const std::string& path,
+                                               const std::string& rel_path);
+
+/// Recursively lint every .hpp/.cpp under `roots` (paths relative to
+/// `repo_root`), reporting repo-relative file names, sorted by (file, line).
+[[nodiscard]] std::vector<Violation> lint_tree(
+    const std::string& repo_root, const std::vector<std::string>& roots);
+
+}  // namespace mlcr::simlint

@@ -1,0 +1,53 @@
+// simlint driver: lints the given roots and exits non-zero when any rule
+// fires. Run as a CTest over src/, bench/ and tests/ (see
+// tools/simlint/CMakeLists.txt); CI fails on violations.
+//
+//   simlint --root <repo_root> [--list-rules] [dir...]
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "simlint/lint.hpp"
+
+int main(int argc, char** argv) {
+  std::string repo_root = ".";
+  std::vector<std::string> roots;
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc)
+      repo_root = argv[++i];
+    else if (arg == "--list-rules")
+      list_rules = true;
+    else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: simlint --root <repo_root> [--list-rules] "
+                   "[dir...]\n";
+      return 0;
+    } else
+      roots.push_back(arg);
+  }
+  if (roots.empty()) roots = {"src", "bench", "tests"};
+
+  if (list_rules) {
+    for (const auto& rule : mlcr::simlint::rules())
+      std::cout << rule.id << ": " << rule.description << "\n";
+    return 0;
+  }
+
+  std::vector<mlcr::simlint::Violation> violations;
+  try {
+    violations = mlcr::simlint::lint_tree(repo_root, roots);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  for (const auto& v : violations)
+    std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
+              << v.message << "\n";
+  if (!violations.empty()) {
+    std::cout << violations.size() << " violation(s)\n";
+    return 1;
+  }
+  return 0;
+}
