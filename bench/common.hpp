@@ -13,10 +13,14 @@
 #include "core/mlcr.hpp"
 #include "core/trainer.hpp"
 #include "fstartbench/workloads.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/sink.hpp"
+#include "obs/tracer.hpp"
 #include "policies/runner.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
+#include "util/wall_clock.hpp"
 
 namespace mlcr::benchtools {
 
@@ -34,11 +38,17 @@ struct Suite {
 ///                  for any thread count: every rep owns a split Rng and a
 ///                  fresh system instance.
 ///   --fresh        ignore cached models, retrain
+///   --trace F      write a Chrome trace_event JSON (Perfetto-loadable) of
+///                  one traced episode per system to F
+///   --metrics F    write the metrics registry (latency histograms with
+///                  p50/p95/p99/p999, counters) as CSV to F
 struct BenchOptions {
   std::size_t reps = 7;
   std::size_t episodes = 30;
   std::size_t threads = 1;
   bool fresh = false;
+  std::string trace_path;
+  std::string metrics_path;
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions o;
@@ -48,6 +58,9 @@ struct BenchOptions {
         return i + 1 < argc ? static_cast<std::size_t>(std::atoll(argv[++i]))
                             : 0;
       };
+      auto next_str = [&]() -> std::string {
+        return i + 1 < argc ? std::string(argv[++i]) : std::string();
+      };
       if (arg == "--reps")
         o.reps = next();
       else if (arg == "--episodes")
@@ -56,6 +69,10 @@ struct BenchOptions {
         o.threads = next();
       else if (arg == "--fresh")
         o.fresh = true;
+      else if (arg == "--trace")
+        o.trace_path = next_str();
+      else if (arg == "--metrics")
+        o.metrics_path = next_str();
       else
         std::cerr << "ignoring unknown flag: " << arg << "\n";
     }
@@ -63,6 +80,85 @@ struct BenchOptions {
     return o;
   }
 };
+
+/// The observability handles of one bench run: a tracer (with a Chrome JSON
+/// sink when --trace was given) and a metrics registry (dumped as CSV when
+/// --metrics was given). With neither flag the tracer has no sinks, so every
+/// instrumentation site in the stack stays on its null fast path.
+struct ObsSession {
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+
+  explicit ObsSession(const BenchOptions& options)
+      : metrics_path_(options.metrics_path) {
+    if (!options.trace_path.empty()) {
+      tracer.add_sink(
+          std::make_shared<obs::ChromeTraceSink>(options.trace_path));
+      tracer.process_name(obs::Tracer::kSimPid, "simulated-cluster");
+      tracer.process_name(obs::Tracer::kTrainPid, "training");
+      tracer.process_name(obs::Tracer::kBenchPid, "bench");
+    }
+  }
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+  ~ObsSession() { finish(); }
+
+  [[nodiscard]] bool tracing() const noexcept { return tracer.enabled(); }
+
+  /// Close the trace and dump the metrics CSV. Idempotent; the destructor
+  /// calls it, but benches call it explicitly to report the output paths.
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    tracer.close();
+    if (!metrics_path_.empty()) metrics.write_csv(metrics_path_);
+  }
+
+ private:
+  std::string metrics_path_;
+  bool finished_ = false;
+};
+
+/// RAII wall-time span on the bench self-profiling track
+/// (obs::Tracer::kBenchPid). Wall time comes from util::wall_now_us — the
+/// src/util allowed zone — and never touches simulator tracks.
+class BenchSpan {
+ public:
+  BenchSpan(ObsSession& session, std::string name, std::uint32_t tid = 0)
+      : session_(session),
+        name_(std::move(name)),
+        tid_(tid),
+        start_us_(session.tracing() ? util::wall_now_us() : 0) {}
+  BenchSpan(const BenchSpan&) = delete;
+  BenchSpan& operator=(const BenchSpan&) = delete;
+  ~BenchSpan() {
+    if (!session_.tracing()) return;
+    const std::int64_t end_us = util::wall_now_us();
+    session_.tracer.span(obs::Tracer::kBenchPid, tid_, start_us_,
+                         end_us - start_us_, std::move(name_), "bench");
+  }
+
+ private:
+  ObsSession& session_;
+  std::string name_;
+  std::uint32_t tid_;
+  std::int64_t start_us_;
+};
+
+/// Fold one episode's per-invocation outcomes into the session's registry:
+/// a startup-latency histogram plus invocation/cold-start counters, all
+/// keyed by system name.
+inline void record_episode_metrics(ObsSession& session,
+                                   const std::string& system,
+                                   const sim::MetricsCollector& collected) {
+  obs::Histogram& latency =
+      session.metrics.histogram("startup_latency_s/" + system);
+  for (const double v : collected.latencies()) latency.add(v);
+  session.metrics.counter("invocations/" + system)
+      .add(collected.invocation_count());
+  session.metrics.counter("cold_starts/" + system)
+      .add(collected.cold_start_count());
+}
 
 /// Generates a fresh trace of one workload family from a seeded stream.
 using TraceFactory = std::function<sim::Trace(util::Rng&)>;
@@ -219,6 +315,53 @@ inline RepStats run_replications(const Suite& suite,
     stats.totals.push_back(s.total_latency_s);
   }
   return stats;
+}
+
+/// Run ONE fully-traced episode of `system`: lifecycle spans go to the
+/// session tracer on sim track `track` (named after the system), a wall-time
+/// "episode:<name>" span brackets it on the bench track, every MLCR
+/// scheduling decision gets a wall-time "dqn_inference" span, and the
+/// latency distribution lands in the session metrics. Kept separate from
+/// run_replications: the stats loop may be threaded and stays untraced,
+/// while this single episode owns the tracer.
+inline policies::EpisodeSummary trace_episode(ObsSession& session,
+                                              const Suite& suite,
+                                              const NamedSystem& system,
+                                              const TraceFactory& factory,
+                                              double pool_capacity_mb,
+                                              std::uint32_t track = 0,
+                                              std::uint64_t trace_seed = 9000) {
+  util::Rng rng(trace_seed);
+  const sim::Trace trace = factory(rng);
+  const policies::SystemSpec spec = system.make();
+
+  sim::EnvConfig config;
+  config.pool_capacity_mb = pool_capacity_mb;
+  config.keep_alive_ttl_s = spec.keep_alive_ttl_s;
+  config.reuse_semantics = spec.reuse_semantics;
+  sim::ClusterEnv env(suite.bench.functions, suite.bench.catalog, suite.cost,
+                      config, spec.eviction_factory);
+  env.set_tracer(&session.tracer, track);
+  session.tracer.thread_name(obs::Tracer::kSimPid, track, system.name);
+
+  const bool profile_inference = system.name == "MLCR";
+  BenchSpan episode_span(session, "episode:" + system.name, track);
+  env.reset(trace);
+  spec.scheduler->on_episode_start(env);
+  while (!env.done()) {
+    const sim::Invocation& inv = env.current();
+    sim::Action action;
+    if (profile_inference) {
+      BenchSpan infer(session, "dqn_inference", track);
+      action = spec.scheduler->decide(env, inv);
+    } else {
+      action = spec.scheduler->decide(env, inv);
+    }
+    const sim::StepResult result = env.step(action);
+    spec.scheduler->on_step_result(env, result);
+  }
+  record_episode_metrics(session, system.name, env.metrics());
+  return policies::summarize_env(env, spec.scheduler->name());
 }
 
 /// Format a BoxStats as "median [q1, q3]".

@@ -7,9 +7,11 @@
 #include "common.hpp"
 #include "policies/oracle.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mlcr;
+  const auto bench_options = benchtools::BenchOptions::parse(argc, argv);
   const benchtools::Suite suite;
+  benchtools::ObsSession obs_session(bench_options);
   const auto& bench = suite.bench;
 
   // Prologue (t=0, t=1): F5 (debian/python/flask) and F6 (…+numpy) cold-start
@@ -40,9 +42,14 @@ int main() {
     return std::make_unique<containers::LruEviction>();
   };
 
-  const auto greedy = policies::run_system(
-      policies::make_greedy_match_system(), bench.functions, bench.catalog,
-      suite.cost, cfg.pool_capacity_mb, trace);
+  // The greedy episode doubles as the CI trace-smoke workload: with --trace
+  // it emits the full lifecycle (match / repack / startup / exec, pool
+  // events) for these four invocations — two warm reuses included.
+  const benchtools::NamedSystem greedy_system{
+      "Greedy-Match", [] { return policies::make_greedy_match_system(); }};
+  const auto greedy = benchtools::trace_episode(
+      obs_session, suite, greedy_system,
+      [&](util::Rng&) { return trace; }, cfg.pool_capacity_mb);
   const auto oracle = policies::exhaustive_best_plan(
       bench.functions, bench.catalog, suite.cost, cfg, lru_factory, trace);
 
@@ -80,5 +87,11 @@ int main() {
             << util::Table::num(
                    greedy.total_latency_s - oracle.total_latency_s, 2)
             << " s worse (paper: Policy1 suboptimal by construction)\n";
+
+  obs_session.finish();
+  if (!bench_options.trace_path.empty())
+    std::cout << "trace written to " << bench_options.trace_path << "\n";
+  if (!bench_options.metrics_path.empty())
+    std::cout << "metrics written to " << bench_options.metrics_path << "\n";
   return greedy.total_latency_s + 1e-9 < oracle.total_latency_s ? 1 : 0;
 }

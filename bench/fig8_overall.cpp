@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   using namespace mlcr;
   const auto options = benchtools::BenchOptions::parse(argc, argv);
   const benchtools::Suite suite;
+  benchtools::ObsSession obs_session(options);
 
   const benchtools::TraceFactory factory = [&](util::Rng& rng) {
     return fstartbench::make_overall_workload(suite.bench, 400, rng);
@@ -49,6 +50,8 @@ int main(int argc, char** argv) {
 
   const auto systems = benchtools::paper_systems(agent, &cfg.encoder);
   for (const auto& system : systems) {
+    // Wall-time self-profiling of each system's replication sweep.
+    benchtools::BenchSpan sweep(obs_session, "stats:" + system.name);
     std::vector<Cell> row;
     std::vector<std::string> lat_cells = {system.name};
     std::vector<std::string> cold_cells = {system.name};
@@ -63,6 +66,16 @@ int main(int argc, char** argv) {
     grid.push_back(std::move(row));
     latency.add_row(std::move(lat_cells));
     colds.add_row(std::move(cold_cells));
+  }
+
+  // One fully-traced episode per system at the Moderate pool: lifecycle
+  // spans (match / repack / startup / exec), pool events, DQN inference
+  // profiling, and the per-system latency histograms behind --metrics.
+  if (obs_session.tracing() || !options.metrics_path.empty()) {
+    std::uint32_t track = 0;
+    for (const auto& system : systems)
+      (void)benchtools::trace_episode(obs_session, suite, system, factory,
+                                      pools.moderate_mb, track++);
   }
 
   std::cout << "\n=== Fig. 8a: total startup latency of 400 invocations ===\n";
@@ -84,5 +97,12 @@ int main(int argc, char** argv) {
   std::cout << "\n=== MLCR latency reduction (paper: 38-57% vs LRU, 47-53% vs "
                "FaasCache, 48-52% vs KeepAlive, 22-48% vs Greedy-Match) ===\n";
   reductions.print(std::cout);
+
+  obs_session.finish();
+  if (!options.trace_path.empty())
+    std::cout << "\ntrace written to " << options.trace_path
+              << " (load in Perfetto / chrome://tracing)\n";
+  if (!options.metrics_path.empty())
+    std::cout << "metrics written to " << options.metrics_path << "\n";
   return 0;
 }

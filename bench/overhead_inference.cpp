@@ -120,6 +120,54 @@ void BM_SimulatorEpisodeGreedy(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorEpisodeGreedy)->Unit(benchmark::kMillisecond);
 
+void BM_SimulatorEpisodeNullTracer(benchmark::State& state) {
+  // The ISSUE's "zero overhead when no sink attached" claim: identical to
+  // BM_SimulatorEpisodeGreedy except a sink-less tracer is attached, so
+  // every instrumentation site takes its guarded-pointer fast path. Compare
+  // against BM_SimulatorEpisodeGreedy; the gap must stay within noise
+  // (acceptance bound: <= 1%).
+  auto& f = fixture();
+  sim::EnvConfig env_cfg;
+  env_cfg.pool_capacity_mb = 8192.0;
+  sim::ClusterEnv env(f.suite.bench.functions, f.suite.bench.catalog,
+                      f.suite.cost, env_cfg,
+                      [] { return std::make_unique<containers::LruEviction>(); });
+  obs::Tracer tracer;  // no sinks: enabled() == false
+  env.set_tracer(&tracer);
+  policies::GreedyMatchScheduler greedy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policies::run_episode(env, greedy, f.trace));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.trace.size()));
+}
+BENCHMARK(BM_SimulatorEpisodeNullTracer)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorEpisodeTraced(benchmark::State& state) {
+  // Upper bound: full lifecycle tracing into an in-memory Chrome sink. This
+  // is the price of --trace, not of default runs.
+  auto& f = fixture();
+  sim::EnvConfig env_cfg;
+  env_cfg.pool_capacity_mb = 8192.0;
+  sim::ClusterEnv env(f.suite.bench.functions, f.suite.bench.catalog,
+                      f.suite.cost, env_cfg,
+                      [] { return std::make_unique<containers::LruEviction>(); });
+  policies::GreedyMatchScheduler greedy;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::ostringstream out;
+    obs::Tracer tracer;
+    tracer.add_sink(std::make_shared<obs::ChromeTraceSink>(out));
+    env.set_tracer(&tracer);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(policies::run_episode(env, greedy, f.trace));
+  }
+  env.set_tracer(nullptr);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.trace.size()));
+}
+BENCHMARK(BM_SimulatorEpisodeTraced)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

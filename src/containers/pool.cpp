@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/tracer.hpp"
 #include "util/audit.hpp"
 #include "util/check.hpp"
 
@@ -70,6 +71,7 @@ WarmPool::AdmitOutcome WarmPool::admit(Container container, double now) {
 
   if (container.memory_mb > capacity_mb_) {
     ++rejections_;
+    if (traced()) trace_instant(now, "pool_reject", container);
     MLCR_AUDIT_POINT(audit());
     return AdmitOutcome::kRejected;
   }
@@ -79,14 +81,17 @@ WarmPool::AdmitOutcome WarmPool::admit(Container container, double now) {
   };
   if (over_budget() && eviction_->reject_when_full()) {
     ++rejections_;
+    if (traced()) trace_instant(now, "pool_reject", container);
     MLCR_AUDIT_POINT(audit());
     return AdmitOutcome::kRejected;
   }
   while (over_budget()) {
     MLCR_CHECK(!by_id_.empty());
     const ContainerId victim = eviction_->choose_victim(idle_containers(), now);
-    MLCR_CHECK_MSG(by_id_.find(victim) != by_id_.end(),
+    const auto it = by_id_.find(victim);
+    MLCR_CHECK_MSG(it != by_id_.end(),
                    "eviction policy returned unknown container " << victim);
+    if (traced()) trace_instant(now, "pool_evict", it->second);
     erase(victim);
     ++evictions_;
   }
@@ -95,7 +100,11 @@ WarmPool::AdmitOutcome WarmPool::admit(Container container, double now) {
   used_mb_ += container.memory_mb;
   peak_used_mb_ = std::max(peak_used_mb_, used_mb_);
   const ContainerId id = container.id;
-  by_id_.emplace(id, std::move(container));
+  const auto& admitted = by_id_.emplace(id, std::move(container)).first->second;
+  if (traced()) {
+    trace_instant(now, "pool_admit", admitted);
+    trace_occupancy(now);
+  }
   MLCR_AUDIT_POINT(audit());
   return AdmitOutcome::kAdmitted;
 }
@@ -107,6 +116,10 @@ std::optional<Container> WarmPool::take(ContainerId id, double now) {
   used_mb_ -= c.memory_mb;
   by_id_.erase(it);
   eviction_->on_take(c, now);
+  if (traced()) {
+    trace_instant(now, "pool_take", c);
+    trace_occupancy(now);
+  }
   MLCR_AUDIT_POINT(audit());
   return c;
 }
@@ -134,11 +147,32 @@ std::size_t WarmPool::expire_older_than(double now, double ttl_s) {
   for (const auto& [id, c] : by_id_)
     if (now - c.last_idle_at > ttl_s) expired.push_back(id);
   for (ContainerId id : expired) {
+    if (traced()) trace_instant(now, "pool_expire", by_id_.at(id));
     erase(id);
     ++evictions_;
   }
+  if (!expired.empty() && traced()) trace_occupancy(now);
   MLCR_AUDIT_POINT(audit());
   return expired.size();
+}
+
+bool WarmPool::traced() const noexcept {
+  return tracer_ != nullptr && tracer_->enabled();
+}
+
+void WarmPool::trace_instant(double now, const char* name,
+                             const Container& c) const {
+  tracer_->instant(obs::Tracer::kSimPid, track_, obs::to_micros(now), name,
+                   "pool",
+                   {obs::narg("container", static_cast<std::int64_t>(c.id)),
+                    obs::narg("memory_mb", c.memory_mb)});
+}
+
+void WarmPool::trace_occupancy(double now) const {
+  const obs::Micros ts = obs::to_micros(now);
+  tracer_->counter(obs::Tracer::kSimPid, track_, ts, "pool_used_mb", used_mb_);
+  tracer_->counter(obs::Tracer::kSimPid, track_, ts, "pool_containers",
+                   static_cast<double>(by_id_.size()));
 }
 
 void WarmPool::erase(ContainerId id) {

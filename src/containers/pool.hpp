@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
@@ -11,6 +12,10 @@
 #include <vector>
 
 #include "containers/container.hpp"
+
+namespace mlcr::obs {
+class Tracer;
+}
 
 namespace mlcr::containers {
 
@@ -138,6 +143,15 @@ class WarmPool {
     return *eviction_;
   }
 
+  /// Attach a tracer: admissions/rejections/evictions/expiries become
+  /// instants and occupancy becomes counters on (obs::Tracer::kSimPid,
+  /// `track`), timestamped with the caller-supplied simulated `now`. The
+  /// pool does not own the tracer; nullptr detaches.
+  void set_tracer(obs::Tracer* tracer, std::uint32_t track = 0) noexcept {
+    tracer_ = tracer;
+    track_ = track;
+  }
+
   /// Invariant auditor: byte accounting matches the summed container sizes,
   /// every pooled container is idle with a consistent id, and capacity /
   /// count caps hold. Throws util::CheckError on violation. Called after
@@ -149,6 +163,9 @@ class WarmPool {
   friend struct PoolTestPeer;  ///< test-only corruption hook (tests/sim)
 
   void erase(ContainerId id);
+  [[nodiscard]] bool traced() const noexcept;
+  void trace_instant(double now, const char* name, const Container& c) const;
+  void trace_occupancy(double now) const;
 
   double capacity_mb_ = 0.0;
   std::size_t max_count_ = 0;
@@ -161,6 +178,8 @@ class WarmPool {
   double peak_used_mb_ = 0.0;
   std::size_t evictions_ = 0;
   std::size_t rejections_ = 0;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t track_ = 0;
 };
 
 }  // namespace mlcr::containers

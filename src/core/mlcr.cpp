@@ -1,5 +1,6 @@
 #include "core/mlcr.hpp"
 
+#include "obs/tracer.hpp"
 #include "util/check.hpp"
 
 namespace mlcr::core {
@@ -41,6 +42,17 @@ sim::Action MlcrScheduler::decide(const sim::ClusterEnv& env,
   prev_arrival_s_ = inv.arrival_s;
   has_prev_ = true;
   const std::size_t action = agent_->greedy_action(state.tokens, state.mask);
+  obs::Tracer* tracer = env.tracer();
+  if (tracer != nullptr && tracer->enabled()) {
+    // Deterministic marker of each forward pass, in simulated time; the
+    // bench layer separately wraps decide() in a wall-time span to measure
+    // the real inference cost.
+    tracer->instant(
+        obs::Tracer::kSimPid, env.trace_track(), obs::to_micros(inv.arrival_s),
+        "dqn_inference", "rl",
+        {obs::narg("action", static_cast<std::int64_t>(action)),
+         obs::narg("seq", static_cast<std::int64_t>(inv.seq))});
+  }
   return encoder_.to_sim_action(state, action);
 }
 

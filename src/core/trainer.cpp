@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <limits>
 
+#include "obs/tracer.hpp"
 #include "util/check.hpp"
 
 namespace mlcr::core {
@@ -123,6 +124,14 @@ TrainerReport train_agent(rl::DqnAgent& agent, const StateEncoder& encoder,
   std::size_t loss_count = 0;
   const std::size_t late_start = planned_steps * 3 / 4;
 
+  obs::Tracer* tracer = config.tracer;
+  const bool traced = tracer != nullptr && tracer->enabled();
+  agent.set_tracer(tracer);
+  if (traced) {
+    tracer->thread_name(obs::Tracer::kTrainPid, 0, "env-steps");
+    tracer->thread_name(obs::Tracer::kTrainPid, 1, "gradient-steps");
+  }
+
   // Demonstration seeding: greedy episodes across envs/traces.
   for (std::size_t ep = 0; ep < config.greedy_warmup_episodes; ++ep)
     seed_replay_with_greedy(agent, encoder, reward_scale_s,
@@ -141,6 +150,7 @@ TrainerReport train_agent(rl::DqnAgent& agent, const StateEncoder& encoder,
     sim::ClusterEnv& env = *envs[ep % envs.size()];
     const sim::Trace& trace = *traces[ep % traces.size()];
     env.reset(trace);
+    const std::size_t episode_start = report.env_steps;
 
     double prev_arrival = 0.0;
     bool has_prev = false;
@@ -152,6 +162,10 @@ TrainerReport train_agent(rl::DqnAgent& agent, const StateEncoder& encoder,
       has_prev = true;
 
       const float eps = epsilon.value(report.env_steps);
+      if (traced && report.env_steps % config.train_every == 0)
+        tracer->counter(obs::Tracer::kTrainPid, 0,
+                        static_cast<obs::Micros>(report.env_steps), "epsilon",
+                        static_cast<double>(eps));
       const std::size_t action =
           agent.select_action(state.tokens, state.mask, eps, rng);
       const sim::StepResult result =
@@ -186,6 +200,14 @@ TrainerReport train_agent(rl::DqnAgent& agent, const StateEncoder& encoder,
       }
     }
     report.episode_total_latency_s.push_back(env.metrics().total_latency_s());
+    if (traced)
+      tracer->span(obs::Tracer::kTrainPid, 0,
+                   static_cast<obs::Micros>(episode_start),
+                   static_cast<obs::Micros>(report.env_steps - episode_start),
+                   "episode", "train",
+                   {obs::narg("episode", static_cast<std::int64_t>(ep)),
+                    obs::narg("total_latency_s",
+                              env.metrics().total_latency_s())});
     if (config.on_episode_end)
       config.on_episode_end(ep, env.metrics().total_latency_s());
 
@@ -193,15 +215,23 @@ TrainerReport train_agent(rl::DqnAgent& agent, const StateEncoder& encoder,
         (ep + 1) % config.validate_every == 0) {
       const double score =
           validate(agent, encoder, envs, *traces[0], validation_baselines);
-      if (score < best_score) {
+      const bool improved = score < best_score;
+      if (improved) {
         best_score = score;
         best_weights = agent.snapshot_weights();
         report.best_validation = report.validation_latency_s.size();
       }
       report.validation_latency_s.push_back(score);
+      if (traced)
+        tracer->instant(
+            obs::Tracer::kTrainPid, 0,
+            static_cast<obs::Micros>(report.env_steps), "validation", "train",
+            {obs::narg("score", score),
+             obs::narg("best", static_cast<std::int64_t>(improved ? 1 : 0))});
     }
   }
 
+  agent.set_tracer(nullptr);
   if (!best_weights.empty()) agent.restore_weights(best_weights);
   if (loss_count > 0) report.late_loss = loss_sum / static_cast<double>(loss_count);
   return report;

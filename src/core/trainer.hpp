@@ -12,6 +12,10 @@
 #include "core/mlcr.hpp"
 #include "rl/schedule.hpp"
 
+namespace mlcr::obs {
+class Tracer;
+}
+
 namespace mlcr::core {
 
 struct TrainerConfig {
@@ -36,6 +40,13 @@ struct TrainerConfig {
   std::size_t validate_every = 3;
   /// Optional per-episode callback(episode, total_startup_latency_s).
   std::function<void(std::size_t, double)> on_episode_end;
+  /// Optional tracer (not owned): training telemetry goes to the
+  /// obs::Tracer::kTrainPid tracks — episode spans, epsilon and validation
+  /// on the environment-step track (tid 0, ts = env-step index) and, via
+  /// the agent, loss/replay/staleness on the gradient-step track (tid 1,
+  /// ts = train-step index). Purely step-indexed, so traces stay
+  /// deterministic.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct TrainerReport {

@@ -1,6 +1,7 @@
 #include "fleet/fleet_env.hpp"
 
 #include "fleet/router.hpp"
+#include "obs/tracer.hpp"
 #include "util/audit.hpp"
 #include "util/check.hpp"
 
@@ -67,7 +68,23 @@ const sim::ClusterEnv& FleetEnv::node(std::size_t i) const {
   return *nodes_[i].env;
 }
 
+void FleetEnv::set_tracer(obs::Tracer* tracer) noexcept {
+  tracer_ = tracer;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    nodes_[i].env->set_tracer(tracer, static_cast<std::uint32_t>(i));
+}
+
 FleetSummary FleetEnv::run(const sim::Trace& trace, Router& router) {
+  const bool traced = tracer_ != nullptr && tracer_->enabled();
+  std::string router_name;
+  if (traced) {
+    router_name = router.name();
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+      tracer_->thread_name(obs::Tracer::kSimPid,
+                           static_cast<std::uint32_t>(i),
+                           "node" + std::to_string(i));
+  }
+
   for (Node& node : nodes_) {
     node.env->reset_streaming();
     node.spec.scheduler->on_episode_start(*node.env);
@@ -83,10 +100,24 @@ FleetSummary FleetEnv::run(const sim::Trace& trace, Router& router) {
     const std::size_t target = router.route(*this, inv);
     MLCR_CHECK_MSG(target < nodes_.size(), "router picked an invalid node");
     Node& node = nodes_[target];
+    if (traced) {
+      const auto tid = static_cast<std::uint32_t>(target);
+      tracer_->instant(
+          obs::Tracer::kSimPid, tid, obs::to_micros(inv.arrival_s), "route",
+          "fleet",
+          {obs::sarg("router", router_name),
+           obs::narg("node", static_cast<std::int64_t>(target)),
+           obs::narg("seq", static_cast<std::int64_t>(inv.seq))});
+    }
     node.env->offer(inv);
     const sim::Action action = node.spec.scheduler->decide(*node.env, inv);
     const sim::StepResult result = node.env->step(action);
     node.spec.scheduler->on_step_result(*node.env, result);
+    if (traced)
+      tracer_->counter(obs::Tracer::kSimPid,
+                       static_cast<std::uint32_t>(target),
+                       obs::to_micros(inv.arrival_s), "node_outstanding",
+                       static_cast<double>(node.env->busy_count()));
   }
 
   std::vector<NodeObservation> observations;

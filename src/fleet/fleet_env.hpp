@@ -21,6 +21,10 @@
 #include "sim/env.hpp"
 #include "util/rng.hpp"
 
+namespace mlcr::obs {
+class Tracer;
+}
+
 namespace mlcr::fleet {
 
 class Router;
@@ -73,6 +77,13 @@ class FleetEnv {
     return system_name_;
   }
 
+  /// Attach a tracer: each node's lifecycle events go to its own
+  /// (obs::Tracer::kSimPid, node-index) track, run() names the tracks and
+  /// emits one routing-decision instant per invocation on the target node's
+  /// track. The fleet does not own the tracer; nullptr detaches.
+  void set_tracer(obs::Tracer* tracer) noexcept;
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
   /// Route and execute `trace`: every invocation is assigned to a node by
   /// `router` (observing current fleet state), then offered to that node's
   /// streaming episode and scheduled by the node's own scheduler. Idle
@@ -91,6 +102,7 @@ class FleetEnv {
   FleetConfig config_;
   std::vector<Node> nodes_;
   std::string system_name_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace mlcr::fleet

@@ -46,6 +46,7 @@ void RandomRouter::on_episode_start(const FleetEnv& fleet) {
 std::size_t RandomRouter::route(const FleetEnv& fleet,
                                 const sim::Invocation& inv) {
   (void)inv;
+  MLCR_CHECK_MSG(fleet.node_count() > 0, "route() over an empty fleet");
   return rng_.uniform_index(fleet.node_count());
 }
 
@@ -57,6 +58,8 @@ void RoundRobinRouter::on_episode_start(const FleetEnv& fleet) {
 std::size_t RoundRobinRouter::route(const FleetEnv& fleet,
                                     const sim::Invocation& inv) {
   (void)inv;
+  MLCR_CHECK_MSG(next_ < fleet.node_count(),
+                 "round-robin cursor outside the fleet");
   const std::size_t node = next_;
   next_ = (next_ + 1) % fleet.node_count();
   return node;
@@ -65,6 +68,7 @@ std::size_t RoundRobinRouter::route(const FleetEnv& fleet,
 std::size_t LeastOutstandingRouter::route(const FleetEnv& fleet,
                                           const sim::Invocation& inv) {
   (void)inv;
+  MLCR_CHECK_MSG(fleet.node_count() > 0, "route() over an empty fleet");
   return least_outstanding_node(fleet);
 }
 
@@ -108,6 +112,7 @@ std::size_t ConsistentHashRouter::route(const FleetEnv& fleet,
 
 std::size_t WarmAwareRouter::route(const FleetEnv& fleet,
                                    const sim::Invocation& inv) {
+  MLCR_CHECK_MSG(fleet.node_count() > 0, "route() over an empty fleet");
   const auto& fn_image = fleet.functions().get(inv.function).image;
 
   std::size_t best_node = fleet.node_count();

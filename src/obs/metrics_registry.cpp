@@ -1,0 +1,151 @@
+#include "obs/metrics_registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+
+#include "obs/trace_event.hpp"
+#include "util/check.hpp"
+
+namespace mlcr::obs {
+
+double exact_rank_percentile(std::vector<double> values, double p) {
+  MLCR_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile p out of [0, 100]");
+  if (values.empty()) return 0.0;
+  const auto n = values.size();
+  const auto rank = static_cast<std::size_t>(std::max(
+      1.0, std::ceil(p / 100.0 * static_cast<double>(n))));
+  const std::size_t index = std::min(rank, n) - 1;
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(index),
+                   values.end());
+  return values[index];
+}
+
+// --- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(double min_value, double growth)
+    : min_value_(min_value), growth_(growth), log_growth_(std::log(growth)) {
+  MLCR_CHECK_MSG(min_value_ > 0.0, "histogram min_value must be positive");
+  MLCR_CHECK_MSG(growth_ > 1.0, "histogram growth must exceed 1");
+}
+
+std::int32_t Histogram::bucket_index(double value) const {
+  if (value <= min_value_) return 0;
+  // +1 because bucket 0 is [0, min_value]; floor keeps the bucket's upper
+  // bound strictly above the value.
+  return 1 + static_cast<std::int32_t>(
+                 std::floor(std::log(value / min_value_) / log_growth_));
+}
+
+double Histogram::bucket_upper_bound(double value) const {
+  return min_value_ * std::pow(growth_, bucket_index(value));
+}
+
+void Histogram::add(double value) {
+  MLCR_CHECK_MSG(value >= 0.0 && std::isfinite(value),
+                 "histogram values must be finite and non-negative");
+  if (count_ == 0) {
+    min_seen_ = value;
+    max_seen_ = value;
+  } else {
+    min_seen_ = std::min(min_seen_, value);
+    max_seen_ = std::max(max_seen_, value);
+  }
+  ++buckets_[bucket_index(value)];
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::merge(const Histogram& other) {
+  MLCR_CHECK_MSG(min_value_ == other.min_value_ && growth_ == other.growth_,
+                 "merging histograms with different bucket layouts");
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_seen_ = other.min_seen_;
+    max_seen_ = other.max_seen_;
+  } else {
+    min_seen_ = std::min(min_seen_, other.min_seen_);
+    max_seen_ = std::max(max_seen_, other.max_seen_);
+  }
+  for (const auto& [index, n] : other.buckets_) buckets_[index] += n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::min() const noexcept { return count_ ? min_seen_ : 0.0; }
+double Histogram::max() const noexcept { return count_ ? max_seen_ : 0.0; }
+
+double Histogram::mean() const noexcept {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double Histogram::percentile(double p) const {
+  MLCR_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile p out of [0, 100]");
+  if (count_ == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(std::max(
+      1.0, std::ceil(p / 100.0 * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (const auto& [index, n] : buckets_) {
+    seen += n;
+    if (seen >= rank) {
+      const double upper = min_value_ * std::pow(growth_, index);
+      return std::clamp(upper, min_seen_, max_seen_);
+    }
+  }
+  return max_seen_;  // unreachable: rank <= count_
+}
+
+// --- MetricsRegistry --------------------------------------------------------
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      double min_value, double growth) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(min_value, growth))
+      .first->second;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+  os << "kind,name,field,value\n";
+  for (const auto& [name, c] : counters_)
+    os << "counter," << name << ",value," << c.value() << '\n';
+  for (const auto& [name, g] : gauges_)
+    os << "gauge," << name << ",value," << format_number(g.value()) << '\n';
+  for (const auto& [name, h] : histograms_) {
+    const std::pair<const char*, double> fields[] = {
+        {"count", static_cast<double>(h.count())},
+        {"sum", h.sum()},         {"min", h.min()},
+        {"max", h.max()},         {"mean", h.mean()},
+        {"p50", h.p50()},         {"p95", h.p95()},
+        {"p99", h.p99()},         {"p999", h.p999()},
+    };
+    for (const auto& [field, value] : fields)
+      os << "histogram," << name << ',' << field << ','
+         << format_number(value) << '\n';
+  }
+  MLCR_CHECK_MSG(os.good(), "failed writing metrics CSV");
+}
+
+void MetricsRegistry::write_csv(const std::string& path) const {
+  std::ofstream os(path);
+  MLCR_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
+  write_csv(os);
+}
+
+}  // namespace mlcr::obs

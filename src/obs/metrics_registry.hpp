@@ -1,0 +1,121 @@
+// Metrics registry: named counters, gauges, and log-bucketed latency
+// histograms, dumped as a compact CSV. The histogram's percentile query uses
+// exact-rank (nearest-rank) selection over the bucket counts: the *rank* is
+// exact; the returned value is the bucket's upper bound, so the relative
+// value error is bounded by the bucket growth factor (~9% at the default).
+// For exact values over raw samples, use exact_rank_percentile.
+//
+// All storage is std::map so every dump iterates in deterministic name order
+// (simlint bans unordered iteration into metric output).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mlcr::obs {
+
+/// Nearest-rank percentile over raw samples: the smallest value whose rank
+/// is >= ceil(p/100 * n). Exact — no interpolation, the result is always an
+/// observed sample. p in [0, 100]; 0 picks the minimum. Empty input -> 0.
+[[nodiscard]] double exact_rank_percentile(std::vector<double> values,
+                                           double p);
+
+/// Monotone event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins sampled value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log-bucketed histogram of non-negative values. Bucket i covers
+/// (min_value * growth^(i-1), min_value * growth^i]; bucket 0 is
+/// [0, min_value]. The default growth 2^(1/8) bounds the relative error of
+/// percentile() by ~9% while keeping ~8 buckets per octave.
+class Histogram {
+ public:
+  static constexpr double kDefaultGrowth = 1.0905077326652577;  // 2^(1/8)
+
+  explicit Histogram(double min_value = 1e-6,
+                     double growth = kDefaultGrowth);
+
+  /// Record one sample. Requires value >= 0.
+  void add(double value);
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Nearest-rank percentile over the bucketed counts; returns the upper
+  /// bound of the bucket holding the element of rank ceil(p/100 * n),
+  /// clamped to the observed [min, max]. p in [0, 100]; 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double p50() const { return percentile(50.0); }
+  [[nodiscard]] double p95() const { return percentile(95.0); }
+  [[nodiscard]] double p99() const { return percentile(99.0); }
+  [[nodiscard]] double p999() const { return percentile(99.9); }
+
+  [[nodiscard]] double min_value() const noexcept { return min_value_; }
+  [[nodiscard]] double growth() const noexcept { return growth_; }
+
+  /// Upper bound of the bucket a value falls into (exposed for tests).
+  [[nodiscard]] double bucket_upper_bound(double value) const;
+
+ private:
+  [[nodiscard]] std::int32_t bucket_index(double value) const;
+
+  double min_value_;
+  double growth_;
+  double log_growth_;
+  std::map<std::int32_t, std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_seen_ = 0.0;
+  double max_seen_ = 0.0;
+};
+
+/// Named metric store. Accessors create-on-first-use; references stay valid
+/// for the registry's lifetime (std::map nodes are stable).
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     double min_value = 1e-6,
+                                     double growth = Histogram::kDefaultGrowth);
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+  void clear();
+
+  /// Compact CSV: `kind,name,field,value` rows, sorted by (kind, name);
+  /// histograms expand to count/sum/min/max/mean/p50/p95/p99/p999.
+  void write_csv(std::ostream& os) const;
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace mlcr::obs

@@ -1,0 +1,324 @@
+#include "obs/schema_check.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+namespace mlcr::obs {
+
+namespace {
+
+// --- Minimal JSON value + recursive-descent parser --------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  /// Parse one complete JSON document; returns false (with error_) on any
+  /// syntax problem, including trailing garbage.
+  bool parse(JsonValue& out) {
+    if (!value(out)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after JSON");
+    return true;
+  }
+
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+ private:
+  bool fail(const std::string& what) {
+    if (error_.empty())
+      error_ = what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool value(JsonValue& out) {
+    if (++depth_ > kMaxDepth) return fail("JSON nested too deeply");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    bool ok = false;
+    switch (text_[pos_]) {
+      case '{':
+        ok = object(out);
+        break;
+      case '[':
+        ok = array(out);
+        break;
+      case '"':
+        out.type = JsonValue::Type::kString;
+        ok = string(out.string);
+        break;
+      case 't':
+      case 'f':
+        ok = boolean(out);
+        break;
+      case 'n':
+        ok = literal("null");
+        out.type = JsonValue::Type::kNull;
+        break;
+      default:
+        ok = number(out);
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return fail("bad literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool boolean(JsonValue& out) {
+    out.type = JsonValue::Type::kBool;
+    if (text_[pos_] == 't') {
+      out.boolean = true;
+      return literal("true");
+    }
+    out.boolean = false;
+    return literal("false");
+  }
+
+  bool number(JsonValue& out) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    out.number = std::strtod(start, &end);
+    if (end == start) return fail("bad number");
+    out.type = JsonValue::Type::kNumber;
+    pos_ += static_cast<std::size_t>(end - start);
+    return true;
+  }
+
+  bool string(std::string& out) {
+    if (!consume('"')) return fail("expected string");
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            // Validated but not decoded — event names in this repo are ASCII.
+            for (int i = 0; i < 4; ++i, ++pos_)
+              if (pos_ >= text_.size() ||
+                  std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0)
+                return fail("bad \\u escape");
+            out += '?';
+            break;
+          default:
+            return fail("bad escape character");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool object(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    if (!consume('{')) return fail("expected object");
+    if (consume('}')) return true;
+    while (true) {
+      std::string key;
+      skip_ws();
+      if (!string(key)) return false;
+      if (!consume(':')) return fail("expected ':' in object");
+      JsonValue v;
+      if (!value(v)) return false;
+      out.object.emplace_back(std::move(key), std::move(v));
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool array(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    if (!consume('[')) return fail("expected array");
+    if (consume(']')) return true;
+    while (true) {
+      JsonValue v;
+      if (!value(v)) return false;
+      out.array.push_back(std::move(v));
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  static constexpr int kMaxDepth = 64;
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+};
+
+// --- Event validation -------------------------------------------------------
+
+void add_error(TraceCheckReport& report, std::size_t index,
+               const std::string& what) {
+  if (report.errors.size() >= TraceCheckReport::kMaxErrors) return;
+  report.errors.push_back("event " + std::to_string(index) + ": " + what);
+}
+
+[[nodiscard]] bool is_finite_number(const JsonValue* v) {
+  return v != nullptr && v->type == JsonValue::Type::kNumber &&
+         std::isfinite(v->number);
+}
+
+void check_event(const JsonValue& e, std::size_t index,
+                 TraceCheckReport& report) {
+  if (e.type != JsonValue::Type::kObject) {
+    add_error(report, index, "not an object");
+    return;
+  }
+
+  const JsonValue* name = e.find("name");
+  if (name == nullptr || name->type != JsonValue::Type::kString ||
+      name->string.empty()) {
+    add_error(report, index, "missing or empty \"name\" string");
+    return;
+  }
+
+  const JsonValue* ph = e.find("ph");
+  if (ph == nullptr || ph->type != JsonValue::Type::kString ||
+      ph->string.size() != 1 ||
+      std::string("XBEiICM").find(ph->string[0]) == std::string::npos) {
+    add_error(report, index, "\"ph\" must be one of X B E i I C M");
+    return;
+  }
+  const char phase = ph->string[0];
+
+  const JsonValue* ts = e.find("ts");
+  if (!is_finite_number(ts) || ts->number < 0.0)
+    add_error(report, index, "\"ts\" must be a finite number >= 0");
+  if (!is_finite_number(e.find("pid")))
+    add_error(report, index, "\"pid\" must be a number");
+  if (!is_finite_number(e.find("tid")))
+    add_error(report, index, "\"tid\" must be a number");
+
+  const JsonValue* cat = e.find("cat");
+  if (cat != nullptr && cat->type != JsonValue::Type::kString)
+    add_error(report, index, "\"cat\" must be a string");
+
+  const JsonValue* args = e.find("args");
+  if (args != nullptr && args->type != JsonValue::Type::kObject)
+    add_error(report, index, "\"args\" must be an object");
+
+  switch (phase) {
+    case 'X': {
+      const JsonValue* dur = e.find("dur");
+      if (!is_finite_number(dur) || dur->number < 0.0)
+        add_error(report, index,
+                  "complete span needs \"dur\" finite number >= 0");
+      ++report.span_counts[name->string];
+      break;
+    }
+    case 'C': {
+      if (args == nullptr || args->object.empty()) {
+        add_error(report, index, "counter needs a non-empty \"args\" object");
+      } else {
+        for (const auto& [key, v] : args->object)
+          if (!is_finite_number(&v))
+            add_error(report, index,
+                      "counter arg \"" + key + "\" must be numeric");
+      }
+      ++report.counter_counts[name->string];
+      break;
+    }
+    case 'M': {
+      if (name->string != "process_name" && name->string != "thread_name" &&
+          name->string != "process_labels")
+        add_error(report, index,
+                  "unknown metadata record \"" + name->string + "\"");
+      if (args == nullptr || args->find("name") == nullptr)
+        add_error(report, index, "metadata needs args.name");
+      break;
+    }
+    case 'i':
+    case 'I':
+      ++report.instant_counts[name->string];
+      break;
+    default:
+      break;  // B/E accepted without extra requirements
+  }
+}
+
+}  // namespace
+
+TraceCheckReport check_trace_json(const std::string& json_text) {
+  TraceCheckReport report;
+  JsonValue root;
+  Parser parser(json_text);
+  if (!parser.parse(root)) {
+    report.errors.push_back("JSON parse error: " + parser.error());
+    return report;
+  }
+
+  const JsonValue* events = nullptr;
+  if (root.type == JsonValue::Type::kArray) {
+    events = &root;
+  } else if (root.type == JsonValue::Type::kObject) {
+    events = root.find("traceEvents");
+    if (events == nullptr || events->type != JsonValue::Type::kArray) {
+      report.errors.push_back(
+          "root object has no \"traceEvents\" array");
+      return report;
+    }
+  } else {
+    report.errors.push_back("root must be an object or an array");
+    return report;
+  }
+
+  report.event_count = events->array.size();
+  for (std::size_t i = 0; i < events->array.size(); ++i)
+    check_event(events->array[i], i, report);
+  return report;
+}
+
+}  // namespace mlcr::obs

@@ -1,0 +1,48 @@
+// Minimal in-repo Chrome trace_event schema checker: parses a JSON trace
+// (self-contained recursive-descent parser, no third-party dependency) and
+// validates the subset of the trace_event format this repo emits — the
+// contract CI's trace-smoke job and the round-trip tests pin.
+//
+// Accepted schema:
+//   root        := {"traceEvents": [event*], ...} | [event*]
+//   event       := object with required fields
+//                    "name" non-empty string
+//                    "ph"   1-char string in {X, B, E, i, I, C, M}
+//                    "ts"   finite number >= 0
+//                    "pid"  number, "tid" number
+//                  and conditionally
+//                    ph X -> "dur" finite number >= 0
+//                    ph C -> "args" non-empty object of numeric values
+//                    ph M -> "name" in {process_name, thread_name,
+//                            process_labels} and "args" object with "name"
+//                  "args" (when present) must be an object; "cat" a string.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mlcr::obs {
+
+struct TraceCheckReport {
+  /// Empty means the trace is schema-valid. Each entry is one human-readable
+  /// problem ("event 12: ..."); collection stops after kMaxErrors.
+  std::vector<std::string> errors;
+  std::size_t event_count = 0;
+  /// Complete-span ("X") occurrences by event name.
+  std::map<std::string, std::size_t> span_counts;
+  /// Counter ("C") series names.
+  std::map<std::string, std::size_t> counter_counts;
+  /// Instant ("i"/"I") occurrences by event name.
+  std::map<std::string, std::size_t> instant_counts;
+
+  static constexpr std::size_t kMaxErrors = 50;
+
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Parse and validate `json_text` as a Chrome trace. Never throws on bad
+/// input — parse failures are reported in `errors`.
+[[nodiscard]] TraceCheckReport check_trace_json(const std::string& json_text);
+
+}  // namespace mlcr::obs

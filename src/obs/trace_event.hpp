@@ -1,0 +1,74 @@
+// Structured trace events in the Chrome trace_event model (loadable in
+// Perfetto / chrome://tracing): complete spans ("X"), instants ("i"),
+// counters ("C") and track metadata ("M"), each stamped on a (pid, tid)
+// track with a microsecond timestamp.
+//
+// The obs layer never reads a clock itself: timestamps are supplied by the
+// caller. Simulator layers pass *simulated* time (so traces are bit-identical
+// across runs — the DESIGN.md §6 determinism contract extends to traces);
+// only the bench self-profiling layer passes wall time, obtained through the
+// src/util allowed zone. simlint enforces both halves of this rule.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mlcr::obs {
+
+/// Microseconds, the trace_event "ts"/"dur" unit.
+using Micros = std::int64_t;
+
+/// Convert (simulated or wall) seconds to a microsecond timestamp.
+[[nodiscard]] inline Micros to_micros(double seconds) noexcept {
+  return static_cast<Micros>(std::llround(seconds * 1e6));
+}
+
+/// trace_event phase. The enum value is the "ph" character.
+enum class Phase : char {
+  kComplete = 'X',  ///< span with an explicit duration
+  kInstant = 'i',   ///< zero-width moment
+  kCounter = 'C',   ///< named time series sample
+  kMetadata = 'M',  ///< process/thread naming
+};
+
+/// One event argument, pre-rendered. `quoted` selects JSON string vs bare
+/// numeric/boolean emission.
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool quoted = true;
+};
+
+/// String argument.
+[[nodiscard]] inline TraceArg sarg(std::string key, std::string value) {
+  return {std::move(key), std::move(value), true};
+}
+
+/// Render a double compactly and deterministically (same-platform).
+[[nodiscard]] std::string format_number(double value);
+
+/// Numeric argument (emitted bare in JSON).
+[[nodiscard]] inline TraceArg narg(std::string key, double value) {
+  return {std::move(key), format_number(value), false};
+}
+[[nodiscard]] inline TraceArg narg(std::string key, std::int64_t value) {
+  return {std::move(key), std::to_string(value), false};
+}
+[[nodiscard]] inline TraceArg narg(std::string key, std::uint64_t value) {
+  return {std::move(key), std::to_string(value), false};
+}
+
+struct TraceEvent {
+  Phase phase = Phase::kInstant;
+  std::uint32_t pid = 0;  ///< track group (see Tracer::kSimPid & friends)
+  std::uint32_t tid = 0;  ///< track within the group (e.g. fleet node index)
+  Micros ts = 0;
+  Micros dur = 0;  ///< kComplete only
+  std::string name;
+  std::string category;
+  std::vector<TraceArg> args;
+};
+
+}  // namespace mlcr::obs

@@ -1,0 +1,87 @@
+#include "obs/tracer.hpp"
+
+#include "util/check.hpp"
+
+namespace mlcr::obs {
+
+void Tracer::add_sink(std::shared_ptr<TraceSink> sink) {
+  MLCR_CHECK(sink != nullptr);
+  MLCR_CHECK_MSG(!closed_, "add_sink after close()");
+  sinks_.push_back(std::move(sink));
+}
+
+void Tracer::close() {
+  if (closed_) return;
+  closed_ = true;
+  for (const auto& sink : sinks_) sink->close();
+  sinks_.clear();
+}
+
+void Tracer::emit(TraceEvent event) {
+  if (!enabled()) return;
+  ++events_;
+  for (const auto& sink : sinks_) sink->write(event);
+}
+
+void Tracer::span(std::uint32_t pid, std::uint32_t tid, Micros ts, Micros dur,
+                  std::string name, std::string category,
+                  std::vector<TraceArg> args) {
+  TraceEvent e;
+  e.phase = Phase::kComplete;
+  e.pid = pid;
+  e.tid = tid;
+  e.ts = ts;
+  e.dur = dur;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.args = std::move(args);
+  emit(std::move(e));
+}
+
+void Tracer::instant(std::uint32_t pid, std::uint32_t tid, Micros ts,
+                     std::string name, std::string category,
+                     std::vector<TraceArg> args) {
+  TraceEvent e;
+  e.phase = Phase::kInstant;
+  e.pid = pid;
+  e.tid = tid;
+  e.ts = ts;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.args = std::move(args);
+  emit(std::move(e));
+}
+
+void Tracer::counter(std::uint32_t pid, std::uint32_t tid, Micros ts,
+                     std::string name, double value) {
+  TraceEvent e;
+  e.phase = Phase::kCounter;
+  e.pid = pid;
+  e.tid = tid;
+  e.ts = ts;
+  e.name = std::move(name);
+  e.args.push_back(narg("value", value));
+  emit(std::move(e));
+}
+
+void Tracer::process_name(std::uint32_t pid, std::string name) {
+  TraceEvent e;
+  e.phase = Phase::kMetadata;
+  e.pid = pid;
+  e.name = "process_name";
+  e.args.push_back(sarg("name", std::move(name)));
+  emit(std::move(e));
+}
+
+void Tracer::thread_name(std::uint32_t pid, std::uint32_t tid,
+                         std::string name) {
+  TraceEvent e;
+  e.phase = Phase::kMetadata;
+  e.pid = pid;
+  e.tid = tid;
+  e.name = "thread_name";
+  e.args.push_back(sarg("name", std::move(name)));
+  emit(std::move(e));
+}
+
+}  // namespace mlcr::obs

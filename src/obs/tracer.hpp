@@ -1,0 +1,69 @@
+// Tracer: the emission front-end every instrumented layer talks to. A Tracer
+// with no sinks is the null-sink fast path — instrumentation sites check a
+// single pointer/flag and skip all argument construction, so an untraced run
+// pays (at most) one predicted branch per site (bench/overhead_inference
+// measures this).
+//
+// Track model (Chrome trace_event pid/tid):
+//   pid kSimPid   — simulated time; tid = fleet node index (0 single-node).
+//   pid kTrainPid — training telemetry; ts is a step index (1 step = 1 "us"):
+//                   tid 0 counts environment steps, tid 1 gradient steps.
+//   pid kBenchPid — bench self-profiling; ts is wall time from src/util.
+//
+// Determinism: everything emitted on kSimPid/kTrainPid is a pure function of
+// the episode, so two identical runs produce byte-identical sink output
+// (pinned in tests/obs). Only kBenchPid events carry wall time.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "obs/sink.hpp"
+#include "obs/trace_event.hpp"
+
+namespace mlcr::obs {
+
+class Tracer {
+ public:
+  static constexpr std::uint32_t kSimPid = 0;
+  static constexpr std::uint32_t kTrainPid = 1;
+  static constexpr std::uint32_t kBenchPid = 2;
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+  ~Tracer() { close(); }
+
+  void add_sink(std::shared_ptr<TraceSink> sink);
+
+  /// False means every emit is a no-op: the guard instrumentation sites use.
+  [[nodiscard]] bool enabled() const noexcept { return !sinks_.empty(); }
+
+  /// Events emitted so far (metadata included).
+  [[nodiscard]] std::uint64_t event_count() const noexcept { return events_; }
+
+  /// Finalize all sinks (write the JSON tail). Further emits are dropped.
+  void close();
+
+  void span(std::uint32_t pid, std::uint32_t tid, Micros ts, Micros dur,
+            std::string name, std::string category,
+            std::vector<TraceArg> args = {});
+  void instant(std::uint32_t pid, std::uint32_t tid, Micros ts,
+               std::string name, std::string category,
+               std::vector<TraceArg> args = {});
+  void counter(std::uint32_t pid, std::uint32_t tid, Micros ts,
+               std::string name, double value);
+
+  /// Track naming (Perfetto group / row labels).
+  void process_name(std::uint32_t pid, std::string name);
+  void thread_name(std::uint32_t pid, std::uint32_t tid, std::string name);
+
+ private:
+  void emit(TraceEvent event);
+
+  std::vector<std::shared_ptr<TraceSink>> sinks_;
+  std::uint64_t events_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace mlcr::obs

@@ -40,7 +40,8 @@ EpisodeSummary run_system(const SystemSpec& spec,
                           const containers::PackageCatalog& catalog,
                           const sim::StartupCostModel& cost_model,
                           double pool_capacity_mb, const sim::Trace& trace,
-                          std::size_t max_pool_containers) {
+                          std::size_t max_pool_containers, obs::Tracer* tracer,
+                          std::uint32_t track) {
   sim::EnvConfig config;
   config.pool_capacity_mb = pool_capacity_mb;
   config.max_pool_containers = max_pool_containers;
@@ -48,6 +49,7 @@ EpisodeSummary run_system(const SystemSpec& spec,
   config.reuse_semantics = spec.reuse_semantics;
   sim::ClusterEnv env(functions, catalog, cost_model, config,
                       spec.eviction_factory);
+  env.set_tracer(tracer, track);
   return run_episode(env, *spec.scheduler, trace);
 }
 

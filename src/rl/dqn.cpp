@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "nn/serialize.hpp"
+#include "obs/tracer.hpp"
 #include "util/check.hpp"
 
 namespace mlcr::rl {
@@ -97,10 +98,23 @@ std::optional<float> DqnAgent::train_step(util::Rng& rng) {
   optimizer_.step();
 
   ++train_steps_;
-  if (train_steps_ % config_.target_sync_every == 0)
-    nn::copy_parameters(online_, target_);
+  const bool synced = train_steps_ % config_.target_sync_every == 0;
+  if (synced) nn::copy_parameters(online_, target_);
 
-  return total_loss * inv_batch;
+  const float mean_loss = total_loss * inv_batch;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    // The gradient-step track: 1 train step = 1 "microsecond".
+    const auto ts = static_cast<obs::Micros>(train_steps_);
+    const std::uint32_t pid = obs::Tracer::kTrainPid;
+    tracer_->counter(pid, 1, ts, "loss", static_cast<double>(mean_loss));
+    tracer_->counter(pid, 1, ts, "replay_occupancy",
+                     static_cast<double>(replay_.size()));
+    tracer_->counter(pid, 1, ts, "target_staleness",
+                     static_cast<double>(train_steps_ %
+                                         config_.target_sync_every));
+    if (synced) tracer_->instant(pid, 1, ts, "target_sync", "train");
+  }
+  return mean_loss;
 }
 
 void DqnAgent::save(const std::string& path) {

@@ -11,6 +11,10 @@
 #include "rl/qnetwork.hpp"
 #include "rl/replay_buffer.hpp"
 
+namespace mlcr::obs {
+class Tracer;
+}
+
 namespace mlcr::rl {
 
 struct DqnConfig {
@@ -61,6 +65,13 @@ class DqnAgent {
   void save(const std::string& path);
   void load(const std::string& path);
 
+  /// Attach a tracer: every successful train_step() emits loss / replay
+  /// occupancy / target-staleness counters on the gradient-step track
+  /// (obs::Tracer::kTrainPid, tid 1), timestamped by the train-step index —
+  /// deterministic, no clock involved. nullptr detaches; not owned.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
   /// Snapshot / restore the online network's weights (used by the trainer's
   /// validation-based checkpoint selection). restore also syncs the target.
   [[nodiscard]] std::vector<nn::Tensor> snapshot_weights();
@@ -73,6 +84,7 @@ class DqnAgent {
   nn::Adam optimizer_;
   ReplayBuffer replay_;
   std::size_t train_steps_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace mlcr::rl

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "containers/matching.hpp"
+#include "obs/tracer.hpp"
 #include "util/audit.hpp"
 #include "util/check.hpp"
 
@@ -30,9 +31,16 @@ void ClusterEnv::reset_common() {
   pool_ = std::make_unique<containers::WarmPool>(config_.pool_capacity_mb,
                                                  eviction_factory_(),
                                                  config_.max_pool_containers);
+  pool_->set_tracer(tracer_, track_);
   busy_ = {};
   next_container_id_ = 0;
   metrics_.clear();
+}
+
+void ClusterEnv::set_tracer(obs::Tracer* tracer, std::uint32_t track) noexcept {
+  tracer_ = tracer;
+  track_ = track;
+  if (pool_ != nullptr) pool_->set_tracer(tracer, track);
 }
 
 void ClusterEnv::reset(const Trace& trace) {
@@ -209,6 +217,8 @@ StepResult ClusterEnv::step(const Action& action) {
   rec.latency_s = result.latency_s;
   metrics_.record(std::move(rec));
 
+  if (tracer_ != nullptr && tracer_->enabled()) trace_step(inv, fn, result);
+
   ++next_index_;
   if (done()) {
     // A streaming episode never knows whether more invocations will arrive;
@@ -220,6 +230,61 @@ StepResult ClusterEnv::step(const Action& action) {
 
   MLCR_AUDIT_POINT(audit());
   return result;
+}
+
+void ClusterEnv::trace_step(const Invocation& inv, const FunctionType& fn,
+                            const StepResult& result) const {
+  namespace o = mlcr::obs;
+  o::Tracer& t = *tracer_;
+  const std::uint32_t pid = o::Tracer::kSimPid;
+  const o::Micros arrival = o::to_micros(inv.arrival_s);
+  const auto cid = static_cast<std::int64_t>(result.container);
+
+  t.instant(pid, track_, arrival, "match", "sim",
+            {o::sarg("function", fn.name),
+             o::sarg("level", std::string(containers::to_string(result.match))),
+             o::narg("cold", static_cast<std::int64_t>(result.cold ? 1 : 0)),
+             o::narg("container", cid)});
+
+  const StartupBreakdown& b = result.breakdown;
+  t.span(pid, track_, arrival, o::to_micros(result.latency_s), "startup",
+         "sim",
+         {o::sarg("function", fn.name),
+          o::sarg("level", std::string(containers::to_string(result.match))),
+          o::narg("cold", static_cast<std::int64_t>(result.cold ? 1 : 0)),
+          o::narg("container", cid)});
+
+  // Child segments, laid out sequentially in the order the platform performs
+  // them; zero-cost components are omitted except the repack, which carries
+  // the cleaner's volume plan whenever a repack actually happened.
+  double cursor_s = inv.arrival_s;
+  auto child = [&](const char* name, double dur_s,
+                   std::vector<o::TraceArg> args = {}) {
+    t.span(pid, track_, o::to_micros(cursor_s), o::to_micros(dur_s), name,
+           "sim", std::move(args));
+    cursor_s += dur_s;
+  };
+  if (b.sandbox_s > 0.0) child("sandbox", b.sandbox_s);
+  if (!result.cold && config_.reuse_semantics == ReuseSemantics::kRepack) {
+    const containers::RepackPlan plan =
+        cost_model_.cleaner().plan(fn.image, result.match);
+    child("repack", b.cleaner_s,
+          {o::narg("unmounted_volumes",
+                   static_cast<std::int64_t>(plan.unmounted_volumes)),
+           o::narg("mounted_volumes",
+                   static_cast<std::int64_t>(plan.mounted_volumes)),
+           o::narg("volume_ops_s", plan.volume_ops_s)});
+  } else if (b.cleaner_s > 0.0) {
+    child("repack", b.cleaner_s);
+  }
+  if (b.pull_s > 0.0) child("pull", b.pull_s);
+  if (b.install_s > 0.0) child("install", b.install_s);
+  if (b.runtime_init_s > 0.0) child("runtime_init", b.runtime_init_s);
+  if (b.function_init_s > 0.0) child("function_init", b.function_init_s);
+
+  t.span(pid, track_, o::to_micros(inv.arrival_s + result.latency_s),
+         o::to_micros(inv.exec_s), "exec", "sim",
+         {o::sarg("function", fn.name), o::narg("container", cid)});
 }
 
 void ClusterEnv::audit() const {

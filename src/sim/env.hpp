@@ -30,6 +30,10 @@
 #include "sim/invocation.hpp"
 #include "sim/metrics.hpp"
 
+namespace mlcr::obs {
+class Tracer;
+}
+
 namespace mlcr::sim {
 
 /// Scheduling decision for one invocation.
@@ -146,6 +150,16 @@ class ClusterEnv {
   [[nodiscard]] containers::MatchLevel match_for(
       containers::ContainerId id, FunctionTypeId function) const;
 
+  /// Attach a tracer: every step() emits match/startup/exec lifecycle spans
+  /// (with per-component startup children) in *simulated* time on
+  /// (obs::Tracer::kSimPid, `track`), and the warm pool emits its
+  /// admission/eviction instants on the same track. `track` is the fleet
+  /// node index (0 single-node). The env does not own the tracer; nullptr
+  /// detaches. Survives reset().
+  void set_tracer(obs::Tracer* tracer, std::uint32_t track = 0) noexcept;
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+  [[nodiscard]] std::uint32_t trace_track() const noexcept { return track_; }
+
   /// Cross-structure invariant auditor: pool byte accounting, busy/pooled
   /// disjointness (no container simultaneously busy and reusable), metrics
   /// aggregate consistency, and clock/index sanity. Throws util::CheckError
@@ -172,6 +186,10 @@ class ClusterEnv {
   void finish_episode();
   void reset_common();
   [[nodiscard]] const Invocation& at(std::size_t i) const;
+  /// Emit the lifecycle events for one scheduled invocation (tracer attached
+  /// and enabled; all timestamps are simulated time).
+  void trace_step(const Invocation& inv, const FunctionType& fn,
+                  const StepResult& result) const;
 
   const FunctionTable& functions_;
   const containers::PackageCatalog& catalog_;
@@ -190,6 +208,8 @@ class ClusterEnv {
   containers::ContainerId next_container_id_ = 0;
   MetricsCollector metrics_;
   bool episode_finished_ = false;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t track_ = 0;
 };
 
 }  // namespace mlcr::sim

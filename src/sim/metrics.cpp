@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics_registry.hpp"
 #include "util/check.hpp"
 
 namespace mlcr::sim {
@@ -52,6 +53,10 @@ std::vector<double> MetricsCollector::latencies() const {
   out.reserve(records_.size());
   for (const auto& r : records_) out.push_back(r.latency_s);
   return out;
+}
+
+double MetricsCollector::latency_percentile(double p) const {
+  return obs::exact_rank_percentile(latencies(), p);
 }
 
 std::vector<double> MetricsCollector::cumulative_latency() const {

@@ -56,6 +56,14 @@ class MetricsCollector {
 
   /// Startup latencies in arrival order (for percentiles / box stats).
   [[nodiscard]] std::vector<double> latencies() const;
+  /// Exact nearest-rank startup-latency percentile (obs::exact_rank
+  /// semantics: the sample of rank ceil(p/100 * n); always an observed
+  /// value, no interpolation). p in [0, 100]; 0 when no records. Works on
+  /// fleet-merged collectors unchanged — merge() keeps every record.
+  [[nodiscard]] double latency_percentile(double p) const;
+  [[nodiscard]] double latency_p50() const { return latency_percentile(50.0); }
+  [[nodiscard]] double latency_p95() const { return latency_percentile(95.0); }
+  [[nodiscard]] double latency_p99() const { return latency_percentile(99.0); }
   /// Cumulative total latency after each invocation (paper Fig. 9 series).
   [[nodiscard]] std::vector<double> cumulative_latency() const;
   /// Cumulative cold-start count after each invocation (Fig. 9 series).

@@ -1,6 +1,7 @@
 #include "sim/trace_io.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -21,6 +22,10 @@ constexpr char kHeader[] = "function_id,arrival_s,exec_s";
   const double v = std::strtod(buf.c_str(), &end);
   MLCR_CHECK_MSG(end != nullptr && *end == '\0' && !buf.empty(),
                  "trace CSV line " << line << ": bad number '" << buf << "'");
+  // strtod happily parses "nan"/"inf"; neither is a valid trace quantity.
+  MLCR_CHECK_MSG(std::isfinite(v), "trace CSV line "
+                                       << line << ": non-finite number '"
+                                       << buf << "'");
   return v;
 }
 }  // namespace
@@ -49,11 +54,14 @@ Trace read_trace_csv(std::istream& is, const FunctionTable& functions) {
     ++line_no;
     if (line.empty()) continue;
     std::stringstream row(line);
-    std::string fn_field, arrival_field, exec_field;
+    std::string fn_field, arrival_field, exec_field, extra;
     MLCR_CHECK_MSG(std::getline(row, fn_field, ',') &&
                        std::getline(row, arrival_field, ',') &&
                        std::getline(row, exec_field, ','),
                    "trace CSV line " << line_no << ": expected 3 columns");
+    MLCR_CHECK_MSG(!std::getline(row, extra, ','),
+                   "trace CSV line " << line_no
+                                     << ": expected 3 columns, found more");
     Invocation inv;
     const double fn = parse_double(fn_field, line_no);
     MLCR_CHECK_MSG(fn >= 0 && fn == static_cast<double>(
@@ -64,7 +72,13 @@ Trace read_trace_csv(std::istream& is, const FunctionTable& functions) {
                    "trace CSV line " << line_no << ": unknown function id "
                                      << inv.function);
     inv.arrival_s = parse_double(arrival_field, line_no);
+    MLCR_CHECK_MSG(inv.arrival_s >= 0.0, "trace CSV line "
+                                             << line_no
+                                             << ": negative arrival time");
     inv.exec_s = parse_double(exec_field, line_no);
+    MLCR_CHECK_MSG(inv.exec_s >= 0.0, "trace CSV line "
+                                          << line_no
+                                          << ": negative execution time");
     invocations.push_back(inv);
   }
   return Trace(std::move(invocations));

@@ -1,0 +1,22 @@
+// Wall-clock reads for bench self-profiling. src/util is the single zone
+// where simlint permits clock access (DESIGN.md §6): simulator layers must
+// never observe wall time, and the obs layer only timestamps events with
+// caller-supplied values — so the only legitimate producer of wall-time
+// timestamps (obs::Tracer::kBenchPid tracks) is this header, used from
+// bench/.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mlcr::util {
+
+/// Monotonic wall time, microseconds since an arbitrary (per-process)
+/// epoch. Subtract two reads for a duration.
+[[nodiscard]] inline std::int64_t wall_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace mlcr::util

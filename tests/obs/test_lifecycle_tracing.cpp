@@ -1,0 +1,198 @@
+// End-to-end lifecycle tracing: the spans/instants/counters the instrumented
+// layers emit (ClusterEnv, WarmPool, FleetEnv, DqnAgent), and the headline
+// determinism property — sim-track traces are a pure function of the episode,
+// so two identical runs produce byte-identical sink output.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "containers/matching.hpp"
+#include "fleet/fleet_env.hpp"
+#include "fleet/router.hpp"
+#include "fstartbench/workloads.hpp"
+#include "obs/schema_check.hpp"
+#include "obs/sink.hpp"
+#include "obs/tracer.hpp"
+#include "policies/baselines.hpp"
+#include "policies/runner.hpp"
+#include "rl/dqn.hpp"
+#include "testing/fixtures.hpp"
+
+namespace mlcr {
+namespace {
+
+using mlcr::testing::TinyWorld;
+
+/// Cold start + L2 warm reuse of the parked container, traced.
+std::string traced_episode_json(const TinyWorld& world) {
+  std::ostringstream out;
+  obs::Tracer tracer;
+  tracer.add_sink(std::make_shared<obs::ChromeTraceSink>(out));
+  auto env = world.make_env();
+  env.set_tracer(&tracer);
+  const sim::Trace trace =
+      TinyWorld::make_trace({TinyWorld::inv(world.fn_py_flask, 0.0, 0.5),
+                             TinyWorld::inv(world.fn_py_numpy, 100.0, 0.5)});
+  env.reset(trace);
+  (void)env.step(sim::Action::cold());
+  const auto idle = env.pool().idle_containers();
+  EXPECT_EQ(idle.size(), 1U);
+  const sim::StepResult warm = env.step(sim::Action::reuse(idle[0]->id));
+  EXPECT_FALSE(warm.cold);
+  EXPECT_EQ(warm.match, containers::MatchLevel::kL2);
+  tracer.close();
+  return out.str();
+}
+
+TEST(LifecycleTracing, EnvEmitsMatchStartupChildrenExecAndPoolEvents) {
+  const TinyWorld world;
+  const std::string json = traced_episode_json(world);
+  const auto report = obs::check_trace_json(json);
+  ASSERT_TRUE(report.ok()) << (report.errors.empty() ? "" : report.errors[0]);
+
+  // One match instant and one startup + exec span per invocation.
+  EXPECT_EQ(report.instant_counts.at("match"), 2U);
+  EXPECT_EQ(report.span_counts.at("startup"), 2U);
+  EXPECT_EQ(report.span_counts.at("exec"), 2U);
+  // The L2 reuse repacks the parked container (paper Sec. III): its span
+  // carries the cleaner's volume plan.
+  EXPECT_GE(report.span_counts.at("repack"), 1U);
+  EXPECT_TRUE(json.find("unmounted_volumes") != std::string::npos) << json;
+  // Pool lifecycle: the cold container is admitted after its first
+  // execution, then taken for the warm reuse; occupancy counters follow.
+  EXPECT_GE(report.instant_counts.at("pool_admit"), 1U);
+  EXPECT_GE(report.instant_counts.at("pool_take"), 1U);
+  EXPECT_GE(report.counter_counts.at("pool_used_mb"), 1U);
+  EXPECT_GE(report.counter_counts.at("pool_containers"), 1U);
+}
+
+TEST(LifecycleTracing, SimTrackTraceIsByteIdenticalAcrossRuns) {
+  const TinyWorld world;
+  const std::string first = traced_episode_json(world);
+  const std::string second = traced_episode_json(world);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(LifecycleTracing, DetachedTracerEmitsNothing) {
+  const TinyWorld world;
+  obs::Tracer tracer;  // no sinks
+  auto env = world.make_env();
+  env.set_tracer(&tracer);
+  const sim::Trace trace =
+      TinyWorld::make_trace({TinyWorld::inv(world.fn_py_flask, 0.0)});
+  env.reset(trace);
+  (void)env.step(sim::Action::cold());
+  EXPECT_EQ(tracer.event_count(), 0U);
+  // And a null tracer is simply ignored.
+  env.set_tracer(nullptr);
+  env.reset(trace);
+  (void)env.step(sim::Action::cold());
+}
+
+TEST(LifecycleTracing, PoolEvictionAndExpiryAreTraced) {
+  const TinyWorld world;
+  std::ostringstream out;
+  obs::Tracer tracer;
+  tracer.add_sink(std::make_shared<obs::ChromeTraceSink>(out));
+  // A pool that fits one container forces an eviction on the second admit;
+  // a short TTL expires the survivor later.
+  auto env = world.make_env(/*pool_mb=*/200.0, /*ttl=*/5.0);
+  env.set_tracer(&tracer);
+  const sim::Trace trace =
+      TinyWorld::make_trace({TinyWorld::inv(world.fn_py_flask, 0.0, 0.1),
+                             TinyWorld::inv(world.fn_other_os, 10.0, 0.1),
+                             TinyWorld::inv(world.fn_js, 100.0, 0.1)});
+  env.reset(trace);
+  while (!env.done()) (void)env.step(sim::Action::cold());
+  tracer.close();
+  const auto report = obs::check_trace_json(out.str());
+  ASSERT_TRUE(report.ok()) << (report.errors.empty() ? "" : report.errors[0]);
+  const bool evicted_or_expired =
+      report.instant_counts.count("pool_evict") != 0 ||
+      report.instant_counts.count("pool_expire") != 0 ||
+      report.instant_counts.count("pool_reject") != 0;
+  EXPECT_TRUE(evicted_or_expired) << out.str();
+}
+
+TEST(LifecycleTracing, FleetRoutesOnPerNodeTracks) {
+  const auto bench = fstartbench::make_benchmark();
+  const sim::StartupCostModel cost(bench.catalog,
+                                   fstartbench::default_cost_config());
+  util::Rng trace_rng(5);
+  const sim::Trace trace =
+      fstartbench::make_overall_workload(bench, 40, trace_rng);
+
+  std::ostringstream out;
+  obs::Tracer tracer;
+  tracer.add_sink(std::make_shared<obs::ChromeTraceSink>(out));
+
+  fleet::FleetConfig cfg;
+  cfg.nodes = 3;
+  cfg.node_env.pool_capacity_mb = 1000.0;
+  fleet::FleetEnv env(bench.functions, bench.catalog, cost, cfg,
+                      fleet::uniform_system(policies::make_greedy_match_system));
+  env.set_tracer(&tracer);
+  const auto router = fleet::standard_routers().front().make();
+  (void)env.run(trace, *router);
+  tracer.close();
+
+  const auto report = obs::check_trace_json(out.str());
+  ASSERT_TRUE(report.ok()) << (report.errors.empty() ? "" : report.errors[0]);
+  EXPECT_EQ(report.instant_counts.at("route"), 40U);
+  EXPECT_GE(report.counter_counts.at("node_outstanding"), 1U);
+  // Every invocation's lifecycle landed on some node's track.
+  EXPECT_EQ(report.span_counts.at("startup"), 40U);
+  // Node tracks are labelled for Perfetto.
+  EXPECT_TRUE(out.str().find("node0") != std::string::npos);
+  EXPECT_TRUE(out.str().find("node2") != std::string::npos);
+}
+
+TEST(LifecycleTracing, DqnTrainStepsEmitGradientTrackCounters) {
+  rl::DqnConfig cfg;
+  cfg.network.feature_dim = 4;
+  cfg.network.num_slots = 2;
+  cfg.network.embed_dim = 8;
+  cfg.network.heads = 2;
+  cfg.network.blocks = 1;
+  cfg.network.ffn_dim = 16;
+  cfg.batch_size = 8;
+  cfg.min_replay = 8;
+  cfg.target_sync_every = 10;
+  rl::DqnAgent agent(cfg, util::Rng(1));
+
+  nn::Tensor state(4, 4);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      state(r, c) = 0.2F * static_cast<float>(r) + 0.1F * static_cast<float>(c);
+  for (int i = 0; i < 16; ++i) {
+    rl::Transition t;
+    t.state = state;
+    t.action = static_cast<std::size_t>(i % 3);
+    t.reward = -0.5F;
+    t.terminal = true;
+    agent.observe(std::move(t));
+  }
+
+  std::ostringstream out;
+  obs::Tracer tracer;
+  tracer.add_sink(std::make_shared<obs::ChromeTraceSink>(out));
+  agent.set_tracer(&tracer);
+  util::Rng rng(2);
+  for (int i = 0; i < 12; ++i) ASSERT_TRUE(agent.train_step(rng).has_value());
+  agent.set_tracer(nullptr);
+  tracer.close();
+
+  const auto report = obs::check_trace_json(out.str());
+  ASSERT_TRUE(report.ok()) << (report.errors.empty() ? "" : report.errors[0]);
+  EXPECT_EQ(report.counter_counts.at("loss"), 12U);
+  EXPECT_EQ(report.counter_counts.at("replay_occupancy"), 12U);
+  EXPECT_EQ(report.counter_counts.at("target_staleness"), 12U);
+  // 12 steps with target_sync_every=10 cross at least one sync boundary.
+  EXPECT_GE(report.instant_counts.at("target_sync"), 1U);
+}
+
+}  // namespace
+}  // namespace mlcr

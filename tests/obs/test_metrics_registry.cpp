@@ -1,0 +1,189 @@
+// Metrics registry: exact-rank percentiles, log-bucketed histogram accuracy
+// bounds, merge semantics, and the deterministic CSV dump.
+#include "obs/metrics_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mlcr::obs {
+namespace {
+
+TEST(ExactRankPercentile, MatchesNearestRankDefinition) {
+  const std::vector<double> v = {5.0, 1.0, 4.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(exact_rank_percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(exact_rank_percentile(v, 20.0), 1.0);   // rank ceil(1)=1
+  EXPECT_DOUBLE_EQ(exact_rank_percentile(v, 50.0), 3.0);   // rank ceil(2.5)=3
+  EXPECT_DOUBLE_EQ(exact_rank_percentile(v, 90.0), 5.0);   // rank ceil(4.5)=5
+  EXPECT_DOUBLE_EQ(exact_rank_percentile(v, 100.0), 5.0);
+}
+
+TEST(ExactRankPercentile, EmptyInputAndSingleSample) {
+  EXPECT_DOUBLE_EQ(exact_rank_percentile({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(exact_rank_percentile({7.5}, 1.0), 7.5);
+  EXPECT_DOUBLE_EQ(exact_rank_percentile({7.5}, 99.0), 7.5);
+}
+
+TEST(ExactRankPercentile, ResultIsAlwaysAnObservedSample) {
+  util::Rng rng(11);
+  std::vector<double> v;
+  for (int i = 0; i < 257; ++i) v.push_back(rng.uniform(0.0, 10.0));
+  for (const double p : {1.0, 25.0, 50.0, 75.0, 95.0, 99.0, 99.9}) {
+    const double got = exact_rank_percentile(v, p);
+    EXPECT_NE(std::find(v.begin(), v.end(), got), v.end()) << "p=" << p;
+  }
+}
+
+TEST(CounterAndGauge, Basics) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0U);
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5U);
+
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST(Histogram, CountSumMinMaxMean) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0U);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  h.add(2.0);
+  h.add(0.5);
+  h.add(4.5);
+  EXPECT_EQ(h.count(), 3U);
+  EXPECT_DOUBLE_EQ(h.sum(), 7.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 4.5);
+  EXPECT_NEAR(h.mean(), 7.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, PercentileErrorBoundedByBucketGrowth) {
+  // The bucketed percentile must stay within one growth factor of the exact
+  // nearest-rank percentile over the raw samples (and inside [min, max]).
+  util::Rng rng(7);
+  Histogram h;
+  std::vector<double> raw;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = std::exp(rng.uniform(-3.0, 3.0));  // spans ~6 octaves
+    raw.push_back(v);
+    h.add(v);
+  }
+  for (const double p : {50.0, 95.0, 99.0, 99.9}) {
+    const double exact = exact_rank_percentile(raw, p);
+    const double bucketed = h.percentile(p);
+    EXPECT_GE(bucketed, h.min());
+    EXPECT_LE(bucketed, h.max());
+    EXPECT_GE(bucketed * h.growth(), exact) << "p=" << p;
+    EXPECT_LE(bucketed, exact * h.growth()) << "p=" << p;
+  }
+}
+
+TEST(Histogram, BucketUpperBoundBracketsTheValue) {
+  const Histogram h;
+  for (const double v : {1e-7, 1e-3, 0.7, 1.0, 12.0, 4000.0}) {
+    const double ub = h.bucket_upper_bound(v);
+    EXPECT_GE(ub, v);
+    EXPECT_LE(v, ub);
+    EXPECT_GE(ub, h.min_value());
+    if (v > h.min_value()) {
+      EXPECT_GE(v * h.growth(), ub);
+    }
+  }
+}
+
+TEST(Histogram, ZeroAndTinyValuesLandInTheFloorBucket) {
+  Histogram h;
+  h.add(0.0);
+  h.add(1e-9);
+  EXPECT_EQ(h.count(), 2U);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_LE(h.percentile(99.0), h.min_value());
+}
+
+TEST(Histogram, NegativeValueIsRejected) {
+  Histogram h;
+  EXPECT_THROW(h.add(-0.25), util::CheckError);
+}
+
+TEST(Histogram, MergeMatchesInterleavedAdds) {
+  util::Rng rng(3);
+  Histogram a;
+  Histogram b;
+  Histogram all;
+  for (int i = 0; i < 500; ++i) {
+    const double v = std::exp(rng.uniform(-2.0, 2.0));
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  for (const double p : {10.0, 50.0, 95.0, 99.0})
+    EXPECT_DOUBLE_EQ(a.percentile(p), all.percentile(p)) << "p=" << p;
+}
+
+TEST(MetricsRegistry, AccessorsCreateOnFirstUseAndPersist) {
+  MetricsRegistry reg;
+  reg.counter("invocations").add(3);
+  reg.counter("invocations").add(2);
+  reg.gauge("pool_mb").set(128.0);
+  reg.histogram("latency_s").add(0.5);
+  EXPECT_EQ(reg.size(), 3U);
+  EXPECT_EQ(reg.counter("invocations").value(), 5U);
+  EXPECT_DOUBLE_EQ(reg.gauge("pool_mb").value(), 128.0);
+  EXPECT_EQ(reg.histogram("latency_s").count(), 1U);
+  reg.clear();
+  EXPECT_EQ(reg.size(), 0U);
+}
+
+TEST(MetricsRegistry, CsvIsSortedAndComplete) {
+  MetricsRegistry reg;
+  // Insert out of name order; the dump must come out sorted.
+  reg.counter("z_cold_starts").add(2);
+  reg.counter("a_invocations").add(9);
+  reg.gauge("m_pool_mb").set(64.0);
+  auto& h = reg.histogram("latency_s");
+  h.add(1.0);
+  h.add(2.0);
+
+  std::ostringstream os;
+  reg.write_csv(os);
+  const std::string csv = os.str();
+
+  const auto pos_header = csv.find("kind,name,field,value");
+  const auto pos_a = csv.find("counter,a_invocations,value,9");
+  const auto pos_z = csv.find("counter,z_cold_starts,value,2");
+  const auto pos_g = csv.find("gauge,m_pool_mb,value,64");
+  const auto pos_count = csv.find("histogram,latency_s,count,2");
+  const auto pos_p99 = csv.find("histogram,latency_s,p99,");
+  ASSERT_NE(pos_header, std::string::npos) << csv;
+  ASSERT_NE(pos_a, std::string::npos) << csv;
+  ASSERT_NE(pos_z, std::string::npos) << csv;
+  ASSERT_NE(pos_g, std::string::npos) << csv;
+  ASSERT_NE(pos_count, std::string::npos) << csv;
+  ASSERT_NE(pos_p99, std::string::npos) << csv;
+  EXPECT_LT(pos_header, pos_a);
+  EXPECT_LT(pos_a, pos_z);     // counters sorted by name
+  EXPECT_LT(pos_z, pos_g);     // kinds grouped: counter < gauge < histogram
+  EXPECT_LT(pos_g, pos_count);
+
+  // Byte-identical on a second dump: the registry iterates std::map order.
+  std::ostringstream os2;
+  reg.write_csv(os2);
+  EXPECT_EQ(csv, os2.str());
+}
+
+}  // namespace
+}  // namespace mlcr::obs

@@ -1,0 +1,132 @@
+// Schema checker: accepts what the sinks emit, rejects malformed JSON and
+// contract violations, and reports per-name span/instant/counter tallies.
+#include "obs/schema_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mlcr::obs {
+namespace {
+
+bool any_error_contains(const TraceCheckReport& report,
+                        const std::string& needle) {
+  for (const std::string& err : report.errors)
+    if (err.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+TEST(SchemaCheck, AcceptsMinimalValidTraces) {
+  // Object root with traceEvents, plus the bare-array form.
+  const char* kObject = R"({"traceEvents":[
+    {"name":"startup","ph":"X","ts":10,"dur":5,"pid":0,"tid":0,"cat":"sim"},
+    {"name":"match","ph":"i","ts":10,"pid":0,"tid":0},
+    {"name":"pool_used_mb","ph":"C","ts":10,"pid":0,"tid":0,
+     "args":{"value":12.5}},
+    {"name":"process_name","ph":"M","pid":0,"tid":0,"ts":0,
+     "args":{"name":"simulated-cluster"}}
+  ],"displayTimeUnit":"ms"})";
+  const auto report = check_trace_json(kObject);
+  EXPECT_TRUE(report.ok()) << (report.errors.empty() ? "" : report.errors[0]);
+  EXPECT_EQ(report.event_count, 4U);
+  EXPECT_EQ(report.span_counts.at("startup"), 1U);
+  EXPECT_EQ(report.instant_counts.at("match"), 1U);
+  EXPECT_EQ(report.counter_counts.at("pool_used_mb"), 1U);
+
+  const char* kArray =
+      R"([{"name":"a","ph":"i","ts":0,"pid":1,"tid":2}])";
+  EXPECT_TRUE(check_trace_json(kArray).ok());
+}
+
+TEST(SchemaCheck, RejectsMalformedJson) {
+  EXPECT_FALSE(check_trace_json("").ok());
+  EXPECT_FALSE(check_trace_json("{").ok());
+  EXPECT_FALSE(check_trace_json("{\"traceEvents\":[}").ok());
+  EXPECT_FALSE(check_trace_json("not json at all").ok());
+  // Trailing garbage after a valid document.
+  EXPECT_FALSE(check_trace_json("[] []").ok());
+  // A valid JSON value that is not a trace.
+  EXPECT_FALSE(check_trace_json("42").ok());
+  EXPECT_FALSE(check_trace_json("{\"events\":[]}").ok());
+}
+
+TEST(SchemaCheck, RejectsContractViolations) {
+  // Missing name.
+  EXPECT_TRUE(any_error_contains(
+      check_trace_json(R"([{"ph":"i","ts":0,"pid":0,"tid":0}])"), "name"));
+  // Unknown phase.
+  EXPECT_TRUE(any_error_contains(
+      check_trace_json(
+          R"([{"name":"a","ph":"Z","ts":0,"pid":0,"tid":0}])"),
+      "ph"));
+  // Negative timestamp.
+  EXPECT_TRUE(any_error_contains(
+      check_trace_json(
+          R"([{"name":"a","ph":"i","ts":-1,"pid":0,"tid":0}])"),
+      "ts"));
+  // Span without duration.
+  EXPECT_TRUE(any_error_contains(
+      check_trace_json(
+          R"([{"name":"a","ph":"X","ts":0,"pid":0,"tid":0}])"),
+      "dur"));
+  // Counter without numeric args.
+  EXPECT_FALSE(check_trace_json(
+                   R"([{"name":"a","ph":"C","ts":0,"pid":0,"tid":0}])")
+                   .ok());
+  EXPECT_FALSE(
+      check_trace_json(
+          R"([{"name":"a","ph":"C","ts":0,"pid":0,"tid":0,
+               "args":{"value":"high"}}])")
+          .ok());
+  // Metadata with an unknown name.
+  EXPECT_FALSE(
+      check_trace_json(
+          R"([{"name":"mystery","ph":"M","ts":0,"pid":0,"tid":0,
+               "args":{"name":"x"}}])")
+          .ok());
+  // args must be an object when present.
+  EXPECT_FALSE(
+      check_trace_json(
+          R"([{"name":"a","ph":"i","ts":0,"pid":0,"tid":0,"args":[1]}])")
+          .ok());
+  // An event must be an object.
+  EXPECT_FALSE(check_trace_json(R"([17])").ok());
+}
+
+TEST(SchemaCheck, ErrorCollectionStopsAtTheCap) {
+  std::string many = "[";
+  for (int i = 0; i < 200; ++i) {
+    if (i != 0) many += ",";
+    many += R"({"ph":"i","ts":0,"pid":0,"tid":0})";  // all missing "name"
+  }
+  many += "]";
+  const auto report = check_trace_json(many);
+  EXPECT_FALSE(report.ok());
+  EXPECT_LE(report.errors.size(), TraceCheckReport::kMaxErrors + 1);
+  EXPECT_EQ(report.event_count, 200U);
+}
+
+TEST(SchemaCheck, ParsesEscapesAndNestedStructures) {
+  const char* kTrace = R"([{"name":"a\"b\\cA","ph":"i","ts":1.5,
+    "pid":0,"tid":0,"cat":"sim",
+    "args":{"s":"line\nbreak","n":-2.5e3,"flag":true,"none":null}}])";
+  const auto report = check_trace_json(kTrace);
+  EXPECT_TRUE(report.ok()) << (report.errors.empty() ? "" : report.errors[0]);
+  EXPECT_EQ(report.event_count, 1U);
+}
+
+TEST(SchemaCheck, RejectsNonFiniteNumbers) {
+  // JSON has no literal NaN/Infinity; the parser must reject them rather
+  // than silently producing a non-finite timestamp.
+  EXPECT_FALSE(
+      check_trace_json(
+          R"([{"name":"a","ph":"i","ts":NaN,"pid":0,"tid":0}])")
+          .ok());
+  EXPECT_FALSE(
+      check_trace_json(
+          R"([{"name":"a","ph":"i","ts":Infinity,"pid":0,"tid":0}])")
+          .ok());
+}
+
+}  // namespace
+}  // namespace mlcr::obs

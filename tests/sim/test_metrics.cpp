@@ -72,5 +72,47 @@ TEST(Metrics, LatenciesPreserveArrivalOrder) {
   EXPECT_EQ(m.latencies(), (std::vector<double>{3.0, 1.0}));
 }
 
+TEST(Metrics, LatencyPercentilesUseExactRanks) {
+  MetricsCollector m;
+  // 1..100, recorded out of order; nearest-rank percentiles are exact.
+  for (int i = 0; i < 100; ++i) {
+    const double latency = static_cast<double>((i * 37) % 100 + 1);
+    m.record(rec(i, latency, false, containers::MatchLevel::kL3));
+  }
+  EXPECT_DOUBLE_EQ(m.latency_p50(), 50.0);
+  EXPECT_DOUBLE_EQ(m.latency_p95(), 95.0);
+  EXPECT_DOUBLE_EQ(m.latency_p99(), 99.0);
+  EXPECT_DOUBLE_EQ(m.latency_percentile(100.0), 100.0);
+  EXPECT_DOUBLE_EQ(m.latency_percentile(0.0), 1.0);
+}
+
+TEST(Metrics, LatencyPercentileOnEmptyAndSingleRecord) {
+  MetricsCollector m;
+  EXPECT_DOUBLE_EQ(m.latency_p99(), 0.0);
+  m.record(rec(0, 4.5, true, containers::MatchLevel::kNoMatch));
+  EXPECT_DOUBLE_EQ(m.latency_p50(), 4.5);
+  EXPECT_DOUBLE_EQ(m.latency_p99(), 4.5);
+}
+
+TEST(Metrics, PercentilesWorkOnFleetMergedCollectors) {
+  // merge() keeps every per-invocation record, so percentiles over a merged
+  // collector equal percentiles over the union of the nodes' samples.
+  MetricsCollector a;
+  MetricsCollector b;
+  MetricsCollector merged;
+  for (int i = 0; i < 50; ++i)
+    a.record(rec(i, static_cast<double>(i + 1), false,
+                 containers::MatchLevel::kL3));
+  for (int i = 0; i < 50; ++i)
+    b.record(rec(i, static_cast<double>(i + 51), true,
+                 containers::MatchLevel::kNoMatch));
+  merged.merge(a);
+  merged.merge(b);
+  ASSERT_EQ(merged.invocation_count(), 100U);
+  EXPECT_DOUBLE_EQ(merged.latency_p50(), 50.0);
+  EXPECT_DOUBLE_EQ(merged.latency_p95(), 95.0);
+  EXPECT_DOUBLE_EQ(merged.latency_p99(), 99.0);
+}
+
 }  // namespace
 }  // namespace mlcr::sim

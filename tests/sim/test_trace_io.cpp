@@ -65,6 +65,55 @@ TEST(TraceIo, RejectsMalformedRows) {
   }
 }
 
+TEST(TraceIo, RejectsExtraColumns) {
+  TinyWorld world;
+  std::stringstream buffer(
+      "function_id,arrival_s,exec_s\n0,1.0,0.5,surprise\n");
+  EXPECT_THROW((void)read_trace_csv(buffer, world.functions),
+               util::CheckError);
+}
+
+TEST(TraceIo, RejectsNonFiniteNumbers) {
+  TinyWorld world;
+  for (const char* bad : {"nan", "inf", "-inf", "NAN", "Infinity"}) {
+    {
+      std::stringstream buffer(std::string("function_id,arrival_s,exec_s\n0,") +
+                               bad + ",0.5\n");
+      EXPECT_THROW((void)read_trace_csv(buffer, world.functions),
+                   util::CheckError)
+          << "arrival " << bad;
+    }
+    {
+      std::stringstream buffer(
+          std::string("function_id,arrival_s,exec_s\n0,1.0,") + bad + "\n");
+      EXPECT_THROW((void)read_trace_csv(buffer, world.functions),
+                   util::CheckError)
+          << "exec " << bad;
+    }
+  }
+}
+
+TEST(TraceIo, RejectsNegativeTimes) {
+  TinyWorld world;
+  {
+    std::stringstream buffer("function_id,arrival_s,exec_s\n0,-1.0,0.5\n");
+    EXPECT_THROW((void)read_trace_csv(buffer, world.functions),
+                 util::CheckError);
+  }
+  {
+    std::stringstream buffer("function_id,arrival_s,exec_s\n0,1.0,-0.5\n");
+    EXPECT_THROW((void)read_trace_csv(buffer, world.functions),
+                 util::CheckError);
+  }
+  // Zero arrival is a legal boundary (zero exec is not: the Trace
+  // constructor requires strictly positive execution times).
+  std::stringstream ok("function_id,arrival_s,exec_s\n0,0.0,0.5\n");
+  const Trace t = read_trace_csv(ok, world.functions);
+  ASSERT_EQ(t.size(), 1U);
+  EXPECT_DOUBLE_EQ(t.at(0).arrival_s, 0.0);
+  EXPECT_DOUBLE_EQ(t.at(0).exec_s, 0.5);
+}
+
 TEST(TraceIo, SkipsBlankLinesAndHandlesEmptyTrace) {
   TinyWorld world;
   std::stringstream buffer("function_id,arrival_s,exec_s\n\n\n");

@@ -1,0 +1,37 @@
+// Fixture for the obs-wall-time rule: the tracing layer (src/obs) is
+// clock-free by contract — every timestamp is supplied by the caller, so a
+// sim-track trace is a pure function of the episode. Wall time enters traces
+// only from bench code via util::wall_now_us (the src/util allowed zone).
+// This file is linted as src/obs/obs_wall_time.cpp; it is never compiled.
+#include <ctime>
+
+namespace mlcr::obs {
+
+double bad_wall_stamp() {
+  return static_cast<double>(util::wall_now_us());  // VIOLATION obs-wall-time
+}
+
+void bad_posix_clocks() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);  // VIOLATION obs-wall-time
+  timeval tv{};
+  gettimeofday(&tv, nullptr);  // VIOLATION obs-wall-time
+  timespec_get(&ts, TIME_UTC);  // VIOLATION obs-wall-time
+}
+
+void bad_calendar_time() {
+  std::time_t t = 0;
+  (void)localtime(&t);  // VIOLATION obs-wall-time
+  (void)gmtime(&t);     // VIOLATION obs-wall-time
+}
+
+// The contract: timestamps flow in through the API. Never flagged.
+double good_caller_supplied(double now_us) { return now_us; }
+
+// Identifiers that merely contain a banned name are not calls.
+struct Clock {
+  double wall_now_us_cache = 0.0;
+  double cached() const { return wall_now_us_cache; }
+};
+
+}  // namespace mlcr::obs

@@ -40,6 +40,7 @@ bool metric_code(const std::string& p) {
 bool sim_or_containers(const std::string& p) {
   return starts_with(p, "src/sim/") || starts_with(p, "src/containers/");
 }
+bool obs_code(const std::string& p) { return starts_with(p, "src/obs/"); }
 
 // --- Source preprocessing --------------------------------------------------
 
@@ -176,6 +177,15 @@ const LineRule kLineRules[] = {
      R"(\b(unordered_map|unordered_set|map|set)\s*<\s*(const\s+)?[A-Za-z_][\w:]*\s*\*)",
      "key the container by a stable id (ContainerId, FunctionTypeId, ...) "
      "instead of a pointer"},
+    {"obs-wall-time",
+     "wall-time reads inside src/obs — the tracing layer is clock-free by "
+     "contract (DESIGN.md, Observability): every timestamp is supplied by "
+     "the caller",
+     obs_code,
+     R"(\b(wall_now_us|gettimeofday|clock_gettime|timespec_get|localtime(_r)?|gmtime(_r)?)\s*\()",
+     "src/obs never reads clocks; sim-layer emitters take simulated time "
+     "from the event loop and bench code stamps wall time via "
+     "util::wall_now_us before calling into obs"},
 };
 
 // --- unordered-iteration ---------------------------------------------------
@@ -375,6 +385,64 @@ void check_transitions(const std::vector<std::string>& code,
   }
 }
 
+// --- router-route-check ----------------------------------------------------
+//
+// Every `Router::route()` definition in fleet/router.cpp must validate its
+// inputs (MLCR_CHECK* or assert) before indexing into the fleet: route() is
+// the fleet layer's only request-placement decision point, and an unchecked
+// out-of-range node index corrupts per-node state silently. Unlike
+// missing-transition-check this rule is not table-driven — it discovers every
+// qualified route() definition so new Router implementations are covered the
+// moment they are written.
+
+constexpr char kRouterId[] = "router-route-check";
+
+void check_router_routes(const std::vector<std::string>& code,
+                         const std::string& rel_path,
+                         std::vector<Violation>& out) {
+  if (!ends_with(rel_path, "fleet/router.cpp")) return;
+  static const std::regex kDef(R"(\b[A-Za-z_]\w*::route\s*\()");
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (!std::regex_search(code[i], kDef)) continue;
+    const std::size_t def_line = i;
+    int depth = 0;
+    bool in_body = false;
+    bool has_check = false;
+    bool is_definition = false;
+    for (; i < code.size(); ++i) {
+      bool line_in_body = in_body;
+      bool done = false;
+      for (const char c : code[i]) {
+        if (c == '{') {
+          ++depth;
+          in_body = true;
+          is_definition = true;
+          line_in_body = true;
+        } else if (c == '}') {
+          --depth;
+          if (in_body && depth == 0) {
+            done = true;
+            break;
+          }
+        }
+      }
+      if (line_in_body &&
+          (code[i].find("MLCR_CHECK") != std::string::npos ||
+           code[i].find("assert(") != std::string::npos))
+        has_check = true;
+      // A ';' before any '{' means this was a declaration or a qualified
+      // call, not a definition — skip it.
+      if (!in_body && code[i].find(';') != std::string::npos) break;
+      if (done) break;
+    }
+    if (is_definition && !has_check)
+      out.push_back({rel_path, def_line + 1, kRouterId,
+                     "route() places a request without MLCR_CHECK / assert; "
+                     "validate the fleet and any cursor/ring state before "
+                     "returning a node index"});
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rules() {
@@ -390,6 +458,9 @@ const std::vector<RuleInfo>& rules() {
     out.push_back({kTransitionId,
                    "public pool/env state transition without MLCR_CHECK / "
                    "MLCR_AUDIT / assert"});
+    out.push_back({kRouterId,
+                   "Router::route() definition in fleet/router.cpp without "
+                   "MLCR_CHECK / assert on its placement inputs"});
     return out;
   }();
   return kRules;
@@ -419,6 +490,7 @@ std::vector<Violation> lint_source(const std::string& source,
   }
   if (sim_or_containers(rel_path)) check_uninit_members(code, rel_path, found);
   check_transitions(code, rel_path, found);
+  check_router_routes(code, rel_path, found);
 
   std::vector<Violation> out;
   for (Violation& v : found)

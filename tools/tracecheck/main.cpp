@@ -1,0 +1,86 @@
+// tracecheck: validates a Chrome trace_event JSON file against the schema in
+// src/obs/schema_check.hpp and optionally requires named events to be
+// present. Run by the obs.trace_validate CTest (and CI's trace-smoke job)
+// against the trace a small bench writes with --trace.
+//
+//   tracecheck <trace.json> [--require NAME]... [--summary]
+//
+// --require NAME passes when NAME occurs as a complete span ("X"), an
+// instant ("i"/"I") or a counter series ("C") — the lifecycle mixes all
+// three (e.g. "match" is an instant, "startup" a span, "pool_used_mb" a
+// counter). Exit 0 on a schema-valid trace with all required names, 1
+// otherwise, 2 on usage/IO errors.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/schema_check.hpp"
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::vector<std::string> required;
+  bool summary = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--require" && i + 1 < argc)
+      required.push_back(argv[++i]);
+    else if (arg == "--summary")
+      summary = true;
+    else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: tracecheck <trace.json> [--require NAME]... "
+                   "[--summary]\n";
+      return 0;
+    } else if (path.empty())
+      path = arg;
+    else {
+      std::cerr << "tracecheck: unexpected argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "tracecheck: no trace file given\n";
+    return 2;
+  }
+
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) {
+    std::cerr << "tracecheck: cannot read " << path << "\n";
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+
+  const auto report = mlcr::obs::check_trace_json(buf.str());
+  for (const std::string& err : report.errors)
+    std::cout << path << ": " << err << "\n";
+
+  bool missing = false;
+  for (const std::string& name : required) {
+    if (report.span_counts.count(name) != 0 ||
+        report.instant_counts.count(name) != 0 ||
+        report.counter_counts.count(name) != 0)
+      continue;
+    std::cout << path << ": required event '" << name
+              << "' not found as a span, instant or counter\n";
+    missing = true;
+  }
+
+  if (summary || (!report.errors.empty() || missing)) {
+    std::cout << path << ": " << report.event_count << " events, "
+              << report.span_counts.size() << " span names, "
+              << report.instant_counts.size() << " instant names, "
+              << report.counter_counts.size() << " counter series\n";
+  }
+  if (summary) {
+    for (const auto& [name, n] : report.span_counts)
+      std::cout << "  span    " << name << " x" << n << "\n";
+    for (const auto& [name, n] : report.instant_counts)
+      std::cout << "  instant " << name << " x" << n << "\n";
+    for (const auto& [name, n] : report.counter_counts)
+      std::cout << "  counter " << name << " x" << n << "\n";
+  }
+  return report.ok() && !missing ? 0 : 1;
+}
