@@ -1,0 +1,195 @@
+// Chaos study (DESIGN.md §9): P99 startup latency and goodput of the five
+// systems as the fault rate rises, at 1 and 8 nodes on the overall workload.
+// The fault rate f maps to startup failures (P = f per risky start), repack
+// failures (P = f/2 per volume swap) and — on multi-node fleets — sampled
+// node-crash windows capped below the fleet size, so surviving capacity
+// always exists and, with retries enabled, no invocation may be lost (the
+// bench asserts this). Rate 0 runs the exact pre-fault code path, so the
+// faultless rows double as a bit-identity baseline.
+//
+// With --trace, one additional 2-node Greedy-Match episode runs under an
+// explicit crash window and an aggressive fault plan, so the emitted Chrome
+// trace is guaranteed to carry fault_injected / retry_attempt / node_crash /
+// node_recover events for tracecheck (the chaos-smoke CI job).
+#include <iostream>
+
+#include "common.hpp"
+#include "faults/fault_plan.hpp"
+#include "fleet/fleet_env.hpp"
+#include "fleet/router.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace mlcr;
+
+/// Fault plan for one swept cell. Crash windows are sampled only when the
+/// fleet has nodes to spare: the concurrency cap of nodes/2 guarantees
+/// surviving capacity, which is what lets the bench demand zero loss.
+faults::FaultPlan make_plan(double rate, std::size_t nodes, double span_s,
+                            util::Rng& rng) {
+  faults::FaultPlan plan;
+  plan.startup_failure_prob = rate;
+  plan.repack_failure_prob = rate / 2.0;
+  plan.retry.max_attempts = 3;
+  if (rate > 0.0 && nodes > 1) {
+    plan.crashes = faults::sample_crash_windows(
+        nodes, span_s, /*crashes_per_node=*/rate * 10.0,
+        /*mean_downtime_s=*/span_s / 20.0,
+        /*max_concurrent_down=*/nodes / 2, rng);
+  }
+  return plan;
+}
+
+/// One traced 2-node episode with hand-placed faults, so the Chrome trace
+/// always contains every fault-path event kind tracecheck requires.
+void traced_chaos_episode(benchtools::ObsSession& session,
+                          const benchtools::Suite& suite,
+                          const benchtools::TraceFactory& factory,
+                          double node_mb) {
+  util::Rng rng(4242);
+  const sim::Trace trace = factory(rng);
+  faults::FaultPlan plan;
+  plan.startup_failure_prob = 0.5;  // cold starts abound: failures certain
+  plan.repack_failure_prob = 0.25;
+  plan.retry.max_attempts = 3;
+  const double span = trace.span_s();
+  plan.crashes.push_back({0, span * 0.3, span * 0.6});
+
+  fleet::FleetConfig cfg;
+  cfg.nodes = 2;
+  cfg.seed = 4243;
+  cfg.node_env.pool_capacity_mb = node_mb;
+  cfg.faults = plan;
+  fleet::FleetEnv env(suite.bench.functions, suite.bench.catalog, suite.cost,
+                      cfg, fleet::uniform_system(
+                               policies::make_greedy_match_system));
+  env.set_tracer(&session.tracer);
+  fleet::FailoverRouter router(std::make_unique<fleet::WarmAwareRouter>());
+  const fleet::FleetSummary fs = env.run(trace, router);
+  MLCR_CHECK_MSG(fs.node_crashes == 1 && fs.node_recoveries == 1,
+                 "traced chaos episode must exercise the crash window");
+  MLCR_CHECK_MSG(fs.total.retries > 0,
+                 "traced chaos episode must exercise the retry path");
+  benchtools::record_episode_metrics(session, "chaos:Greedy-Match",
+                                     fs.merged);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = benchtools::BenchOptions::parse(argc, argv);
+  const benchtools::Suite suite;
+  benchtools::ObsSession obs_session(options);
+
+  const benchtools::TraceFactory factory = [&](util::Rng& rng) {
+    return fstartbench::make_overall_workload(suite.bench, 400, rng);
+  };
+  util::Rng ref_rng(1000);
+  const sim::Trace reference = factory(ref_rng);
+  const double loose =
+      fstartbench::estimate_loose_capacity_mb(suite.bench, reference);
+  const double cluster_mb = fstartbench::paper_pool_sizes(loose).moderate_mb;
+  const double span_s = reference.span_s();
+
+  const core::MlcrConfig cfg = core::make_default_mlcr_config();
+  const auto agent = benchtools::trained_agent(
+      suite, "bench_overall", factory, {cluster_mb}, cfg, options);
+  const auto systems = benchtools::paper_systems(agent, &cfg.encoder);
+
+  const std::vector<std::size_t> node_counts = {1, 8};
+  const std::vector<double> fault_rates = {0.0, 0.05, 0.2};
+
+  std::cout << "=== chaos recovery: Failover(Warm-Aware) routing, cluster "
+            << "budget " << util::Table::num(cluster_mb, 0)
+            << " MB, retries x3, " << options.reps << " reps ===\n";
+
+  // P99 per (system, nodes, rate) for the closing MLCR-vs-baseline line.
+  std::vector<std::vector<double>> p99_grid(systems.size());
+
+  for (const std::size_t nodes : node_counts) {
+    for (const double rate : fault_rates) {
+      util::Table table({"system", "P99 (s)", "goodput", "failed", "retries",
+                         "lost", "rerouted", "total latency (s)"});
+      for (std::size_t si = 0; si < systems.size(); ++si) {
+        const auto& system = systems[si];
+        benchtools::BenchSpan sweep(
+            obs_session, "chaos:" + system.name + ":" +
+                             std::to_string(nodes) + "n");
+
+        std::vector<util::Rng> rep_rngs;
+        util::Rng root(9000);
+        for (std::size_t r = 0; r < options.reps; ++r)
+          rep_rngs.push_back(root.split());
+        std::vector<fleet::FleetSummary> results(options.reps);
+        const auto run_one = [&](std::size_t r) {
+          util::Rng rng = rep_rngs[r];
+          const sim::Trace trace = factory(rng);
+          fleet::FleetConfig fleet_cfg;
+          fleet_cfg.nodes = nodes;
+          fleet_cfg.node_env.pool_capacity_mb =
+              cluster_mb / static_cast<double>(nodes);
+          fleet_cfg.seed = 100 + r;
+          util::Rng window_rng = rng.split();
+          fleet_cfg.faults = make_plan(rate, nodes, span_s, window_rng);
+          fleet::FleetEnv env(suite.bench.functions, suite.bench.catalog,
+                              suite.cost, fleet_cfg,
+                              fleet::uniform_system(system.make));
+          fleet::FailoverRouter router(
+              std::make_unique<fleet::WarmAwareRouter>());
+          results[r] = env.run(trace, router);
+        };
+        if (options.threads == 1) {
+          for (std::size_t r = 0; r < options.reps; ++r) run_one(r);
+        } else {
+          util::ThreadPool pool(options.threads);
+          pool.parallel_for(options.reps, run_one);
+        }
+
+        util::RunningStats p99, goodput, failed, retries, lost, rerouted,
+            latency;
+        for (const auto& fs : results) {
+          // Crash windows never cover the whole fleet (cap = nodes/2) and
+          // 1-node sweeps sample none, so with retries on, capacity always
+          // remains and nothing may be dropped.
+          MLCR_CHECK_MSG(fs.lost == 0,
+                         "invocations lost despite surviving capacity");
+          p99.add(fs.merged.latency_p99());
+          goodput.add(fs.goodput());
+          failed.add(static_cast<double>(fs.total.failed));
+          retries.add(static_cast<double>(fs.total.retries));
+          lost.add(static_cast<double>(fs.lost));
+          rerouted.add(static_cast<double>(fs.rerouted));
+          latency.add(fs.total.total_latency_s);
+        }
+        p99_grid[si].push_back(p99.mean());
+        table.add_row({system.name, util::Table::num(p99.mean(), 2),
+                       util::Table::num(goodput.mean(), 4),
+                       util::Table::num(failed.mean(), 1),
+                       util::Table::num(retries.mean(), 1),
+                       util::Table::num(lost.mean(), 1),
+                       util::Table::num(rerouted.mean(), 1),
+                       util::Table::num(latency.mean(), 1)});
+      }
+      std::cout << "\n--- " << nodes << " node(s), fault rate "
+                << util::Table::num(rate, 2) << " ---\n";
+      table.print(std::cout);
+    }
+  }
+
+  // Closing comparison: the hardest cell (8 nodes, highest rate) is where
+  // multi-level reuse has the most rebuilt state to protect.
+  const std::size_t last_cell = node_counts.size() * fault_rates.size() - 1;
+  std::cout << "\nat 8 nodes, fault rate "
+            << util::Table::num(fault_rates.back(), 2) << ":\n";
+  for (std::size_t si = 0; si < systems.size(); ++si)
+    std::cout << "  " << systems[si].name << ": P99 "
+              << util::Table::num(p99_grid[si][last_cell], 2) << " s\n";
+
+  if (obs_session.tracing())
+    traced_chaos_episode(obs_session, suite, factory, cluster_mb / 2.0);
+  obs_session.finish();
+  if (!options.trace_path.empty())
+    std::cout << "\ntrace written to " << options.trace_path << "\n";
+  return 0;
+}

@@ -156,6 +156,17 @@ std::size_t WarmPool::expire_older_than(double now, double ttl_s) {
   return expired.size();
 }
 
+std::size_t WarmPool::invalidate_all(double now) {
+  const std::size_t dropped = by_id_.size();
+  if (traced())
+    for (const auto& [id, c] : by_id_) trace_instant(now, "pool_invalidate", c);
+  by_id_.clear();
+  used_mb_ = 0.0;
+  if (dropped > 0 && traced()) trace_occupancy(now);
+  MLCR_AUDIT_POINT(audit());
+  return dropped;
+}
+
 bool WarmPool::traced() const noexcept {
   return tracer_ != nullptr && tracer_->enabled();
 }

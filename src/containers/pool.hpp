@@ -121,6 +121,12 @@ class WarmPool {
   /// Returns the number evicted.
   std::size_t expire_older_than(double now, double ttl_s);
 
+  /// Crash support (DESIGN.md §9): drop every idle container at once — the
+  /// node's warm memory is gone. Not counted as evictions (the caller
+  /// records the crash itself); peak statistics are preserved. Returns the
+  /// number of containers dropped.
+  std::size_t invalidate_all(double now);
+
   [[nodiscard]] std::size_t size() const noexcept { return by_id_.size(); }
   [[nodiscard]] bool empty() const noexcept { return by_id_.empty(); }
   [[nodiscard]] double capacity_mb() const noexcept { return capacity_mb_; }

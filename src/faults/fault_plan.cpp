@@ -1,0 +1,114 @@
+#include "faults/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace mlcr::faults {
+
+double RetryPolicy::backoff_s(std::size_t failed_attempt, double u) const {
+  MLCR_CHECK_MSG(failed_attempt >= 1, "backoff is for a 1-based attempt");
+  const double scaled =
+      base_backoff_s *
+      std::pow(backoff_multiplier, static_cast<double>(failed_attempt - 1));
+  return std::min(scaled, max_backoff_s) * (1.0 + jitter_frac * u);
+}
+
+bool FaultPlan::faultless() const noexcept {
+  return startup_failure_prob == 0.0 && repack_failure_prob == 0.0 &&
+         !timeout_s.has_value() && crashes.empty();
+}
+
+void FaultPlan::validate(std::size_t nodes) const {
+  MLCR_CHECK_MSG(
+      startup_failure_prob >= 0.0 && startup_failure_prob <= 1.0,
+      "startup_failure_prob must be in [0, 1]: " << startup_failure_prob);
+  MLCR_CHECK_MSG(
+      repack_failure_prob >= 0.0 && repack_failure_prob <= 1.0,
+      "repack_failure_prob must be in [0, 1]: " << repack_failure_prob);
+  if (timeout_s.has_value())
+    MLCR_CHECK_MSG(*timeout_s > 0.0, "timeout_s must be positive");
+  MLCR_CHECK_MSG(retry.max_attempts >= 1,
+                 "retry.max_attempts must be >= 1 (1 disables retries)");
+  MLCR_CHECK_MSG(retry.base_backoff_s >= 0.0 && retry.max_backoff_s >= 0.0 &&
+                     retry.backoff_multiplier >= 0.0 &&
+                     retry.jitter_frac >= 0.0,
+                 "retry backoff parameters must be non-negative");
+
+  // Per node: windows sorted by down_at, each window non-inverted, no
+  // overlap (a node cannot crash while already down).
+  std::map<std::size_t, double> last_up;
+  double prev_down = 0.0;
+  for (std::size_t i = 0; i < crashes.size(); ++i) {
+    const CrashWindow& w = crashes[i];
+    MLCR_CHECK_MSG(w.node < nodes, "crash window " << i << " names node "
+                                                   << w.node
+                                                   << " outside the fleet");
+    MLCR_CHECK_MSG(w.down_at >= 0.0 && w.up_at > w.down_at,
+                   "crash window " << i << " is inverted or negative");
+    MLCR_CHECK_MSG(i == 0 || w.down_at >= prev_down,
+                   "crash windows must be sorted by down_at (window " << i
+                                                                      << ")");
+    prev_down = w.down_at;
+    const auto it = last_up.find(w.node);
+    MLCR_CHECK_MSG(it == last_up.end() || w.down_at >= it->second,
+                   "crash window " << i << " overlaps an earlier window on "
+                                   << "node " << w.node);
+    last_up[w.node] = w.up_at;
+  }
+}
+
+std::vector<CrashWindow> sample_crash_windows(std::size_t nodes, double span_s,
+                                              double crashes_per_node,
+                                              double mean_downtime_s,
+                                              std::size_t max_concurrent_down,
+                                              util::Rng& rng) {
+  MLCR_CHECK(nodes > 0);
+  MLCR_CHECK(span_s > 0.0);
+  MLCR_CHECK(crashes_per_node >= 0.0);
+  MLCR_CHECK(mean_downtime_s > 0.0);
+  MLCR_CHECK_MSG(max_concurrent_down < nodes,
+                 "at least one node must always stay up");
+
+  // Candidate windows per node, then a global sweep that drops any window
+  // which would push the number of simultaneously-down nodes over the cap.
+  std::vector<CrashWindow> candidates;
+  for (std::size_t node = 0; node < nodes; ++node) {
+    const std::uint64_t count =
+        crashes_per_node > 0.0 ? rng.poisson(crashes_per_node) : 0;
+    std::vector<double> downs;
+    for (std::uint64_t k = 0; k < count; ++k)
+      downs.push_back(rng.uniform(0.0, span_s));
+    std::sort(downs.begin(), downs.end());
+    double earliest = 0.0;
+    for (const double down_at : downs) {
+      if (down_at < earliest) continue;  // would overlap this node's last
+      const double downtime = rng.exponential(1.0 / mean_downtime_s);
+      CrashWindow w;
+      w.node = node;
+      w.down_at = down_at;
+      w.up_at = down_at + std::max(downtime, 1e-9);
+      candidates.push_back(w);
+      earliest = w.up_at;
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const CrashWindow& a, const CrashWindow& b) {
+              if (a.down_at != b.down_at) return a.down_at < b.down_at;
+              return a.node < b.node;
+            });
+
+  std::vector<CrashWindow> out;
+  for (const CrashWindow& w : candidates) {
+    std::size_t down = 0;  // accepted windows still open at w.down_at
+    for (const CrashWindow& o : out)
+      if (o.up_at > w.down_at) ++down;
+    if (down >= max_concurrent_down) continue;
+    out.push_back(w);
+  }
+  return out;
+}
+
+}  // namespace mlcr::faults

@@ -1,0 +1,90 @@
+// Deterministic fault model (DESIGN.md §9): what can go wrong in an episode
+// and how the platform is allowed to react. A FaultPlan is pure data — the
+// fault *kinds* and their rates — so the same plan can drive a single
+// ClusterEnv, every node of a FleetEnv, or a bench sweep, and two runs with
+// the same plan and the same Rng stream inject byte-identical faults.
+//
+// Fault kinds:
+//   startup failure — a cold or repack start dies at the end of its startup
+//                     sequence (Bernoulli per risky start).
+//   repack failure  — the volume swap of a Table-I L1/L2 reuse fails; the
+//                     candidate container is destroyed and the start
+//                     degrades to cold, paying the attempted swap.
+//   timeout         — startup + execution would exceed a deadline; the
+//                     container is killed at the deadline.
+//   node crash      — a fleet node goes down for a window: its warm pool is
+//                     lost, in-flight work is killed, offers are rejected
+//                     until recovery (it rejoins with an empty pool).
+//
+// Failed starts are retried under a RetryPolicy with exponential backoff in
+// *simulated* time; when attempts are exhausted the invocation fails.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mlcr::faults {
+
+/// How failed starts (startup failure / timeout) are retried. The defaults
+/// mean "no retry": one attempt, then the invocation fails.
+struct RetryPolicy {
+  /// Total start attempts per invocation (>= 1); 1 disables retries.
+  std::size_t max_attempts = 1;
+  /// Backoff before retry k (1-based) is
+  ///   min(base * multiplier^(k-1), max) * (1 + jitter_frac * u),
+  /// u ~ U[0,1) from the injector's stream. Seconds of simulated time.
+  double base_backoff_s = 0.5;
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 30.0;
+  double jitter_frac = 0.1;
+
+  /// Deterministic backoff before the retry that follows failed attempt
+  /// `failed_attempt` (1-based), given jitter draw `u` in [0, 1).
+  [[nodiscard]] double backoff_s(std::size_t failed_attempt, double u) const;
+};
+
+/// One node-down window in the fleet. Half-open in spirit: the node crashes
+/// at down_at and serves again from up_at (with an empty pool).
+struct CrashWindow {
+  std::size_t node = 0;
+  double down_at = 0.0;
+  double up_at = 0.0;
+};
+
+/// The full fault configuration of an episode. Default-constructed plans
+/// are faultless, and a faultless plan leaves every simulation path
+/// bit-identical to running with no injector attached.
+struct FaultPlan {
+  /// P(a cold or repack start fails), drawn once per attempt.
+  double startup_failure_prob = 0.0;
+  /// P(the volume swap of an L1/L2 repack reuse fails), drawn per repack.
+  double repack_failure_prob = 0.0;
+  /// Kill any attempt whose startup + execution exceeds this deadline.
+  std::optional<double> timeout_s;
+  RetryPolicy retry;
+  /// Node-down windows, fleet-wide. Must be sorted by down_at and
+  /// non-overlapping per node (validate() checks).
+  std::vector<CrashWindow> crashes;
+
+  [[nodiscard]] bool faultless() const noexcept;
+  /// Throws util::CheckError on malformed plans: probabilities outside
+  /// [0, 1], max_attempts == 0, negative backoff/timeout, crash windows
+  /// unsorted, inverted, or overlapping per node, or naming a node index
+  /// >= `nodes` (pass SIZE_MAX when the fleet size is unknown).
+  void validate(std::size_t nodes) const;
+};
+
+/// Sample crash windows for an `nodes`-node fleet over [0, span_s]:
+/// `crashes_per_node` expected crashes per node (Poisson-thinned uniform
+/// arrivals) with exponential downtime of mean `mean_downtime_s`. At most
+/// `max_concurrent_down` nodes are ever down simultaneously (windows that
+/// would exceed the cap are dropped), so benches can guarantee surviving
+/// capacity and assert zero lost invocations. Result is sorted by down_at.
+[[nodiscard]] std::vector<CrashWindow> sample_crash_windows(
+    std::size_t nodes, double span_s, double crashes_per_node,
+    double mean_downtime_s, std::size_t max_concurrent_down, util::Rng& rng);
+
+}  // namespace mlcr::faults

@@ -1,0 +1,27 @@
+#include "faults/injector.hpp"
+
+namespace mlcr::faults {
+
+FaultInjector::FaultInjector(FaultPlan plan, util::Rng stream)
+    : plan_(std::move(plan)), stream_(stream) {
+  plan_.validate(static_cast<std::size_t>(-1));
+}
+
+bool FaultInjector::draw_startup_failure() noexcept {
+  const bool fail = stream_.bernoulli(plan_.startup_failure_prob);
+  if (fail) ++counters_.startup_failures;
+  return fail;
+}
+
+bool FaultInjector::draw_repack_failure() noexcept {
+  const bool fail = stream_.bernoulli(plan_.repack_failure_prob);
+  if (fail) ++counters_.repack_failures;
+  return fail;
+}
+
+double FaultInjector::draw_backoff(std::size_t failed_attempt) {
+  ++counters_.retries;
+  return plan_.retry.backoff_s(failed_attempt, stream_.uniform());
+}
+
+}  // namespace mlcr::faults

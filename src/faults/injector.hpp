@@ -1,0 +1,67 @@
+// FaultInjector: the only source of fault randomness. It owns a util::Rng
+// stream split() off the episode seed (never a literal seed — the
+// fault-rng-stream simlint rule enforces this) and draws every fault
+// decision from it in a fixed order, so the stream position — and therefore
+// every injected fault — is a pure function of (plan, stream, episode).
+//
+// The injector is passive: it draws and counts, the ClusterEnv / FleetEnv
+// act (destroy containers, back off, re-route) and trace. It depends only
+// on src/util, so src/faults sits below the simulator in the layer graph.
+#pragma once
+
+#include <cstdint>
+
+#include "faults/fault_plan.hpp"
+#include "util/rng.hpp"
+
+namespace mlcr::faults {
+
+/// Everything the injector saw happen, for summaries and audits.
+struct FaultCounters {
+  std::size_t startup_failures = 0;
+  std::size_t repack_failures = 0;
+  std::size_t timeouts = 0;
+  std::size_t retries = 0;             ///< backoffs drawn (attempts - 1 sum)
+  std::size_t failed_invocations = 0;  ///< retries exhausted or crash-killed
+  std::size_t crashes = 0;
+  std::size_t recoveries = 0;
+
+  /// Faults injected from the stream or the deadline (not crash bookkeeping).
+  [[nodiscard]] std::size_t injected() const noexcept {
+    return startup_failures + repack_failures + timeouts;
+  }
+};
+
+class FaultInjector {
+ public:
+  /// `stream` must be split() off the episode seed by the caller.
+  FaultInjector(FaultPlan plan, util::Rng stream);
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const FaultCounters& counters() const noexcept {
+    return counters_;
+  }
+
+  /// Bernoulli draw: does this cold/repack start fail? Counts on true.
+  [[nodiscard]] bool draw_startup_failure() noexcept;
+  /// Bernoulli draw: does this L1/L2 repack fail? Counts on true.
+  [[nodiscard]] bool draw_repack_failure() noexcept;
+  /// Backoff (simulated seconds) before the retry that follows failed
+  /// attempt `failed_attempt` (1-based); consumes one jitter draw and
+  /// counts a retry.
+  [[nodiscard]] double draw_backoff(std::size_t failed_attempt);
+
+  // Deadline and crash faults are decided by the environment (no
+  // randomness); it reports them here so the counters stay complete.
+  void count_timeout() noexcept { ++counters_.timeouts; }
+  void count_failed_invocation() noexcept { ++counters_.failed_invocations; }
+  void count_crash() noexcept { ++counters_.crashes; }
+  void count_recovery() noexcept { ++counters_.recoveries; }
+
+ private:
+  FaultPlan plan_;
+  util::Rng stream_;
+  FaultCounters counters_;
+};
+
+}  // namespace mlcr::faults

@@ -1,5 +1,8 @@
 #include "fleet/fleet_env.hpp"
 
+#include <algorithm>
+
+#include "faults/injector.hpp"
 #include "fleet/router.hpp"
 #include "obs/tracer.hpp"
 #include "util/audit.hpp"
@@ -14,7 +17,7 @@ namespace {
 /// to the global trace — no invocation lost or duplicated by routing.
 [[maybe_unused]] void audit_fleet_run(
     const sim::Trace& trace,
-    const std::vector<NodeObservation>& observations) {
+    const std::vector<NodeObservation>& observations, std::size_t lost) {
   std::size_t routed = 0;
   for (const NodeObservation& obs : observations) {
     MLCR_CHECK(obs.metrics != nullptr);
@@ -23,8 +26,9 @@ namespace {
                    "node summary and metrics disagree on invocation count");
     routed += obs.summary.invocations;
   }
-  MLCR_CHECK_MSG(routed == trace.size(),
-                 "fleet routed " << routed << " invocations of a trace of "
+  MLCR_CHECK_MSG(routed + lost == trace.size(),
+                 "fleet routed " << routed << " and lost " << lost
+                                 << " invocations of a trace of "
                                  << trace.size());
 }
 
@@ -46,6 +50,7 @@ FleetEnv::FleetEnv(const sim::FunctionTable& functions,
     : functions_(functions), catalog_(catalog), config_(config) {
   MLCR_CHECK_MSG(config_.nodes > 0, "a fleet needs at least one node");
   MLCR_CHECK(make_system != nullptr);
+  config_.faults.validate(config_.nodes);
   util::Rng master(config_.seed);
   nodes_.reserve(config_.nodes);
   for (std::size_t i = 0; i < config_.nodes; ++i) {
@@ -61,6 +66,45 @@ FleetEnv::FleetEnv(const sim::FunctionTable& functions,
     nodes_.push_back(std::move(node));
   }
   system_name_ = nodes_.front().spec.name;
+  // One extra split after the node streams: adding faults to a config must
+  // not shift the streams the node factories already consumed.
+  fault_root_ = master.split();
+}
+
+bool FleetEnv::node_up(std::size_t i) const {
+  MLCR_CHECK(i < nodes_.size());
+  return !nodes_[i].env->down();
+}
+
+util::Rng FleetEnv::node_fault_stream(std::uint64_t seed, std::size_t nodes,
+                                      std::size_t node) {
+  MLCR_CHECK(node < nodes);
+  util::Rng master(seed);
+  for (std::size_t i = 0; i < nodes; ++i) (void)master.split();
+  util::Rng root = master.split();
+  util::Rng stream;
+  for (std::size_t i = 0; i <= node; ++i) stream = root.split();
+  return stream;
+}
+
+void FleetEnv::validate_trace(const sim::Trace& trace) const {
+  double last_arrival = 0.0;
+  std::size_t index = 0;
+  for (const sim::Invocation& inv : trace.invocations()) {
+    MLCR_CHECK_MSG(inv.function < functions_.size(),
+                   "trace invocation " << index << " (seq " << inv.seq
+                                       << ") names unknown function "
+                                       << inv.function << " of a table of "
+                                       << functions_.size());
+    MLCR_CHECK_MSG(
+        inv.arrival_s >= last_arrival,
+        "trace invocation " << index << " (seq " << inv.seq << ") arrives at "
+                            << inv.arrival_s
+                            << "s, before its predecessor at " << last_arrival
+                            << "s — traces must be sorted by arrival");
+    last_arrival = inv.arrival_s;
+    ++index;
+  }
 }
 
 const sim::ClusterEnv& FleetEnv::node(std::size_t i) const {
@@ -75,6 +119,7 @@ void FleetEnv::set_tracer(obs::Tracer* tracer) noexcept {
 }
 
 FleetSummary FleetEnv::run(const sim::Trace& trace, Router& router) {
+  validate_trace(trace);
   const bool traced = tracer_ != nullptr && tracer_->enabled();
   std::string router_name;
   if (traced) {
@@ -91,14 +136,92 @@ FleetSummary FleetEnv::run(const sim::Trace& trace, Router& router) {
   }
   router.on_episode_start(*this);
 
+  // Fault machinery only exists on a faulted plan; a faultless config takes
+  // the exact pre-fault code path (bit-identity asserted in tests/faults).
+  const bool faulted = !config_.faults.faultless();
+  std::vector<std::unique_ptr<faults::FaultInjector>> injectors;
+  if (faulted) {
+    // Copy fault_root_ so every run() of this fleet injects the same faults.
+    util::Rng root = fault_root_;
+    injectors.reserve(nodes_.size());
+    for (Node& node : nodes_) {
+      injectors.push_back(
+          std::make_unique<faults::FaultInjector>(config_.faults,
+                                                  root.split()));
+      node.env->set_fault_injector(injectors.back().get());
+    }
+  }
+  // Crash/recover transitions as one time-sorted event list; at equal times
+  // recoveries fire before crashes (a node's up_at may equal its next
+  // down_at, and capacity freed by a recovery should be routable before a
+  // concurrent crash removes more).
+  struct FaultEvent {
+    double time;
+    bool is_recovery;
+    std::size_t node;
+  };
+  std::vector<FaultEvent> events;
+  for (const faults::CrashWindow& w : config_.faults.crashes) {
+    events.push_back({w.down_at, false, w.node});
+    events.push_back({w.up_at, true, w.node});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.is_recovery != b.is_recovery) return a.is_recovery;
+              return a.node < b.node;
+            });
+  std::size_t next_event = 0;
+  std::size_t lost = 0;
+  std::size_t rerouted = 0;
+
   for (const sim::Invocation& inv : trace.invocations()) {
+    // Fire every crash/recover transition due before this arrival, in time
+    // order, so routing sees the fleet's health as of "now".
+    while (next_event < events.size() &&
+           events[next_event].time <= inv.arrival_s) {
+      const FaultEvent& ev = events[next_event++];
+      sim::ClusterEnv& env = *nodes_[ev.node].env;
+      if (ev.is_recovery)
+        env.recover(ev.time);
+      else
+        env.crash(ev.time);
+    }
     // Keep every node's clock at the global arrival time before routing, so
     // the router (and the chosen node's scheduler) observe completions and
     // TTL expiry up to "now" even on nodes that received no recent traffic.
     for (Node& node : nodes_) node.env->advance_idle(inv.arrival_s);
 
-    const std::size_t target = router.route(*this, inv);
+    std::size_t target = router.route(*this, inv);
     MLCR_CHECK_MSG(target < nodes_.size(), "router picked an invalid node");
+    if (!node_up(target)) {
+      // Deterministic failover: least outstanding work among healthy nodes,
+      // lowest index on ties. With every node down the invocation is lost.
+      std::size_t best = nodes_.size();
+      for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (!node_up(i)) continue;
+        if (best == nodes_.size() ||
+            nodes_[i].env->busy_count() < nodes_[best].env->busy_count())
+          best = i;
+      }
+      if (best == nodes_.size()) {
+        ++lost;
+        if (traced)
+          tracer_->instant(
+              obs::Tracer::kSimPid, static_cast<std::uint32_t>(target),
+              obs::to_micros(inv.arrival_s), "invocation_lost", "fault",
+              {obs::narg("seq", static_cast<std::int64_t>(inv.seq))});
+        continue;
+      }
+      target = best;
+      ++rerouted;
+      if (traced)
+        tracer_->instant(
+            obs::Tracer::kSimPid, static_cast<std::uint32_t>(target),
+            obs::to_micros(inv.arrival_s), "reroute", "fault",
+            {obs::narg("node", static_cast<std::int64_t>(target)),
+             obs::narg("seq", static_cast<std::int64_t>(inv.seq))});
+    }
     Node& node = nodes_[target];
     if (traced) {
       const auto tid = static_cast<std::uint32_t>(target);
@@ -120,6 +243,19 @@ FleetSummary FleetEnv::run(const sim::Trace& trace, Router& router) {
                        static_cast<double>(node.env->busy_count()));
   }
 
+  // Any node still inside a crash window recovers after the last arrival so
+  // finish_streaming() drains a healthy fleet; remaining events fire in
+  // order to keep the injector counters complete.
+  while (next_event < events.size()) {
+    const FaultEvent& ev = events[next_event++];
+    sim::ClusterEnv& env = *nodes_[ev.node].env;
+    if (ev.is_recovery) {
+      if (env.down()) env.recover(std::max(ev.time, env.now()));
+    } else {
+      env.crash(std::max(ev.time, env.now()));
+    }
+  }
+
   std::vector<NodeObservation> observations;
   observations.reserve(nodes_.size());
   for (Node& node : nodes_) {
@@ -128,8 +264,19 @@ FleetSummary FleetEnv::run(const sim::Trace& trace, Router& router) {
         {policies::summarize_env(*node.env, node.spec.scheduler->name()),
          &node.env->metrics()});
   }
-  MLCR_AUDIT_POINT(audit_fleet_run(trace, observations));
-  return aggregate_fleet(router.name(), system_name_, observations);
+  MLCR_AUDIT_POINT(audit_fleet_run(trace, observations, lost));
+  FleetSummary fs = aggregate_fleet(router.name(), system_name_, observations);
+  fs.lost = lost;
+  fs.rerouted = rerouted;
+  if (faulted) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const faults::FaultCounters& c = injectors[i]->counters();
+      fs.node_crashes += c.crashes;
+      fs.node_recoveries += c.recoveries;
+      nodes_[i].env->set_fault_injector(nullptr);  // injectors die with run()
+    }
+  }
+  return fs;
 }
 
 }  // namespace mlcr::fleet

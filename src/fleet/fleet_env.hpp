@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/fault_plan.hpp"
 #include "fleet/metrics.hpp"
 #include "policies/baselines.hpp"
 #include "sim/env.hpp"
@@ -39,6 +40,13 @@ struct FleetConfig {
   sim::EnvConfig node_env;
   /// Master seed; each node's factory receives an independent split stream.
   std::uint64_t seed = 1;
+  /// Fault configuration (DESIGN.md §9). The default plan is faultless and
+  /// keeps run() bit-identical to the pre-fault fleet: no injectors are
+  /// attached and no crash machinery runs. With a faulted plan, every node
+  /// gets a FaultInjector on its own stream split off the fleet seed, crash
+  /// windows are applied in arrival order, and invocations routed at a down
+  /// node fail over to the least-loaded healthy node.
+  faults::FaultPlan faults;
 };
 
 /// Builds the per-node system (scheduler + eviction + TTL + reuse
@@ -64,6 +72,9 @@ class FleetEnv {
     return nodes_.size();
   }
   [[nodiscard]] const sim::ClusterEnv& node(std::size_t i) const;
+  /// False while node `i` is inside a crash window (routers must not place
+  /// work there; FailoverRouter and run()'s re-route path consult this).
+  [[nodiscard]] bool node_up(std::size_t i) const;
   [[nodiscard]] const sim::FunctionTable& functions() const noexcept {
     return functions_;
   }
@@ -91,11 +102,24 @@ class FleetEnv {
   /// and completions are visible to the router. Resets all nodes.
   FleetSummary run(const sim::Trace& trace, Router& router);
 
+  /// The fault stream node `node` of an `nodes`-node fleet seeded with
+  /// `seed` receives in run(). Exposed so a single ClusterEnv driven with
+  /// an injector on this stream reproduces a 1-node fleet bit-for-bit
+  /// (asserted in tests/faults).
+  [[nodiscard]] static util::Rng node_fault_stream(std::uint64_t seed,
+                                                   std::size_t nodes,
+                                                   std::size_t node);
+
  private:
   struct Node {
     policies::SystemSpec spec;
     std::unique_ptr<sim::ClusterEnv> env;
   };
+
+  /// Validate `trace` before routing anything: arrival times must be
+  /// non-decreasing and every function id known, with the offending
+  /// invocation index named in the error.
+  void validate_trace(const sim::Trace& trace) const;
 
   const sim::FunctionTable& functions_;
   const containers::PackageCatalog& catalog_;
@@ -103,6 +127,9 @@ class FleetEnv {
   std::vector<Node> nodes_;
   std::string system_name_;
   obs::Tracer* tracer_ = nullptr;
+  /// Split off the fleet seed in the constructor; run() copies it, so
+  /// repeated runs inject identical faults.
+  util::Rng fault_root_;
 };
 
 }  // namespace mlcr::fleet

@@ -30,6 +30,9 @@ namespace {
       std::abs(fs.merged.total_latency_s() - fs.total.total_latency_s) <=
           1e-9 * std::max(1.0, fs.total.total_latency_s),
       "merged total latency disagrees with summed node latency");
+  MLCR_CHECK_MSG(fs.merged.failed_count() == fs.total.failed &&
+                     fs.merged.retry_count() == fs.total.retries,
+                 "merged failed/retry counts disagree with summed nodes");
 }
 
 }  // namespace
@@ -56,6 +59,8 @@ FleetSummary aggregate_fleet(std::string router, std::string system,
     fs.total.peak_pool_mb += s.peak_pool_mb;
     fs.total.evictions += s.evictions;
     fs.total.rejections += s.rejections;
+    fs.total.failed += s.failed;
+    fs.total.retries += s.retries;
     max_invocations = std::max(max_invocations, s.invocations);
     if (node.metrics != nullptr)
       fs.merged.merge(*node.metrics);

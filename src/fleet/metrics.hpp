@@ -37,6 +37,25 @@ struct FleetSummary {
   /// share (total/nodes); 1.0 = perfectly balanced, nodes = all on one node.
   double routing_imbalance = 0.0;
 
+  // Fault-episode accounting (DESIGN.md §9); all 0 on a faultless run.
+  /// Invocations dropped because every node was down when they arrived.
+  std::size_t lost = 0;
+  /// Invocations the fleet re-routed off a crashed target node.
+  std::size_t rerouted = 0;
+  /// Node crash / recovery events over the episode.
+  std::size_t node_crashes = 0;
+  std::size_t node_recoveries = 0;
+
+  /// Fraction of *offered* invocations that were served: lost ones never
+  /// reached a node and failed ones died there. 1.0 when nothing was
+  /// offered.
+  [[nodiscard]] double goodput() const noexcept {
+    const std::size_t offered = total.invocations + lost;
+    if (offered == 0) return 1.0;
+    return static_cast<double>(total.invocations - total.failed) /
+           static_cast<double>(offered);
+  }
+
   /// All invocation records across nodes, re-ordered by global trace
   /// sequence (for fleet-wide cumulative series). Populated only when the
   /// observations carried metrics pointers.

@@ -147,6 +147,37 @@ std::size_t WarmAwareRouter::route(const FleetEnv& fleet,
   return least_outstanding_node(fleet);
 }
 
+FailoverRouter::FailoverRouter(std::unique_ptr<Router> inner)
+    : inner_(std::move(inner)) {
+  MLCR_CHECK(inner_ != nullptr);
+}
+
+void FailoverRouter::on_episode_start(const FleetEnv& fleet) {
+  inner_->on_episode_start(fleet);
+}
+
+std::size_t FailoverRouter::route(const FleetEnv& fleet,
+                                  const sim::Invocation& inv) {
+  const std::size_t target = inner_->route(fleet, inv);
+  MLCR_CHECK_MSG(target < fleet.node_count(),
+                 "inner router picked an invalid node");
+  if (fleet.node_up(target)) return target;
+  std::size_t best = fleet.node_count();
+  for (std::size_t i = 0; i < fleet.node_count(); ++i) {
+    if (!fleet.node_up(i)) continue;
+    if (best == fleet.node_count() ||
+        fleet.node(i).busy_count() < fleet.node(best).busy_count())
+      best = i;
+  }
+  // Every node down: return the inner choice; FleetEnv::run() counts the
+  // invocation as lost.
+  return best != fleet.node_count() ? best : target;
+}
+
+std::string FailoverRouter::name() const {
+  return "Failover(" + inner_->name() + ")";
+}
+
 std::vector<RouterSpec> standard_routers(std::uint64_t seed) {
   std::vector<RouterSpec> routers;
   routers.push_back(
@@ -160,6 +191,15 @@ std::vector<RouterSpec> standard_routers(std::uint64_t seed) {
   routers.push_back(
       {"Warm-Aware", [] { return std::make_unique<WarmAwareRouter>(); }});
   return routers;
+}
+
+RouterSpec with_failover(RouterSpec spec) {
+  RouterSpec wrapped;
+  wrapped.name = "Failover(" + spec.name + ")";
+  wrapped.make = [make = std::move(spec.make)] {
+    return std::make_unique<FailoverRouter>(make());
+  };
+  return wrapped;
 }
 
 }  // namespace mlcr::fleet

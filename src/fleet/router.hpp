@@ -119,6 +119,25 @@ class WarmAwareRouter final : public Router {
   [[nodiscard]] std::string name() const override { return "Warm-Aware"; }
 };
 
+/// Wraps any router with crash awareness: when the inner policy picks a
+/// node that is down, the invocation moves to the healthy node with the
+/// fewest in-flight executions (lowest index on ties). When every node is
+/// down the inner choice is returned unchanged and FleetEnv::run() counts
+/// the invocation as lost. The inner router still observes every request,
+/// so its per-episode state (round-robin cursor, hash ring) stays intact.
+class FailoverRouter final : public Router {
+ public:
+  explicit FailoverRouter(std::unique_ptr<Router> inner);
+
+  void on_episode_start(const FleetEnv& fleet) override;
+  [[nodiscard]] std::size_t route(const FleetEnv& fleet,
+                                  const sim::Invocation& inv) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::unique_ptr<Router> inner_;
+};
+
 /// A named router source, so benches can sweep policies the way they sweep
 /// systems (each episode gets a fresh router instance).
 struct RouterSpec {
@@ -128,5 +147,8 @@ struct RouterSpec {
 
 /// The five standard policies. `seed` feeds the random router.
 [[nodiscard]] std::vector<RouterSpec> standard_routers(std::uint64_t seed = 1);
+
+/// Wrap a RouterSpec so every produced instance is failover-aware.
+[[nodiscard]] RouterSpec with_failover(RouterSpec spec);
 
 }  // namespace mlcr::fleet

@@ -19,6 +19,8 @@ EpisodeSummary summarize_env(const sim::ClusterEnv& env,
   s.peak_pool_mb = env.pool().peak_used_mb();
   s.evictions = env.pool().eviction_count();
   s.rejections = env.pool().rejection_count();
+  s.failed = m.failed_count();
+  s.retries = m.retry_count();
   return s;
 }
 

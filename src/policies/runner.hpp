@@ -27,6 +27,10 @@ struct EpisodeSummary {
   double peak_pool_mb = 0.0;
   std::size_t evictions = 0;
   std::size_t rejections = 0;
+  /// Invocations never served (fault retries exhausted / node crash) and
+  /// retried start attempts; both 0 without fault injection.
+  std::size_t failed = 0;
+  std::size_t retries = 0;
 };
 
 /// Build the summary row from an environment's collected metrics and pool

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "containers/matching.hpp"
+#include "faults/injector.hpp"
 #include "obs/tracer.hpp"
 #include "util/audit.hpp"
 #include "util/check.hpp"
@@ -28,6 +29,7 @@ ClusterEnv::ClusterEnv(const FunctionTable& functions,
 
 void ClusterEnv::reset_common() {
   next_index_ = 0;
+  down_ = false;
   pool_ = std::make_unique<containers::WarmPool>(config_.pool_capacity_mb,
                                                  eviction_factory_(),
                                                  config_.max_pool_containers);
@@ -63,9 +65,20 @@ void ClusterEnv::reset_streaming() {
 
 void ClusterEnv::offer(Invocation inv) {
   MLCR_CHECK_MSG(streaming_, "offer() requires reset_streaming()");
+  MLCR_CHECK_MSG(!down_, "offer() to a crashed node (invocation "
+                             << stream_.size() << ", seq " << inv.seq
+                             << "): route around it or recover() first");
   MLCR_CHECK_MSG(done(), "previous invocation has not been stepped yet");
+  MLCR_CHECK_MSG(inv.function < functions_.size(),
+                 "invocation " << stream_.size() << " (seq " << inv.seq
+                               << ") names unknown function id "
+                               << inv.function << " (table has "
+                               << functions_.size() << " types)");
   MLCR_CHECK_MSG(inv.arrival_s >= now_,
-                 "streaming invocations must arrive in time order");
+                 "invocation " << stream_.size() << " (seq " << inv.seq
+                               << ") arrives at " << inv.arrival_s
+                               << "s, before the node clock " << now_
+                               << "s — traces must be in arrival order");
   stream_.push_back(inv);
   advance_to(inv.arrival_s);
   MLCR_AUDIT_POINT(audit());
@@ -81,6 +94,54 @@ void ClusterEnv::finish_streaming() {
   MLCR_CHECK_MSG(streaming_, "finish_streaming() requires reset_streaming()");
   MLCR_CHECK_MSG(done(), "finish_streaming() with a pending invocation");
   finish_episode();
+  MLCR_AUDIT_POINT(audit());
+}
+
+void ClusterEnv::crash(double time) {
+  MLCR_CHECK_MSG(pool_ != nullptr, "crash() before the first reset");
+  MLCR_CHECK_MSG(!down_, "crash() on an already-crashed node");
+  MLCR_CHECK_MSG(done(), "crash() with a pending invocation");
+  MLCR_CHECK_MSG(time >= now_, "crash() in the simulated past");
+  advance_to(time);
+  // In-flight executions die with the node: their containers are gone and
+  // their invocations retroactively fail (the time spent stays in the
+  // latency totals — it was spent).
+  std::size_t killed = 0;
+  while (!busy_.empty()) {
+    metrics_.mark_failed(busy_.top().seq);
+    busy_.pop();
+    ++killed;
+  }
+  const std::size_t dropped = pool_->invalidate_all(time);
+  down_ = true;
+  if (injector_ != nullptr) {
+    injector_->count_crash();
+    for (std::size_t i = 0; i < killed; ++i)
+      injector_->count_failed_invocation();
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->instant(
+        obs::Tracer::kSimPid, track_, obs::to_micros(time), "node_crash",
+        "fault",
+        {obs::narg("killed_executions", static_cast<std::int64_t>(killed)),
+         obs::narg("lost_warm_containers",
+                   static_cast<std::int64_t>(dropped))});
+    tracer_->counter(obs::Tracer::kSimPid, track_, obs::to_micros(time),
+                     "failed_invocations",
+                     static_cast<double>(metrics_.failed_count()));
+  }
+  MLCR_AUDIT_POINT(audit());
+}
+
+void ClusterEnv::recover(double time) {
+  MLCR_CHECK_MSG(down_, "recover() on a healthy node");
+  MLCR_CHECK_MSG(time >= now_, "recover() in the simulated past");
+  advance_to(time);
+  down_ = false;
+  if (injector_ != nullptr) injector_->count_recovery();
+  if (tracer_ != nullptr && tracer_->enabled())
+    tracer_->instant(obs::Tracer::kSimPid, track_, obs::to_micros(time),
+                     "node_recover", "fault", {});
   MLCR_AUDIT_POINT(audit());
 }
 
@@ -135,9 +196,11 @@ void ClusterEnv::finish_episode() {
 }
 
 StepResult ClusterEnv::step(const Action& action) {
+  MLCR_CHECK_MSG(!down_, "step() on a crashed node");
   const Invocation inv = current();
   advance_to(inv.arrival_s);
   const FunctionType& fn = functions_.get(inv.function);
+  const bool traced = tracer_ != nullptr && tracer_->enabled();
 
   StepResult result;
   Container container;
@@ -161,6 +224,28 @@ StepResult ClusterEnv::step(const Action& action) {
     } else {
       level = match_for(action.container, inv.function);
     }
+  }
+
+  // Fault: the volume swap of an L1/L2 repack reuse can fail, destroying
+  // the candidate container; the start degrades to cold, still paying the
+  // attempted swap's cleaner time (DESIGN.md §9). L3 reuse swaps nothing
+  // and union reuse removes nothing, so neither can repack-fail.
+  double fault_overhead_s = 0.0;
+  if (injector_ != nullptr && containers::reusable(level) &&
+      level != MatchLevel::kL3 &&
+      config_.reuse_semantics == ReuseSemantics::kRepack &&
+      injector_->draw_repack_failure()) {
+    auto broken = pool_->take(action.container, now_);
+    MLCR_CHECK(broken.has_value());
+    fault_overhead_s += cost_model_.warm_start(fn, level).cleaner_s;
+    if (traced)
+      tracer_->instant(
+          obs::Tracer::kSimPid, track_, obs::to_micros(now_), "fault_injected",
+          "fault",
+          {obs::sarg("kind", "repack_failure"), obs::sarg("function", fn.name),
+           obs::narg("container",
+                     static_cast<std::int64_t>(action.container))});
+    level = MatchLevel::kNoMatch;
   }
 
   if (containers::reusable(level)) {
@@ -193,18 +278,93 @@ StepResult ClusterEnv::step(const Action& action) {
     level = MatchLevel::kNoMatch;
   }
 
-  result.match = level;
-  result.latency_s = result.breakdown.total();
-  result.container = container.id;
+  // Fault machinery: startup failures and timeouts, retried under the
+  // plan's RetryPolicy. Draw order is fixed (DESIGN.md §9): one Bernoulli
+  // per risky (cold or repack) start, the deadline comparison (no draw),
+  // then one jitter draw per backoff — so the stream position is a pure
+  // function of the episode. Without an injector this block is skipped and
+  // the result is bit-identical to the pre-fault simulator.
+  bool is_repack_start = !result.cold &&
+                         config_.reuse_semantics == ReuseSemantics::kRepack &&
+                         level != MatchLevel::kL3;
+  bool failed_invocation = false;
+  std::size_t attempts = 1;
+  if (injector_ != nullptr) {
+    const faults::FaultPlan& plan = injector_->plan();
+    for (;;) {
+      double attempt_cost_s = -1.0;  // < 0: the attempt succeeds
+      const char* kind = nullptr;
+      if ((result.cold || is_repack_start) &&
+          injector_->draw_startup_failure()) {
+        // The failure surfaces at the end of the startup sequence.
+        attempt_cost_s = result.breakdown.total();
+        kind = "startup_failure";
+      } else if (plan.timeout_s.has_value() &&
+                 result.breakdown.total() + inv.exec_s > *plan.timeout_s) {
+        // Startup plus execution would blow the deadline: the container is
+        // killed at the deadline and the attempt costs the full timeout.
+        attempt_cost_s = *plan.timeout_s;
+        kind = "timeout";
+        injector_->count_timeout();
+      }
+      if (attempt_cost_s < 0.0) break;
+      fault_overhead_s += attempt_cost_s;
+      if (traced)
+        tracer_->instant(
+            obs::Tracer::kSimPid, track_,
+            obs::to_micros(inv.arrival_s + fault_overhead_s), "fault_injected",
+            "fault",
+            {obs::sarg("kind", kind), obs::sarg("function", fn.name),
+             obs::narg("attempt", static_cast<std::int64_t>(attempts))});
+      if (attempts >= plan.retry.max_attempts) {
+        failed_invocation = true;
+        break;
+      }
+      const double backoff_s = injector_->draw_backoff(attempts);
+      fault_overhead_s += backoff_s;
+      ++attempts;
+      if (traced)
+        tracer_->instant(
+            obs::Tracer::kSimPid, track_,
+            obs::to_micros(inv.arrival_s + fault_overhead_s), "retry_attempt",
+            "fault",
+            {obs::narg("attempt", static_cast<std::int64_t>(attempts)),
+             obs::narg("backoff_s", backoff_s)});
+      // The failed attempt's container is destroyed; any warm candidate was
+      // consumed by the first attempt, so every retry is a fresh cold start.
+      container = Container{};
+      container.id = next_container_id_++;
+      container.image = fn.image;
+      container.created_at = now_;
+      container.refresh_memory(catalog_);
+      result.breakdown = cost_model_.cold_start(fn);
+      result.cold = true;
+      level = MatchLevel::kNoMatch;
+      is_repack_start = false;
+    }
+  }
 
-  container.state = ContainerState::kBusy;
-  container.last_used_at = now_;
-  ++container.use_count;
-  container.last_function = inv.function;
-  container.last_startup_cost_s = result.latency_s;
+  result.match = failed_invocation ? MatchLevel::kNoMatch : level;
+  result.failed = failed_invocation;
+  result.attempts = attempts;
+  if (failed_invocation) {
+    result.cold = true;
+    result.container = containers::kInvalidContainer;
+    result.latency_s = fault_overhead_s;
+    injector_->count_failed_invocation();
+  } else {
+    result.latency_s = fault_overhead_s + result.breakdown.total();
+    result.container = container.id;
 
-  busy_.push(Completion{now_ + result.latency_s + inv.exec_s,
-                        std::move(container)});
+    container.state = ContainerState::kBusy;
+    container.last_used_at = now_;
+    ++container.use_count;
+    container.last_function = inv.function;
+    container.last_startup_cost_s = result.latency_s;
+
+    busy_.push(Completion{now_ + result.latency_s + inv.exec_s,
+                          std::move(container), inv.seq});
+  }
 
   InvocationRecord rec;
   rec.seq = inv.seq;
@@ -215,9 +375,11 @@ StepResult ClusterEnv::step(const Action& action) {
   rec.cold = result.cold;
   rec.breakdown = result.breakdown;
   rec.latency_s = result.latency_s;
+  rec.failed = result.failed;
+  rec.attempts = attempts;
   metrics_.record(std::move(rec));
 
-  if (tracer_ != nullptr && tracer_->enabled()) trace_step(inv, fn, result);
+  if (traced) trace_step(inv, fn, result);
 
   ++next_index_;
   if (done()) {
@@ -240,6 +402,18 @@ void ClusterEnv::trace_step(const Invocation& inv, const FunctionType& fn,
   const o::Micros arrival = o::to_micros(inv.arrival_s);
   const auto cid = static_cast<std::int64_t>(result.container);
 
+  if (result.failed) {
+    // No container ran: the fault loop already emitted one fault_injected
+    // instant per attempt; close with the failure and the running count.
+    t.instant(pid, track_, arrival, "invocation_failed", "fault",
+              {o::sarg("function", fn.name),
+               o::narg("attempts", static_cast<std::int64_t>(result.attempts)),
+               o::narg("spent_s", result.latency_s)});
+    t.counter(pid, track_, arrival, "failed_invocations",
+              static_cast<double>(metrics_.failed_count()));
+    return;
+  }
+
   t.instant(pid, track_, arrival, "match", "sim",
             {o::sarg("function", fn.name),
              o::sarg("level", std::string(containers::to_string(result.match))),
@@ -256,8 +430,11 @@ void ClusterEnv::trace_step(const Invocation& inv, const FunctionType& fn,
 
   // Child segments, laid out sequentially in the order the platform performs
   // them; zero-cost components are omitted except the repack, which carries
-  // the cleaner's volume plan whenever a repack actually happened.
-  double cursor_s = inv.arrival_s;
+  // the cleaner's volume plan whenever a repack actually happened. When
+  // faults added retries, the children describe the final (successful)
+  // attempt and are right-aligned inside the startup span.
+  double cursor_s =
+      inv.arrival_s + (result.latency_s - result.breakdown.total());
   auto child = [&](const char* name, double dur_s,
                    std::vector<o::TraceArg> args = {}) {
     t.span(pid, track_, o::to_micros(cursor_s), o::to_micros(dur_s), name,
@@ -320,6 +497,21 @@ void ClusterEnv::audit() const {
   MLCR_CHECK_MSG(next_index_ <= episode_size, "episode index out of range");
   MLCR_CHECK_MSG(metrics_.invocation_count() == next_index_,
                  "metrics record count diverged from scheduled invocations");
+
+  // Fault invariants (DESIGN.md §9): a crashed node holds no busy or warm
+  // container, and no record exceeded the plan's retry budget.
+  if (down_) {
+    MLCR_CHECK_MSG(busy_.empty(), "busy container on a crashed node");
+    MLCR_CHECK_MSG(pool_->empty(), "warm container on a crashed node");
+  }
+  if (injector_ != nullptr) {
+    const std::size_t max_attempts = injector_->plan().retry.max_attempts;
+    for (const InvocationRecord& r : metrics_.records())
+      MLCR_CHECK_MSG(r.attempts <= max_attempts,
+                     "record seq " << r.seq << " made " << r.attempts
+                                   << " attempts, over the retry budget of "
+                                   << max_attempts);
+  }
 }
 
 }  // namespace mlcr::sim

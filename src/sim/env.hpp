@@ -30,6 +30,10 @@
 #include "sim/invocation.hpp"
 #include "sim/metrics.hpp"
 
+namespace mlcr::faults {
+class FaultInjector;
+}
+
 namespace mlcr::obs {
 class Tracer;
 }
@@ -55,6 +59,12 @@ struct StepResult {
   containers::MatchLevel match = containers::MatchLevel::kNoMatch;
   bool cold = true;
   containers::ContainerId container = containers::kInvalidContainer;
+  /// Every start attempt failed (fault injection, DESIGN.md §9): no
+  /// container runs the invocation and latency_s holds the time spent on
+  /// the failed attempts and backoffs. Always false without an injector.
+  bool failed = false;
+  /// Start attempts made (1 without faults; retries add more).
+  std::size_t attempts = 1;
 };
 
 using EvictionPolicyFactory =
@@ -160,6 +170,29 @@ class ClusterEnv {
   [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
   [[nodiscard]] std::uint32_t trace_track() const noexcept { return track_; }
 
+  /// Attach a fault injector (DESIGN.md §9): step() then draws startup /
+  /// repack failures and applies timeouts and retries from the injector's
+  /// stream. The env does not own the injector; nullptr detaches (the
+  /// default — without an injector every path is bit-identical to the
+  /// pre-fault simulator). Survives reset().
+  void set_fault_injector(faults::FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+  [[nodiscard]] faults::FaultInjector* fault_injector() const noexcept {
+    return injector_;
+  }
+
+  /// Crash the node at `time` (>= now): in-flight executions are killed and
+  /// their invocations retroactively failed, the warm pool is dropped, and
+  /// offer()/step() reject work until recover(). Requires done() (the fleet
+  /// crashes nodes between invocations) and a healthy node.
+  void crash(double time);
+  /// Bring a crashed node back at `time`: it serves again with an empty
+  /// pool (the recovery cold-start storm the chaos bench measures).
+  void recover(double time);
+  /// True while crashed (between crash() and recover()).
+  [[nodiscard]] bool down() const noexcept { return down_; }
+
   /// Cross-structure invariant auditor: pool byte accounting, busy/pooled
   /// disjointness (no container simultaneously busy and reusable), metrics
   /// aggregate consistency, and clock/index sanity. Throws util::CheckError
@@ -173,6 +206,7 @@ class ClusterEnv {
   struct Completion {
     double time = 0.0;
     containers::Container container;
+    std::uint64_t seq = 0;  ///< trace seq, to fail the record on a crash
   };
   struct CompletionOrder {
     bool operator()(const Completion& a, const Completion& b) const noexcept {
@@ -210,6 +244,8 @@ class ClusterEnv {
   bool episode_finished_ = false;
   obs::Tracer* tracer_ = nullptr;
   std::uint32_t track_ = 0;
+  faults::FaultInjector* injector_ = nullptr;
+  bool down_ = false;
 };
 
 }  // namespace mlcr::sim

@@ -10,10 +10,13 @@ namespace mlcr::sim {
 
 void MetricsCollector::record(InvocationRecord rec) {
   total_latency_s_ += rec.latency_s;
-  if (rec.cold)
+  if (rec.failed)
+    ++failed_;
+  else if (rec.cold)
     ++cold_starts_;
   else
     ++by_level_[static_cast<std::size_t>(rec.match)];
+  retries_ += rec.attempts - 1;
   records_.push_back(std::move(rec));
 }
 
@@ -24,6 +27,8 @@ void MetricsCollector::merge(const MetricsCollector& other) {
   cold_starts_ += other.cold_starts_;
   for (std::size_t i = 0; i < by_level_.size(); ++i)
     by_level_[i] += other.by_level_[i];
+  failed_ += other.failed_;
+  retries_ += other.retries_;
   std::stable_sort(records_.begin(), records_.end(),
                    [](const InvocationRecord& a, const InvocationRecord& b) {
                      return a.seq < b.seq;
@@ -35,6 +40,29 @@ void MetricsCollector::clear() {
   total_latency_s_ = 0.0;
   cold_starts_ = 0;
   by_level_.fill(0);
+  failed_ = 0;
+  retries_ = 0;
+}
+
+double MetricsCollector::goodput() const noexcept {
+  if (records_.empty()) return 1.0;
+  return static_cast<double>(records_.size() - failed_) /
+         static_cast<double>(records_.size());
+}
+
+void MetricsCollector::mark_failed(std::uint64_t seq) {
+  const auto it = std::lower_bound(
+      records_.begin(), records_.end(), seq,
+      [](const InvocationRecord& r, std::uint64_t s) { return r.seq < s; });
+  MLCR_CHECK_MSG(it != records_.end() && it->seq == seq,
+                 "mark_failed: no record with trace seq " << seq);
+  if (it->failed) return;
+  if (it->cold)
+    --cold_starts_;
+  else
+    --by_level_[static_cast<std::size_t>(it->match)];
+  it->failed = true;
+  ++failed_;
 }
 
 double MetricsCollector::average_latency_s() const noexcept {
@@ -51,7 +79,8 @@ std::size_t MetricsCollector::warm_starts_at(
 std::vector<double> MetricsCollector::latencies() const {
   std::vector<double> out;
   out.reserve(records_.size());
-  for (const auto& r : records_) out.push_back(r.latency_s);
+  for (const auto& r : records_)
+    if (!r.failed) out.push_back(r.latency_s);
   return out;
 }
 
@@ -73,16 +102,22 @@ std::vector<double> MetricsCollector::cumulative_latency() const {
 void MetricsCollector::audit() const {
   double total = 0.0;
   std::size_t cold = 0;
+  std::size_t failed = 0;
+  std::size_t retries = 0;
   std::array<std::size_t, 4> by_level{};
   std::uint64_t prev_seq = 0;
   for (std::size_t i = 0; i < records_.size(); ++i) {
     const InvocationRecord& r = records_[i];
     MLCR_CHECK_MSG(r.latency_s >= 0.0, "negative startup latency recorded");
+    MLCR_CHECK_MSG(r.attempts >= 1, "record with zero start attempts");
     total += r.latency_s;
-    if (r.cold)
+    if (r.failed)
+      ++failed;
+    else if (r.cold)
       ++cold;
     else
       ++by_level[static_cast<std::size_t>(r.match)];
+    retries += r.attempts - 1;
     MLCR_CHECK_MSG(i == 0 || r.seq >= prev_seq,
                    "records out of trace-sequence order at seq " << r.seq);
     prev_seq = r.seq;
@@ -91,6 +126,16 @@ void MetricsCollector::audit() const {
                                            << cold_starts_ << ", recomputed "
                                            << cold);
   MLCR_CHECK_MSG(by_level == by_level_, "per-level warm counts drifted");
+  MLCR_CHECK_MSG(failed == failed_,
+                 "failed-invocation count drifted: tracked "
+                     << failed_ << ", recomputed " << failed);
+  MLCR_CHECK_MSG(retries == retries_, "retry count drifted: tracked "
+                                          << retries_ << ", recomputed "
+                                          << retries);
+  MLCR_CHECK_MSG(failed_ + cold_starts_ + by_level_[1] + by_level_[2] +
+                         by_level_[3] + by_level_[0] ==
+                     records_.size(),
+                 "failed + cold + warm does not sum to the record count");
   // merge() re-sorts records, so recomputation may fold in a different
   // order; allow relative float slack.
   MLCR_CHECK_MSG(

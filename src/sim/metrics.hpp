@@ -24,6 +24,12 @@ struct InvocationRecord {
   bool cold = true;
   StartupBreakdown breakdown;
   double latency_s = 0.0;
+  /// The invocation was never served: its start attempts were exhausted
+  /// (faults) or its node crashed mid-execution. latency_s then holds the
+  /// time the platform *spent* on it (attempts + backoffs), not a startup.
+  bool failed = false;
+  /// Start attempts made (>= 1); attempts - 1 of them were retried.
+  std::size_t attempts = 1;
 };
 
 class MetricsCollector {
@@ -54,12 +60,32 @@ class MetricsCollector {
   [[nodiscard]] std::size_t warm_starts_at(
       containers::MatchLevel level) const noexcept;
 
-  /// Startup latencies in arrival order (for percentiles / box stats).
+  /// Invocations that were never served (fault retries exhausted or node
+  /// crashed mid-execution). Disjoint from cold/warm counts: a failed
+  /// record contributes to neither.
+  [[nodiscard]] std::size_t failed_count() const noexcept { return failed_; }
+  /// Retried start attempts across all records (sum of attempts - 1).
+  [[nodiscard]] std::size_t retry_count() const noexcept { return retries_; }
+  /// Fraction of recorded invocations that were served. Contract: 1.0 on an
+  /// empty collector (nothing was lost), 0.0 when every record failed.
+  [[nodiscard]] double goodput() const noexcept;
+
+  /// Retroactively fail the record with trace sequence `seq` (node crash
+  /// killed its in-flight execution). Its latency stays in the totals (the
+  /// time was spent) but it leaves the cold/warm counts. Requires the
+  /// record to exist; a second call on the same record is a no-op.
+  void mark_failed(std::uint64_t seq);
+
+  /// Startup latencies of *served* invocations, in arrival order (for
+  /// percentiles / box stats). Failed invocations are excluded: they have
+  /// no startup to report. May be empty.
   [[nodiscard]] std::vector<double> latencies() const;
-  /// Exact nearest-rank startup-latency percentile (obs::exact_rank
-  /// semantics: the sample of rank ceil(p/100 * n); always an observed
-  /// value, no interpolation). p in [0, 100]; 0 when no records. Works on
-  /// fleet-merged collectors unchanged — merge() keeps every record.
+  /// Exact nearest-rank startup-latency percentile over served invocations
+  /// (obs::exact_rank semantics: the sample of rank ceil(p/100 * n); always
+  /// an observed value, no interpolation). p in [0, 100]. Contract: 0.0
+  /// when no invocation was served (empty or all-failed episode) — never
+  /// UB. Works on fleet-merged collectors unchanged — merge() keeps every
+  /// record.
   [[nodiscard]] double latency_percentile(double p) const;
   [[nodiscard]] double latency_p50() const { return latency_percentile(50.0); }
   [[nodiscard]] double latency_p95() const { return latency_percentile(95.0); }
@@ -82,6 +108,8 @@ class MetricsCollector {
   double total_latency_s_ = 0.0;
   std::size_t cold_starts_ = 0;
   std::array<std::size_t, 4> by_level_{};  // indexed by MatchLevel value
+  std::size_t failed_ = 0;
+  std::size_t retries_ = 0;
 };
 
 }  // namespace mlcr::sim

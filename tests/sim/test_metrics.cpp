@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/check.hpp"
+
 namespace mlcr::sim {
 namespace {
 
@@ -92,6 +94,74 @@ TEST(Metrics, LatencyPercentileOnEmptyAndSingleRecord) {
   m.record(rec(0, 4.5, true, containers::MatchLevel::kNoMatch));
   EXPECT_DOUBLE_EQ(m.latency_p50(), 4.5);
   EXPECT_DOUBLE_EQ(m.latency_p99(), 4.5);
+}
+
+TEST(Metrics, FailedRecordsLeaveEveryBucketAndDriveGoodput) {
+  MetricsCollector m;
+  EXPECT_DOUBLE_EQ(m.goodput(), 1.0);  // nothing recorded, nothing lost
+  m.record(rec(0, 5.0, true, containers::MatchLevel::kNoMatch));
+  InvocationRecord failed = rec(1, 9.0, true, containers::MatchLevel::kNoMatch);
+  failed.failed = true;
+  failed.attempts = 3;
+  m.record(std::move(failed));
+  EXPECT_EQ(m.invocation_count(), 2U);
+  EXPECT_EQ(m.failed_count(), 1U);
+  EXPECT_EQ(m.retry_count(), 2U);
+  EXPECT_EQ(m.cold_start_count(), 1U);  // the failed record is not a start
+  EXPECT_EQ(m.latencies(), (std::vector<double>{5.0}));
+  EXPECT_DOUBLE_EQ(m.goodput(), 0.5);
+  // Time spent on failed attempts stays in the latency totals: it was spent.
+  EXPECT_DOUBLE_EQ(m.total_latency_s(), 14.0);
+}
+
+TEST(Metrics, MarkFailedRetroactivelyReclassifiesARecord) {
+  MetricsCollector m;
+  m.record(rec(0, 2.0, true, containers::MatchLevel::kNoMatch));
+  m.record(rec(1, 1.0, false, containers::MatchLevel::kL3));
+  m.mark_failed(1);
+  EXPECT_EQ(m.failed_count(), 1U);
+  EXPECT_EQ(m.warm_starts_at(containers::MatchLevel::kL3), 0U);
+  EXPECT_EQ(m.latencies(), (std::vector<double>{2.0}));
+  m.mark_failed(1);  // idempotent
+  EXPECT_EQ(m.failed_count(), 1U);
+  EXPECT_THROW(m.mark_failed(7), util::CheckError);  // unknown seq
+}
+
+TEST(Metrics, PercentilesAreZeroWhenNoInvocationWasServed) {
+  // Regression: on an empty or all-failed episode the percentile accessors
+  // must return 0.0 by contract, never index an empty sample set.
+  MetricsCollector empty;
+  EXPECT_DOUBLE_EQ(empty.latency_p50(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.latency_p99(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.latency_percentile(100.0), 0.0);
+
+  MetricsCollector all_failed;
+  for (int i = 0; i < 4; ++i) {
+    InvocationRecord r = rec(i, 3.0, true, containers::MatchLevel::kNoMatch);
+    r.failed = true;
+    all_failed.record(std::move(r));
+  }
+  EXPECT_TRUE(all_failed.latencies().empty());
+  EXPECT_DOUBLE_EQ(all_failed.latency_p50(), 0.0);
+  EXPECT_DOUBLE_EQ(all_failed.latency_p99(), 0.0);
+  EXPECT_DOUBLE_EQ(all_failed.goodput(), 0.0);
+}
+
+TEST(Metrics, MergeCarriesFailedAndRetryCounts) {
+  MetricsCollector a;
+  MetricsCollector b;
+  InvocationRecord f = rec(0, 1.0, true, containers::MatchLevel::kNoMatch);
+  f.failed = true;
+  f.attempts = 2;
+  a.record(std::move(f));
+  b.record(rec(1, 1.0, false, containers::MatchLevel::kL3));
+  MetricsCollector merged;
+  merged.merge(a);
+  merged.merge(b);
+  EXPECT_EQ(merged.failed_count(), 1U);
+  EXPECT_EQ(merged.retry_count(), 1U);
+  EXPECT_DOUBLE_EQ(merged.goodput(), 0.5);
+  merged.audit();
 }
 
 TEST(Metrics, PercentilesWorkOnFleetMergedCollectors) {

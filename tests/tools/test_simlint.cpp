@@ -77,6 +77,7 @@ const FixtureCase kFixtureCases[] = {
     {"missing_transition_check.cpp", "src/sim/env.cpp"},
     {"obs_wall_time.cpp", "src/obs/obs_wall_time.cpp"},
     {"router_route_check.cpp", "src/fleet/router.cpp"},
+    {"fault_rng_stream.cpp", "src/faults/fault_rng_stream.cpp"},
     {"clean.cpp", "src/sim/clean.cpp"},
 };
 
@@ -108,6 +109,14 @@ TEST(Simlint, PathScopedRulesAreQuietOutsideTheirScope) {
   // interface; the router rule keys on the file, not the method name.
   const std::string router_src = read_fixture("router_route_check.cpp");
   EXPECT_TRUE(lint_source(router_src, "src/policies/router_like.cpp").empty());
+  // Literal-seed Rng construction is legal outside fault-handling code
+  // (benches and tests seed their own streams); the rule is scoped to
+  // src/faults and src/fleet.
+  const std::string fault_src = read_fixture("fault_rng_stream.cpp");
+  EXPECT_TRUE(lint_source(fault_src, "src/core/fault_rng_stream.cpp").empty());
+  // And also fires under src/fleet, the other half of its scope.
+  EXPECT_FALSE(
+      lint_source(fault_src, "src/fleet/fault_rng_stream.cpp").empty());
 }
 
 TEST(Simlint, CleanFixtureIsQuietUnderEveryScope) {

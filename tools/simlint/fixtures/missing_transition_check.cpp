@@ -1,8 +1,9 @@
 // Fixture for the missing-transition-check rule. Linted with pretend path
 // "src/sim/env.cpp", so the transition table expects ClusterEnv::offer,
-// step, advance_idle and finish_streaming to validate state. Here offer()
-// and step() have no check (each fires once); advance_idle (MLCR_CHECK) and
-// finish_streaming (MLCR_AUDIT point) are covered.
+// step, advance_idle, finish_streaming, crash and recover to validate
+// state. Here offer() and step() have no check (each fires once);
+// advance_idle / crash (MLCR_CHECK) and finish_streaming / recover
+// (MLCR_AUDIT point) are covered.
 struct Invocation {
   double arrival_s = 0.0;
 };
@@ -18,10 +19,13 @@ class ClusterEnv {
   StepResult step(const Action& action);
   void advance_idle(double time);
   void finish_streaming();
+  void crash(double time);
+  void recover(double time);
   void audit() const {}
 
  private:
   double last_arrival_ = 0.0;
+  bool down_ = false;
 };
 
 void ClusterEnv::offer(Invocation inv) {  // VIOLATION missing-transition-check
@@ -40,3 +44,14 @@ void ClusterEnv::advance_idle(double time) {
 }
 
 void ClusterEnv::finish_streaming() { MLCR_AUDIT_POINT(audit()); }
+
+void ClusterEnv::crash(double time) {
+  MLCR_CHECK(!down_ && time >= last_arrival_);
+  down_ = true;
+}
+
+void ClusterEnv::recover(double time) {
+  (void)time;
+  down_ = false;
+  MLCR_AUDIT_POINT(audit());
+}

@@ -41,6 +41,11 @@ bool sim_or_containers(const std::string& p) {
   return starts_with(p, "src/sim/") || starts_with(p, "src/containers/");
 }
 bool obs_code(const std::string& p) { return starts_with(p, "src/obs/"); }
+bool fault_code(const std::string& p) {
+  // Code that injects or reacts to faults: all randomness must arrive as a
+  // stream split() off the episode seed, never a locally-invented seed.
+  return starts_with(p, "src/faults/") || starts_with(p, "src/fleet/");
+}
 
 // --- Source preprocessing --------------------------------------------------
 
@@ -177,6 +182,15 @@ const LineRule kLineRules[] = {
      R"(\b(unordered_map|unordered_set|map|set)\s*<\s*(const\s+)?[A-Za-z_][\w:]*\s*\*)",
      "key the container by a stable id (ContainerId, FunctionTypeId, ...) "
      "instead of a pointer"},
+    {"fault-rng-stream",
+     "util::Rng constructed from a literal seed in src/faults or src/fleet — "
+     "fault randomness must be a stream split() off the episode seed, or "
+     "faults stop being a pure function of the episode",
+     fault_code,
+     R"(\bRng\s*(\w+\s*)?[({]\s*(0x[0-9A-Fa-f]+|[0-9]))",
+     "derive the stream from the episode: split() the caller's Rng or "
+     "forward a seed variable; a literal seed decouples fault injection "
+     "from the episode seed and silently breaks replay"},
     {"obs-wall-time",
      "wall-time reads inside src/obs — the tracing layer is clock-free by "
      "contract (DESIGN.md, Observability): every timestamp is supplied by "
@@ -314,10 +328,13 @@ const TransitionCheck kTransitionChecks[] = {
     {"containers/pool.cpp", "WarmPool::admit"},
     {"containers/pool.cpp", "WarmPool::take"},
     {"containers/pool.cpp", "WarmPool::expire_older_than"},
+    {"containers/pool.cpp", "WarmPool::invalidate_all"},
     {"sim/env.cpp", "ClusterEnv::offer"},
     {"sim/env.cpp", "ClusterEnv::step"},
     {"sim/env.cpp", "ClusterEnv::advance_idle"},
     {"sim/env.cpp", "ClusterEnv::finish_streaming"},
+    {"sim/env.cpp", "ClusterEnv::crash"},
+    {"sim/env.cpp", "ClusterEnv::recover"},
     {"fleet/fleet_env.cpp", "FleetEnv::run"},
 };
 
