@@ -3,17 +3,22 @@
 // on-disk cache so consecutive bench binaries reuse one trained model.
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/mlcr.hpp"
 #include "core/trainer.hpp"
 #include "fstartbench/workloads.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/schema_check.hpp"
 #include "obs/sink.hpp"
 #include "obs/tracer.hpp"
 #include "policies/runner.hpp"
@@ -42,6 +47,9 @@ struct Suite {
 ///                  one traced episode per system to F
 ///   --metrics F    write the metrics registry (latency histograms with
 ///                  p50/p95/p99/p999, counters) as CSV to F
+///   --json F       write a machine-readable result summary (the stable
+///                  bench schema obs::check_bench_json validates and
+///                  tools/benchdiff compares) to F
 struct BenchOptions {
   std::size_t reps = 7;
   std::size_t episodes = 30;
@@ -49,6 +57,7 @@ struct BenchOptions {
   bool fresh = false;
   std::string trace_path;
   std::string metrics_path;
+  std::string json_path;
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions o;
@@ -73,12 +82,98 @@ struct BenchOptions {
         o.trace_path = next_str();
       else if (arg == "--metrics")
         o.metrics_path = next_str();
+      else if (arg == "--json")
+        o.json_path = next_str();
       else
         std::cerr << "ignoring unknown flag: " << arg << "\n";
     }
     if (o.reps == 0) o.reps = 1;
     return o;
   }
+};
+
+/// Machine-readable result summary of one bench run, in the small stable
+/// schema obs::check_bench_json validates and tools/benchdiff compares:
+///   {"bench": ..., "config": {...}, "wall_ms": ..., "events_per_sec": ...,
+///    "metrics": {...}}
+/// Keys keep insertion order, so output is deterministic. write() validates
+/// the emitted document against the schema checker before it touches disk —
+/// a bench can never check in a malformed baseline.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  void config(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, obs::json_quote(value));
+  }
+  void config(const std::string& key, double value) {
+    config_.emplace_back(key, format_number(value));
+  }
+  void config(const std::string& key, std::size_t value) {
+    config_.emplace_back(key, std::to_string(value));
+  }
+  void metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, format_number(value));
+  }
+  void wall_ms(double value) { wall_ms_ = value; }
+  void events_per_sec(double value) { events_per_sec_ = value; }
+
+  [[nodiscard]] std::string to_json() const {
+    std::string out = "{\n  \"bench\": " + obs::json_quote(bench_) +
+                      ",\n  \"config\": {";
+    out += join(config_);
+    out += "},\n  \"wall_ms\": " + format_number(wall_ms_);
+    out += ",\n  \"events_per_sec\": " + format_number(events_per_sec_);
+    out += ",\n  \"metrics\": {";
+    out += join(metrics_);
+    out += "}\n}\n";
+    return out;
+  }
+
+  /// Validate against obs::check_bench_json and write to `path`. Returns
+  /// false (with a message on stderr) when validation or IO fails.
+  bool write(const std::string& path) const {
+    const std::string text = to_json();
+    const auto errors = obs::check_bench_json(text);
+    if (!errors.empty()) {
+      std::cerr << "[bench] --json output failed schema check:\n";
+      for (const auto& e : errors) std::cerr << "  " << e << "\n";
+      return false;
+    }
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "[bench] cannot write " << path << "\n";
+      return false;
+    }
+    out << text;
+    std::cerr << "[bench] wrote " << path << "\n";
+    return true;
+  }
+
+ private:
+  [[nodiscard]] static std::string format_number(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+  }
+
+  [[nodiscard]] static std::string join(
+      const std::vector<std::pair<std::string, std::string>>& fields) {
+    std::string out;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      out += "    " + obs::json_quote(fields[i].first) + ": " +
+             fields[i].second;
+    }
+    if (!fields.empty()) out += "\n  ";
+    return out;
+  }
+
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<std::pair<std::string, std::string>> metrics_;
+  double wall_ms_ = 0.0;
+  double events_per_sec_ = 0.0;
 };
 
 /// The observability handles of one bench run: a tracer (with a Chrome JSON

@@ -156,6 +156,13 @@ std::size_t WarmPool::expire_older_than(double now, double ttl_s) {
   return expired.size();
 }
 
+std::optional<double> WarmPool::oldest_idle_at() const {
+  std::optional<double> oldest;
+  for (const auto& [id, c] : by_id_)
+    if (!oldest || c.last_idle_at < *oldest) oldest = c.last_idle_at;
+  return oldest;
+}
+
 std::size_t WarmPool::invalidate_all(double now) {
   const std::size_t dropped = by_id_.size();
   if (traced())

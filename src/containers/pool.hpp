@@ -121,6 +121,11 @@ class WarmPool {
   /// Returns the number evicted.
   std::size_t expire_older_than(double now, double ttl_s);
 
+  /// last_idle_at of the longest-idle container, or nullopt when empty.
+  /// The earliest time any TTL expiry can fire — the event-driven fleet
+  /// derives per-node expiry deadlines from it (DESIGN.md §10).
+  [[nodiscard]] std::optional<double> oldest_idle_at() const;
+
   /// Crash support (DESIGN.md §9): drop every idle container at once — the
   /// node's warm memory is gone. Not counted as evictions (the caller
   /// records the crash itself); peak statistics are preserved. Returns the

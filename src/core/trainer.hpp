@@ -32,6 +32,22 @@ struct TrainerConfig {
   /// rationale as the paper's action mask (Sec. IV-C): it anchors early
   /// Q-targets to a sane policy instead of uniform exploration.
   std::size_t greedy_warmup_episodes = 2;
+  /// Episodes collected per round. 1 (the default) keeps the original
+  /// interleaved loop — one shared RNG stream, gradient steps woven into
+  /// episode collection — bit-identical to every prior release. Values > 1
+  /// switch to round-based collection: the online weights are frozen, that
+  /// many whole episodes are rolled out against the frozen policy (in
+  /// parallel across collect_workers), and the collected transitions are
+  /// then replayed into the buffer in episode order with the same gradient
+  /// cadence. The two modes are different (both valid) DQN variants; within
+  /// round mode, results are bit-identical for any collect_workers value
+  /// (asserted in tests/trainer).
+  std::size_t collect_round = 1;
+  /// Worker threads for round collection; 0 = one per hardware core. Purely
+  /// a throughput knob — never affects results (each episode rolls out on a
+  /// cloned environment with its own RNG stream split in episode order, and
+  /// the merge is sequential).
+  std::size_t collect_workers = 0;
   /// Every `validate_every` episodes, evaluate the current greedy policy on
   /// each environment's first trace (normalized per environment by the
   /// multi-level-greedy baseline so large tight-pool latencies do not

@@ -1,6 +1,8 @@
 #include "fleet/fleet_env.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <queue>
 
 #include "faults/injector.hpp"
 #include "fleet/router.hpp"
@@ -69,6 +71,27 @@ FleetEnv::FleetEnv(const sim::FunctionTable& functions,
   // One extra split after the node streams: adding faults to a config must
   // not shift the streams the node factories already consumed.
   fault_root_ = master.split();
+  rebuild_fault_events();
+}
+
+void FleetEnv::rebuild_fault_events() {
+  fault_events_.clear();
+  for (const faults::CrashWindow& w : config_.faults.crashes) {
+    fault_events_.push_back({w.down_at, false, w.node});
+    fault_events_.push_back({w.up_at, true, w.node});
+  }
+  std::sort(fault_events_.begin(), fault_events_.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.is_recovery != b.is_recovery) return a.is_recovery;
+              return a.node < b.node;
+            });
+}
+
+void FleetEnv::set_fault_plan(faults::FaultPlan faults) {
+  faults.validate(config_.nodes);
+  config_.faults = std::move(faults);
+  rebuild_fault_events();
 }
 
 bool FleetEnv::node_up(std::size_t i) const {
@@ -118,9 +141,7 @@ void FleetEnv::set_tracer(obs::Tracer* tracer) noexcept {
     nodes_[i].env->set_tracer(tracer, static_cast<std::uint32_t>(i));
 }
 
-FleetSummary FleetEnv::run(const sim::Trace& trace, Router& router) {
-  validate_trace(trace);
-  const bool traced = tracer_ != nullptr && tracer_->enabled();
+std::string FleetEnv::start_episode(Router& router, bool traced) {
   std::string router_name;
   if (traced) {
     router_name = router.name();
@@ -129,58 +150,223 @@ FleetSummary FleetEnv::run(const sim::Trace& trace, Router& router) {
                            static_cast<std::uint32_t>(i),
                            "node" + std::to_string(i));
   }
-
   for (Node& node : nodes_) {
     node.env->reset_streaming();
     node.spec.scheduler->on_episode_start(*node.env);
   }
   router.on_episode_start(*this);
+  return router_name;
+}
 
+std::vector<std::unique_ptr<faults::FaultInjector>>
+FleetEnv::make_injectors() {
   // Fault machinery only exists on a faulted plan; a faultless config takes
   // the exact pre-fault code path (bit-identity asserted in tests/faults).
-  const bool faulted = !config_.faults.faultless();
   std::vector<std::unique_ptr<faults::FaultInjector>> injectors;
-  if (faulted) {
-    // Copy fault_root_ so every run() of this fleet injects the same faults.
-    util::Rng root = fault_root_;
-    injectors.reserve(nodes_.size());
-    for (Node& node : nodes_) {
-      injectors.push_back(
-          std::make_unique<faults::FaultInjector>(config_.faults,
-                                                  root.split()));
-      node.env->set_fault_injector(injectors.back().get());
+  if (config_.faults.faultless()) return injectors;
+  // Copy fault_root_ so every run() of this fleet injects the same faults.
+  util::Rng root = fault_root_;
+  injectors.reserve(nodes_.size());
+  for (Node& node : nodes_) {
+    injectors.push_back(
+        std::make_unique<faults::FaultInjector>(config_.faults, root.split()));
+    node.env->set_fault_injector(injectors.back().get());
+  }
+  return injectors;
+}
+
+void FleetEnv::dispatch(const sim::Invocation& inv, std::size_t target,
+                        bool traced, const std::string& router_name) {
+  Node& node = nodes_[target];
+  if (traced) {
+    const auto tid = static_cast<std::uint32_t>(target);
+    tracer_->instant(
+        obs::Tracer::kSimPid, tid, obs::to_micros(inv.arrival_s), "route",
+        "fleet",
+        {obs::sarg("router", router_name),
+         obs::narg("node", static_cast<std::int64_t>(target)),
+         obs::narg("seq", static_cast<std::int64_t>(inv.seq))});
+  }
+  node.env->offer(inv);
+  const sim::Action action = node.spec.scheduler->decide(*node.env, inv);
+  const sim::StepResult result = node.env->step(action);
+  node.spec.scheduler->on_step_result(*node.env, result);
+  if (traced)
+    tracer_->counter(obs::Tracer::kSimPid, static_cast<std::uint32_t>(target),
+                     obs::to_micros(inv.arrival_s), "node_outstanding",
+                     static_cast<double>(node.env->busy_count()));
+}
+
+FleetSummary FleetEnv::finish_run(
+    [[maybe_unused]] const sim::Trace& trace, Router& router,
+    std::size_t next_fault, std::size_t lost, std::size_t rerouted,
+    const std::vector<std::unique_ptr<faults::FaultInjector>>& injectors) {
+  // Any node still inside a crash window recovers after the last arrival so
+  // finish_streaming() drains a healthy fleet; remaining events fire in
+  // order to keep the injector counters complete.
+  while (next_fault < fault_events_.size()) {
+    const FaultEvent& ev = fault_events_[next_fault++];
+    sim::ClusterEnv& env = *nodes_[ev.node].env;
+    if (ev.is_recovery) {
+      if (env.down()) env.recover(std::max(ev.time, env.now()));
+    } else {
+      env.crash(std::max(ev.time, env.now()));
     }
   }
-  // Crash/recover transitions as one time-sorted event list; at equal times
-  // recoveries fire before crashes (a node's up_at may equal its next
-  // down_at, and capacity freed by a recovery should be routable before a
-  // concurrent crash removes more).
-  struct FaultEvent {
-    double time;
-    bool is_recovery;
-    std::size_t node;
-  };
-  std::vector<FaultEvent> events;
-  for (const faults::CrashWindow& w : config_.faults.crashes) {
-    events.push_back({w.down_at, false, w.node});
-    events.push_back({w.up_at, true, w.node});
+
+  std::vector<NodeObservation> observations;
+  observations.reserve(nodes_.size());
+  for (Node& node : nodes_) {
+    node.env->finish_streaming();
+    observations.push_back(
+        {policies::summarize_env(*node.env, node.spec.scheduler->name()),
+         &node.env->metrics()});
   }
-  std::sort(events.begin(), events.end(),
-            [](const FaultEvent& a, const FaultEvent& b) {
-              if (a.time != b.time) return a.time < b.time;
-              if (a.is_recovery != b.is_recovery) return a.is_recovery;
-              return a.node < b.node;
-            });
-  std::size_t next_event = 0;
+  MLCR_AUDIT_POINT(audit_fleet_run(trace, observations, lost));
+  FleetSummary fs = aggregate_fleet(router.name(), system_name_, observations);
+  fs.lost = lost;
+  fs.rerouted = rerouted;
+  if (!injectors.empty()) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const faults::FaultCounters& c = injectors[i]->counters();
+      fs.node_crashes += c.crashes;
+      fs.node_recoveries += c.recoveries;
+      nodes_[i].env->set_fault_injector(nullptr);  // injectors die with run()
+    }
+  }
+  return fs;
+}
+
+FleetSummary FleetEnv::run(const sim::Trace& trace, Router& router) {
+  validate_trace(trace);
+  const bool traced = tracer_ != nullptr && tracer_->enabled();
+  const std::string router_name = start_episode(router, traced);
+  const auto injectors = make_injectors();
+
+  index_ = std::make_unique<FleetIndex>(nodes_.size(),
+                                        router.needs_warm_index());
+
+  // The event core. One lazily-invalidated heap entry per node holds the
+  // node's next self-scheduled event (completion or TTL expiry); entries
+  // are stamped with a per-node version and stale ones are discarded on
+  // pop, so a node touch is O(log nodes) instead of a heap rebuild. Fault
+  // events stay in the pre-sorted fault_events_ list and are merged by
+  // time; at equal times faults fire before node advances — the order the
+  // lockstep loop establishes (crash()'s internal drain makes same-time
+  // completion-vs-crash races identical either way; see DESIGN.md §10).
+  struct AdvanceEntry {
+    double time;
+    std::size_t node;
+    std::uint64_t version;
+  };
+  struct AdvanceLater {
+    bool operator()(const AdvanceEntry& a, const AdvanceEntry& b) const {
+      if (a.time != b.time) return a.time > b.time;  // min-heap on time
+      return a.node > b.node;                        // deterministic ties
+    }
+  };
+  std::priority_queue<AdvanceEntry, std::vector<AdvanceEntry>, AdvanceLater>
+      heap;
+  std::vector<std::uint64_t> versions(nodes_.size(), 0);
+
+  // Re-derive a node's index contribution and heap entry after any event
+  // that touches it.
+  const auto touch = [&](std::size_t n) {
+    index_->update(n, *nodes_[n].env);
+    ++versions[n];
+    if (const auto next = nodes_[n].env->next_event_time())
+      heap.push({*next, n, versions[n]});
+  };
+  for (std::size_t i = 0; i < nodes_.size(); ++i) touch(i);
+
+  std::size_t next_fault = 0;
+  std::size_t lost = 0;
+  std::size_t rerouted = 0;
+  constexpr double kNever = std::numeric_limits<double>::infinity();
+
+  // Fire every event due at or before `t`, earliest first, so routing sees
+  // exactly the fleet state the lockstep loop would have built at `t`.
+  const auto drain_until = [&](double t) {
+    for (;;) {
+      while (!heap.empty() &&
+             heap.top().version != versions[heap.top().node])
+        heap.pop();
+      const double fault_at = next_fault < fault_events_.size()
+                                  ? fault_events_[next_fault].time
+                                  : kNever;
+      const double advance_at = heap.empty() ? kNever : heap.top().time;
+      if (std::min(fault_at, advance_at) > t) return;
+      if (fault_at <= advance_at) {
+        const FaultEvent& ev = fault_events_[next_fault++];
+        sim::ClusterEnv& env = *nodes_[ev.node].env;
+        if (ev.is_recovery)
+          env.recover(ev.time);
+        else
+          env.crash(ev.time);
+        touch(ev.node);
+      } else {
+        const AdvanceEntry e = heap.top();
+        heap.pop();
+        // Advance only to the event's own time, never to t: a later fault
+        // on the same node must not be jumped over, and advance_to
+        // composes, so stopping early is state-identical.
+        nodes_[e.node].env->advance_to(e.time);
+        touch(e.node);
+      }
+    }
+  };
+
+  for (const sim::Invocation& inv : trace.invocations()) {
+    drain_until(inv.arrival_s);
+
+    std::size_t target = router.route(*this, inv);
+    MLCR_CHECK_MSG(target < nodes_.size(), "router picked an invalid node");
+    if (!node_up(target)) {
+      // Deterministic failover: least outstanding work among healthy nodes,
+      // lowest index on ties. With every node down the invocation is lost.
+      const auto best = index_->least_outstanding_healthy();
+      if (!best) {
+        ++lost;
+        if (traced)
+          tracer_->instant(
+              obs::Tracer::kSimPid, static_cast<std::uint32_t>(target),
+              obs::to_micros(inv.arrival_s), "invocation_lost", "fault",
+              {obs::narg("seq", static_cast<std::int64_t>(inv.seq))});
+        continue;
+      }
+      target = *best;
+      ++rerouted;
+      if (traced)
+        tracer_->instant(
+            obs::Tracer::kSimPid, static_cast<std::uint32_t>(target),
+            obs::to_micros(inv.arrival_s), "reroute", "fault",
+            {obs::narg("node", static_cast<std::int64_t>(target)),
+             obs::narg("seq", static_cast<std::int64_t>(inv.seq))});
+    }
+    dispatch(inv, target, traced, router_name);
+    touch(target);
+  }
+
+  index_.reset();
+  return finish_run(trace, router, next_fault, lost, rerouted, injectors);
+}
+
+FleetSummary FleetEnv::run_lockstep(const sim::Trace& trace, Router& router) {
+  validate_trace(trace);
+  const bool traced = tracer_ != nullptr && tracer_->enabled();
+  const std::string router_name = start_episode(router, traced);
+  const auto injectors = make_injectors();
+
+  std::size_t next_fault = 0;
   std::size_t lost = 0;
   std::size_t rerouted = 0;
 
   for (const sim::Invocation& inv : trace.invocations()) {
     // Fire every crash/recover transition due before this arrival, in time
     // order, so routing sees the fleet's health as of "now".
-    while (next_event < events.size() &&
-           events[next_event].time <= inv.arrival_s) {
-      const FaultEvent& ev = events[next_event++];
+    while (next_fault < fault_events_.size() &&
+           fault_events_[next_fault].time <= inv.arrival_s) {
+      const FaultEvent& ev = fault_events_[next_fault++];
       sim::ClusterEnv& env = *nodes_[ev.node].env;
       if (ev.is_recovery)
         env.recover(ev.time);
@@ -222,61 +408,10 @@ FleetSummary FleetEnv::run(const sim::Trace& trace, Router& router) {
             {obs::narg("node", static_cast<std::int64_t>(target)),
              obs::narg("seq", static_cast<std::int64_t>(inv.seq))});
     }
-    Node& node = nodes_[target];
-    if (traced) {
-      const auto tid = static_cast<std::uint32_t>(target);
-      tracer_->instant(
-          obs::Tracer::kSimPid, tid, obs::to_micros(inv.arrival_s), "route",
-          "fleet",
-          {obs::sarg("router", router_name),
-           obs::narg("node", static_cast<std::int64_t>(target)),
-           obs::narg("seq", static_cast<std::int64_t>(inv.seq))});
-    }
-    node.env->offer(inv);
-    const sim::Action action = node.spec.scheduler->decide(*node.env, inv);
-    const sim::StepResult result = node.env->step(action);
-    node.spec.scheduler->on_step_result(*node.env, result);
-    if (traced)
-      tracer_->counter(obs::Tracer::kSimPid,
-                       static_cast<std::uint32_t>(target),
-                       obs::to_micros(inv.arrival_s), "node_outstanding",
-                       static_cast<double>(node.env->busy_count()));
+    dispatch(inv, target, traced, router_name);
   }
 
-  // Any node still inside a crash window recovers after the last arrival so
-  // finish_streaming() drains a healthy fleet; remaining events fire in
-  // order to keep the injector counters complete.
-  while (next_event < events.size()) {
-    const FaultEvent& ev = events[next_event++];
-    sim::ClusterEnv& env = *nodes_[ev.node].env;
-    if (ev.is_recovery) {
-      if (env.down()) env.recover(std::max(ev.time, env.now()));
-    } else {
-      env.crash(std::max(ev.time, env.now()));
-    }
-  }
-
-  std::vector<NodeObservation> observations;
-  observations.reserve(nodes_.size());
-  for (Node& node : nodes_) {
-    node.env->finish_streaming();
-    observations.push_back(
-        {policies::summarize_env(*node.env, node.spec.scheduler->name()),
-         &node.env->metrics()});
-  }
-  MLCR_AUDIT_POINT(audit_fleet_run(trace, observations, lost));
-  FleetSummary fs = aggregate_fleet(router.name(), system_name_, observations);
-  fs.lost = lost;
-  fs.rerouted = rerouted;
-  if (faulted) {
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-      const faults::FaultCounters& c = injectors[i]->counters();
-      fs.node_crashes += c.crashes;
-      fs.node_recoveries += c.recoveries;
-      nodes_[i].env->set_fault_injector(nullptr);  // injectors die with run()
-    }
-  }
-  return fs;
+  return finish_run(trace, router, next_fault, lost, rerouted, injectors);
 }
 
 }  // namespace mlcr::fleet

@@ -17,10 +17,15 @@
 #include <vector>
 
 #include "faults/fault_plan.hpp"
+#include "fleet/fleet_index.hpp"
 #include "fleet/metrics.hpp"
 #include "policies/baselines.hpp"
 #include "sim/env.hpp"
 #include "util/rng.hpp"
+
+namespace mlcr::faults {
+class FaultInjector;
+}
 
 namespace mlcr::obs {
 class Tracer;
@@ -97,10 +102,37 @@ class FleetEnv {
 
   /// Route and execute `trace`: every invocation is assigned to a node by
   /// `router` (observing current fleet state), then offered to that node's
-  /// streaming episode and scheduled by the node's own scheduler. Idle
-  /// nodes' clocks advance in lockstep with the global clock, so TTL expiry
-  /// and completions are visible to the router. Resets all nodes.
+  /// streaming episode and scheduled by the node's own scheduler. Resets
+  /// all nodes.
+  ///
+  /// Event-driven (DESIGN.md §10): instead of advancing every node to every
+  /// arrival, run() drains a time-ordered event core — per-node
+  /// next-event heap entries (completions, TTL expiries) merged with the
+  /// pre-sorted crash/recover list — so each event costs O(log nodes), and
+  /// maintains a FleetIndex so state-aware routers read fleet-wide load and
+  /// warm-pool views without rescanning nodes_. Bit-identical to
+  /// run_lockstep() (asserted in tests/fleet): between arrivals nodes only
+  /// interact through routing, and ClusterEnv::advance_to composes, so
+  /// advancing a node event-by-event reproduces the lockstep state.
   FleetSummary run(const sim::Trace& trace, Router& router);
+
+  /// The pre-event-core reference implementation: every node's clock is
+  /// advanced to every arrival (O(nodes) per invocation) and routers scan
+  /// nodes_ directly. Kept as the oracle the event-driven run() is pinned
+  /// against, and as the baseline bench/fleet_throughput measures.
+  FleetSummary run_lockstep(const sim::Trace& trace, Router& router);
+
+  /// Replace the fault plan (validated against the node count) and rebuild
+  /// the pre-sorted crash/recover event list. The per-node fault streams
+  /// are unchanged — they were split off the fleet seed at construction —
+  /// so a plan swap never shifts any other stream.
+  void set_fault_plan(faults::FaultPlan faults);
+
+  /// The routing index maintained during an event-driven run(); nullptr
+  /// outside one (routers then fall back to scanning nodes_).
+  [[nodiscard]] const FleetIndex* index() const noexcept {
+    return index_.get();
+  }
 
   /// The fault stream node `node` of an `nodes`-node fleet seeded with
   /// `seed` receives in run(). Exposed so a single ClusterEnv driven with
@@ -116,10 +148,47 @@ class FleetEnv {
     std::unique_ptr<sim::ClusterEnv> env;
   };
 
+  /// One crash or recovery transition of the fault plan. The list is built
+  /// and sorted once (construction / set_fault_plan), not per run: at equal
+  /// times recoveries fire before crashes (a node's up_at may equal its
+  /// next down_at, and capacity freed by a recovery should be routable
+  /// before a concurrent crash removes more), then lowest node first.
+  struct FaultEvent {
+    double time = 0.0;
+    bool is_recovery = false;
+    std::size_t node = 0;
+  };
+
   /// Validate `trace` before routing anything: arrival times must be
   /// non-decreasing and every function id known, with the offending
   /// invocation index named in the error.
   void validate_trace(const sim::Trace& trace) const;
+
+  /// Rebuild fault_events_ from config_.faults (sorted as above).
+  void rebuild_fault_events();
+
+  /// Reset every node's streaming episode, notify schedulers and the
+  /// router, and name the tracer tracks. Returns the router's name when
+  /// tracing (used by the per-invocation route instants).
+  std::string start_episode(Router& router, bool traced);
+
+  /// On a faulted plan, build one injector per node on its own stream split
+  /// off fault_root_ (in node order) and attach them; empty otherwise.
+  [[nodiscard]] std::vector<std::unique_ptr<faults::FaultInjector>>
+  make_injectors();
+
+  /// Offer `inv` to node `target` and let the node's scheduler handle it
+  /// (with the route instant / outstanding counter when traced).
+  void dispatch(const sim::Invocation& inv, std::size_t target, bool traced,
+                const std::string& router_name);
+
+  /// Fire every fault event from `next_fault` on (clamped to each node's
+  /// clock), drain the nodes, aggregate, and detach the injectors — the
+  /// shared tail of run() and run_lockstep().
+  FleetSummary finish_run(
+      const sim::Trace& trace, Router& router, std::size_t next_fault,
+      std::size_t lost, std::size_t rerouted,
+      const std::vector<std::unique_ptr<faults::FaultInjector>>& injectors);
 
   const sim::FunctionTable& functions_;
   const containers::PackageCatalog& catalog_;
@@ -130,6 +199,12 @@ class FleetEnv {
   /// Split off the fleet seed in the constructor; run() copies it, so
   /// repeated runs inject identical faults.
   util::Rng fault_root_;
+  /// Crash/recover transitions of config_.faults, pre-sorted (see
+  /// FaultEvent) — hoisted out of run(), which used to rebuild and re-sort
+  /// the list on every run of the same fleet.
+  std::vector<FaultEvent> fault_events_;
+  /// Live only inside an event-driven run().
+  std::unique_ptr<FleetIndex> index_;
 };
 
 }  // namespace mlcr::fleet

@@ -47,6 +47,8 @@ FleetSummary aggregate_fleet(std::string router, std::string system,
 
   std::size_t max_invocations = 0;
   bool all_metrics = true;
+  std::vector<const sim::MetricsCollector*> parts;
+  parts.reserve(nodes.size());
   for (const NodeObservation& node : nodes) {
     const policies::EpisodeSummary& s = node.summary;
     fs.per_node.push_back(s);
@@ -63,10 +65,13 @@ FleetSummary aggregate_fleet(std::string router, std::string system,
     fs.total.retries += s.retries;
     max_invocations = std::max(max_invocations, s.invocations);
     if (node.metrics != nullptr)
-      fs.merged.merge(*node.metrics);
+      parts.push_back(node.metrics);
     else
       all_metrics = false;
   }
+  // One concatenate-and-sort over all nodes; the per-node merge() fold is
+  // O(nodes * records) and dominates large-fleet runs.
+  fs.merged.merge_many(parts);
   if (fs.total.invocations > 0) {
     fs.total.average_latency_s =
         fs.total.total_latency_s / static_cast<double>(fs.total.invocations);

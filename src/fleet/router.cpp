@@ -1,9 +1,11 @@
 #include "fleet/router.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "containers/matching.hpp"
 #include "fleet/fleet_env.hpp"
+#include "fleet/fleet_index.hpp"
 #include "util/check.hpp"
 
 namespace mlcr::fleet {
@@ -30,9 +32,31 @@ namespace {
 }
 
 [[nodiscard]] std::size_t least_outstanding_node(const FleetEnv& fleet) {
+  // Index fast path: the ordered load set's minimum is exactly what the
+  // linear scan below picks (min busy, lowest index on ties).
+  if (const FleetIndex* index = fleet.index())
+    return index->least_outstanding();
   std::size_t best = 0;
   for (std::size_t i = 1; i < fleet.node_count(); ++i)
     if (fleet.node(i).busy_count() < fleet.node(best).busy_count()) best = i;
+  return best;
+}
+
+/// Healthy node with the fewest in-flight executions (lowest index on
+/// ties); nullopt when the whole fleet is down. The failover contract of
+/// FailoverRouter and FleetEnv::run()'s reroute path.
+[[nodiscard]] std::optional<std::size_t> least_outstanding_healthy_node(
+    const FleetEnv& fleet) {
+  if (const FleetIndex* index = fleet.index())
+    return index->least_outstanding_healthy();
+  std::size_t best = fleet.node_count();
+  for (std::size_t i = 0; i < fleet.node_count(); ++i) {
+    if (!fleet.node_up(i)) continue;
+    if (best == fleet.node_count() ||
+        fleet.node(i).busy_count() < fleet.node(best).busy_count())
+      best = i;
+  }
+  if (best == fleet.node_count()) return std::nullopt;
   return best;
 }
 
@@ -115,6 +139,38 @@ std::size_t WarmAwareRouter::route(const FleetEnv& fleet,
   MLCR_CHECK_MSG(fleet.node_count() > 0, "route() over an empty fleet");
   const auto& fn_image = fleet.functions().get(inv.function).image;
 
+  // Index fast path: the warm index maps a level key to the nodes holding a
+  // match at >= that level, so the best level is the first non-empty lookup
+  // from L3 down. At that level every candidate's best match is exactly the
+  // level (a better one would have answered the higher lookup), so the
+  // (busy, free memory, index) tie-break below reproduces the scan's choice
+  // bit for bit.
+  const FleetIndex* index = fleet.index();
+  if (index != nullptr && index->tracks_warm()) {
+    for (const containers::MatchLevel level :
+         {containers::MatchLevel::kL3, containers::MatchLevel::kL2,
+          containers::MatchLevel::kL1}) {
+      const auto* candidates = index->nodes_matching(fn_image, level);
+      if (candidates == nullptr) continue;
+      std::size_t best = fleet.node_count();
+      for (const auto& [node, count] : *candidates) {
+        (void)count;
+        if (best == fleet.node_count()) {
+          best = node;
+          continue;
+        }
+        const sim::ClusterEnv& env = fleet.node(node);
+        const sim::ClusterEnv& best_env = fleet.node(best);
+        if (env.busy_count() < best_env.busy_count() ||
+            (env.busy_count() == best_env.busy_count() &&
+             env.pool().free_mb() > best_env.pool().free_mb()))
+          best = node;
+      }
+      return best;
+    }
+    return least_outstanding_node(fleet);
+  }
+
   std::size_t best_node = fleet.node_count();
   containers::MatchLevel best_level = containers::MatchLevel::kNoMatch;
   for (std::size_t i = 0; i < fleet.node_count(); ++i) {
@@ -162,16 +218,13 @@ std::size_t FailoverRouter::route(const FleetEnv& fleet,
   MLCR_CHECK_MSG(target < fleet.node_count(),
                  "inner router picked an invalid node");
   if (fleet.node_up(target)) return target;
-  std::size_t best = fleet.node_count();
-  for (std::size_t i = 0; i < fleet.node_count(); ++i) {
-    if (!fleet.node_up(i)) continue;
-    if (best == fleet.node_count() ||
-        fleet.node(i).busy_count() < fleet.node(best).busy_count())
-      best = i;
-  }
   // Every node down: return the inner choice; FleetEnv::run() counts the
   // invocation as lost.
-  return best != fleet.node_count() ? best : target;
+  return least_outstanding_healthy_node(fleet).value_or(target);
+}
+
+bool FailoverRouter::needs_warm_index() const {
+  return inner_->needs_warm_index();
 }
 
 std::string FailoverRouter::name() const {

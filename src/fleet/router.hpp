@@ -43,6 +43,14 @@ class Router {
   [[nodiscard]] virtual std::size_t route(const FleetEnv& fleet,
                                           const sim::Invocation& inv) = 0;
 
+  /// True when this policy consults warm-pool state, so the event-driven
+  /// fleet maintains the FleetIndex's warm side (an O(pool) recompute per
+  /// node touch that load-only policies should not pay). Routers read the
+  /// index via FleetEnv::index() when one is active and fall back to a
+  /// linear scan otherwise; both paths are bit-identical by construction
+  /// (asserted in tests/fleet).
+  [[nodiscard]] virtual bool needs_warm_index() const { return false; }
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
@@ -116,6 +124,7 @@ class WarmAwareRouter final : public Router {
  public:
   [[nodiscard]] std::size_t route(const FleetEnv& fleet,
                                   const sim::Invocation& inv) override;
+  [[nodiscard]] bool needs_warm_index() const override { return true; }
   [[nodiscard]] std::string name() const override { return "Warm-Aware"; }
 };
 
@@ -132,6 +141,7 @@ class FailoverRouter final : public Router {
   void on_episode_start(const FleetEnv& fleet) override;
   [[nodiscard]] std::size_t route(const FleetEnv& fleet,
                                   const sim::Invocation& inv) override;
+  [[nodiscard]] bool needs_warm_index() const override;
   [[nodiscard]] std::string name() const override;
 
  private:

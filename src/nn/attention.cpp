@@ -31,6 +31,31 @@ void add_col_block(Tensor& dst, std::size_t from, const Tensor& block) {
   }
 }
 
+/// Copy the (rows x cols) block of `src` starting at (row_from, col_from).
+[[nodiscard]] Tensor block(const Tensor& src, std::size_t row_from,
+                           std::size_t rows, std::size_t col_from,
+                           std::size_t cols) {
+  Tensor out(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* in = src.row(row_from + r) + col_from;
+    float* o = out.row(r);
+    for (std::size_t c = 0; c < cols; ++c) o[c] = in[c];
+  }
+  return out;
+}
+
+/// dst[row_from + r, col_from + c] += b(r, c).
+void add_block(Tensor& dst, std::size_t row_from, std::size_t col_from,
+               const Tensor& b) {
+  MLCR_CHECK(row_from + b.rows() <= dst.rows());
+  MLCR_CHECK(col_from + b.cols() <= dst.cols());
+  for (std::size_t r = 0; r < b.rows(); ++r) {
+    float* out = dst.row(row_from + r) + col_from;
+    const float* in = b.row(r);
+    for (std::size_t c = 0; c < b.cols(); ++c) out[c] += in[c];
+  }
+}
+
 }  // namespace
 
 MultiHeadAttention::MultiHeadAttention(std::size_t dim, std::size_t heads,
@@ -64,6 +89,40 @@ Tensor MultiHeadAttention::forward(const Tensor& input) {
     scores.scale_(scale);
     attn_[h] = softmax_rows(scores);
     add_col_block(concat, from, matmul(attn_[h], vh));
+  }
+  return out_proj_.forward(concat);
+}
+
+Tensor MultiHeadAttention::forward_batched(const Tensor& input,
+                                           std::size_t tokens_per_segment) {
+  MLCR_CHECK(input.cols() == dim_);
+  MLCR_CHECK_MSG(
+      tokens_per_segment > 0 && input.rows() % tokens_per_segment == 0,
+      "batched input of " << input.rows() << " rows is not a whole number of "
+                          << tokens_per_segment << "-token segments");
+  // The projections are row-wise, so one pass over the stack computes every
+  // segment's q/k/v exactly as forward() would.
+  const Tensor q = q_proj_.forward(input);
+  const Tensor k = k_proj_.forward(input);
+  const Tensor v = v_proj_.forward(input);
+
+  const float scale = 1.0F / std::sqrt(static_cast<float>(head_dim_));
+  const std::size_t segments = input.rows() / tokens_per_segment;
+  Tensor concat(input.rows(), dim_);
+  for (std::size_t s = 0; s < segments; ++s) {
+    const std::size_t row_from = s * tokens_per_segment;
+    for (std::size_t h = 0; h < heads_; ++h) {
+      const std::size_t from = h * head_dim_;
+      const Tensor qh = block(q, row_from, tokens_per_segment, from,
+                              head_dim_);
+      const Tensor kh = block(k, row_from, tokens_per_segment, from,
+                              head_dim_);
+      const Tensor vh = block(v, row_from, tokens_per_segment, from,
+                              head_dim_);
+      Tensor scores = matmul_nt(qh, kh);
+      scores.scale_(scale);
+      add_block(concat, row_from, from, matmul(softmax_rows(scores), vh));
+    }
   }
   return out_proj_.forward(concat);
 }
@@ -119,6 +178,15 @@ TransformerBlock::TransformerBlock(std::size_t dim, std::size_t heads,
 Tensor TransformerBlock::forward(const Tensor& input) {
   Tensor h = input;
   h.add_(mha_.forward(ln1_.forward(input)));
+  Tensor y = h;
+  y.add_(ffn2_.forward(relu_.forward(ffn1_.forward(ln2_.forward(h)))));
+  return y;
+}
+
+Tensor TransformerBlock::forward_batched(const Tensor& input,
+                                         std::size_t tokens_per_segment) {
+  Tensor h = input;
+  h.add_(mha_.forward_batched(ln1_.forward(input), tokens_per_segment));
   Tensor y = h;
   y.add_(ffn2_.forward(relu_.forward(ffn1_.forward(ln2_.forward(h)))));
   return y;

@@ -22,6 +22,17 @@ class MultiHeadAttention final : public Module {
     return "MultiHeadAttention";
   }
 
+  /// Inference-only batched forward over B stacked segments of
+  /// `tokens_per_segment` rows each: attention is confined to each segment
+  /// (token i of segment b attends only within segment b), so row block b
+  /// of the result is bit-identical to forward() on that segment alone —
+  /// the projections are row-wise and each segment's score matrix is
+  /// computed by the exact same operations (asserted in tests/nn). Does not
+  /// populate the backward caches or last_attention(); a backward() after
+  /// this is invalid until the next forward().
+  [[nodiscard]] Tensor forward_batched(const Tensor& input,
+                                       std::size_t tokens_per_segment);
+
   [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
   [[nodiscard]] std::size_t heads() const noexcept { return heads_; }
 
@@ -57,6 +68,12 @@ class TransformerBlock final : public Module {
   [[nodiscard]] std::string name() const override {
     return "TransformerBlock";
   }
+
+  /// Inference-only batched forward (see MultiHeadAttention::
+  /// forward_batched): LayerNorm and the FFN are row-wise, so only the
+  /// attention needs segment confinement.
+  [[nodiscard]] Tensor forward_batched(const Tensor& input,
+                                       std::size_t tokens_per_segment);
 
   [[nodiscard]] MultiHeadAttention& attention() noexcept { return mha_; }
 

@@ -1,0 +1,216 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mlcr::obs {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  /// Parse one complete JSON document; returns false (with error_) on any
+  /// syntax problem, including trailing garbage.
+  bool parse(JsonValue& out) {
+    if (!value(out)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after JSON");
+    return true;
+  }
+
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+ private:
+  bool fail(const std::string& what) {
+    if (error_.empty())
+      error_ = what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool value(JsonValue& out) {
+    if (++depth_ > kMaxDepth) return fail("JSON nested too deeply");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    bool ok = false;
+    switch (text_[pos_]) {
+      case '{':
+        ok = object(out);
+        break;
+      case '[':
+        ok = array(out);
+        break;
+      case '"':
+        out.type = JsonValue::Type::kString;
+        ok = string(out.string);
+        break;
+      case 't':
+      case 'f':
+        ok = boolean(out);
+        break;
+      case 'n':
+        ok = literal("null");
+        out.type = JsonValue::Type::kNull;
+        break;
+      default:
+        ok = number(out);
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return fail("bad literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool boolean(JsonValue& out) {
+    out.type = JsonValue::Type::kBool;
+    if (text_[pos_] == 't') {
+      out.boolean = true;
+      return literal("true");
+    }
+    out.boolean = false;
+    return literal("false");
+  }
+
+  bool number(JsonValue& out) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    out.number = std::strtod(start, &end);
+    if (end == start) return fail("bad number");
+    out.type = JsonValue::Type::kNumber;
+    pos_ += static_cast<std::size_t>(end - start);
+    return true;
+  }
+
+  bool string(std::string& out) {
+    if (!consume('"')) return fail("expected string");
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            // Validated but not decoded — strings in this repo are ASCII.
+            for (int i = 0; i < 4; ++i, ++pos_)
+              if (pos_ >= text_.size() ||
+                  std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0)
+                return fail("bad \\u escape");
+            out += '?';
+            break;
+          default:
+            return fail("bad escape character");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool object(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    if (!consume('{')) return fail("expected object");
+    if (consume('}')) return true;
+    while (true) {
+      std::string key;
+      skip_ws();
+      if (!string(key)) return false;
+      if (!consume(':')) return fail("expected ':' in object");
+      JsonValue v;
+      if (!value(v)) return false;
+      out.object.emplace_back(std::move(key), std::move(v));
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool array(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    if (!consume('[')) return fail("expected array");
+    if (consume(']')) return true;
+    while (true) {
+      JsonValue v;
+      if (!value(v)) return false;
+      out.array.push_back(std::move(v));
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  static constexpr int kMaxDepth = 64;
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+bool parse_json(const std::string& text, JsonValue& out, std::string& error) {
+  Parser parser(text);
+  if (parser.parse(out)) return true;
+  error = parser.error();
+  return false;
+}
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace mlcr::obs

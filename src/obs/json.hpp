@@ -1,0 +1,42 @@
+// Minimal self-contained JSON value + recursive-descent parser (no
+// third-party dependency). Grown out of the trace schema checker so the
+// bench JSON schema checker and tools/benchdiff can share one parser; the
+// subset is full JSON except that \u escapes are validated but not decoded
+// (everything this repo emits is ASCII).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mlcr::obs {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  /// First value of `key` in an object, or nullptr. Insertion order is
+  /// preserved, so duplicate keys resolve to the first occurrence.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+/// Parse one complete JSON document (trailing garbage is an error). Returns
+/// false and sets `error` (message + offset) on any syntax problem; never
+/// throws on bad input.
+[[nodiscard]] bool parse_json(const std::string& text, JsonValue& out,
+                              std::string& error);
+
+/// Serialize `s` as a quoted JSON string (escapes quotes, backslashes and
+/// control characters).
+[[nodiscard]] std::string json_quote(const std::string& s);
+
+}  // namespace mlcr::obs

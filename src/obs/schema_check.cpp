@@ -1,5 +1,7 @@
 #include "obs/schema_check.hpp"
 
+#include "obs/json.hpp"
+
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
@@ -9,194 +11,6 @@
 namespace mlcr::obs {
 
 namespace {
-
-// --- Minimal JSON value + recursive-descent parser --------------------------
-
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<std::pair<std::string, JsonValue>> object;
-  std::vector<JsonValue> array;
-
-  [[nodiscard]] const JsonValue* find(const std::string& key) const {
-    for (const auto& [k, v] : object)
-      if (k == key) return &v;
-    return nullptr;
-  }
-};
-
-class Parser {
- public:
-  explicit Parser(const std::string& text) : text_(text) {}
-
-  /// Parse one complete JSON document; returns false (with error_) on any
-  /// syntax problem, including trailing garbage.
-  bool parse(JsonValue& out) {
-    if (!value(out)) return false;
-    skip_ws();
-    if (pos_ != text_.size()) return fail("trailing characters after JSON");
-    return true;
-  }
-
-  [[nodiscard]] const std::string& error() const noexcept { return error_; }
-
- private:
-  bool fail(const std::string& what) {
-    if (error_.empty())
-      error_ = what + " at offset " + std::to_string(pos_);
-    return false;
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
-      ++pos_;
-  }
-
-  [[nodiscard]] bool consume(char c) {
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool value(JsonValue& out) {
-    if (++depth_ > kMaxDepth) return fail("JSON nested too deeply");
-    skip_ws();
-    if (pos_ >= text_.size()) return fail("unexpected end of input");
-    bool ok = false;
-    switch (text_[pos_]) {
-      case '{':
-        ok = object(out);
-        break;
-      case '[':
-        ok = array(out);
-        break;
-      case '"':
-        out.type = JsonValue::Type::kString;
-        ok = string(out.string);
-        break;
-      case 't':
-      case 'f':
-        ok = boolean(out);
-        break;
-      case 'n':
-        ok = literal("null");
-        out.type = JsonValue::Type::kNull;
-        break;
-      default:
-        ok = number(out);
-    }
-    --depth_;
-    return ok;
-  }
-
-  bool literal(const char* word) {
-    const std::size_t len = std::string(word).size();
-    if (text_.compare(pos_, len, word) != 0) return fail("bad literal");
-    pos_ += len;
-    return true;
-  }
-
-  bool boolean(JsonValue& out) {
-    out.type = JsonValue::Type::kBool;
-    if (text_[pos_] == 't') {
-      out.boolean = true;
-      return literal("true");
-    }
-    out.boolean = false;
-    return literal("false");
-  }
-
-  bool number(JsonValue& out) {
-    const char* start = text_.c_str() + pos_;
-    char* end = nullptr;
-    out.number = std::strtod(start, &end);
-    if (end == start) return fail("bad number");
-    out.type = JsonValue::Type::kNumber;
-    pos_ += static_cast<std::size_t>(end - start);
-    return true;
-  }
-
-  bool string(std::string& out) {
-    if (!consume('"')) return fail("expected string");
-    out.clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) break;
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          case 'u':
-            // Validated but not decoded — event names in this repo are ASCII.
-            for (int i = 0; i < 4; ++i, ++pos_)
-              if (pos_ >= text_.size() ||
-                  std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0)
-                return fail("bad \\u escape");
-            out += '?';
-            break;
-          default:
-            return fail("bad escape character");
-        }
-      } else {
-        out += c;
-      }
-    }
-    return fail("unterminated string");
-  }
-
-  bool object(JsonValue& out) {
-    out.type = JsonValue::Type::kObject;
-    if (!consume('{')) return fail("expected object");
-    if (consume('}')) return true;
-    while (true) {
-      std::string key;
-      skip_ws();
-      if (!string(key)) return false;
-      if (!consume(':')) return fail("expected ':' in object");
-      JsonValue v;
-      if (!value(v)) return false;
-      out.object.emplace_back(std::move(key), std::move(v));
-      if (consume(',')) continue;
-      if (consume('}')) return true;
-      return fail("expected ',' or '}' in object");
-    }
-  }
-
-  bool array(JsonValue& out) {
-    out.type = JsonValue::Type::kArray;
-    if (!consume('[')) return fail("expected array");
-    if (consume(']')) return true;
-    while (true) {
-      JsonValue v;
-      if (!value(v)) return false;
-      out.array.push_back(std::move(v));
-      if (consume(',')) continue;
-      if (consume(']')) return true;
-      return fail("expected ',' or ']' in array");
-    }
-  }
-
-  static constexpr int kMaxDepth = 64;
-  const std::string& text_;
-  std::size_t pos_ = 0;
-  int depth_ = 0;
-  std::string error_;
-};
 
 // --- Event validation -------------------------------------------------------
 
@@ -294,9 +108,9 @@ void check_event(const JsonValue& e, std::size_t index,
 TraceCheckReport check_trace_json(const std::string& json_text) {
   TraceCheckReport report;
   JsonValue root;
-  Parser parser(json_text);
-  if (!parser.parse(root)) {
-    report.errors.push_back("JSON parse error: " + parser.error());
+  std::string parse_error;
+  if (!parse_json(json_text, root, parse_error)) {
+    report.errors.push_back("JSON parse error: " + parse_error);
     return report;
   }
 
@@ -319,6 +133,54 @@ TraceCheckReport check_trace_json(const std::string& json_text) {
   for (std::size_t i = 0; i < events->array.size(); ++i)
     check_event(events->array[i], i, report);
   return report;
+}
+
+std::vector<std::string> check_bench_json(const std::string& json_text) {
+  std::vector<std::string> errors;
+  JsonValue root;
+  std::string parse_error;
+  if (!parse_json(json_text, root, parse_error)) {
+    errors.push_back("JSON parse error: " + parse_error);
+    return errors;
+  }
+  if (root.type != JsonValue::Type::kObject) {
+    errors.push_back("root must be an object");
+    return errors;
+  }
+
+  const JsonValue* bench = root.find("bench");
+  if (bench == nullptr || bench->type != JsonValue::Type::kString ||
+      bench->string.empty())
+    errors.push_back("\"bench\" must be a non-empty string");
+
+  const JsonValue* config = root.find("config");
+  if (config == nullptr || config->type != JsonValue::Type::kObject) {
+    errors.push_back("\"config\" must be an object");
+  } else {
+    for (const auto& [key, v] : config->object)
+      if (v.type != JsonValue::Type::kString &&
+          v.type != JsonValue::Type::kBool &&
+          !(v.type == JsonValue::Type::kNumber && std::isfinite(v.number)))
+        errors.push_back("config." + key +
+                         " must be a string, bool, or finite number");
+  }
+
+  for (const char* key : {"wall_ms", "events_per_sec"}) {
+    const JsonValue* v = root.find(key);
+    if (!is_finite_number(v) || v->number < 0.0)
+      errors.push_back("\"" + std::string(key) +
+                       "\" must be a finite number >= 0");
+  }
+
+  const JsonValue* metrics = root.find("metrics");
+  if (metrics == nullptr || metrics->type != JsonValue::Type::kObject) {
+    errors.push_back("\"metrics\" must be an object");
+  } else {
+    for (const auto& [key, v] : metrics->object)
+      if (!is_finite_number(&v))
+        errors.push_back("metrics." + key + " must be a finite number");
+  }
+  return errors;
 }
 
 }  // namespace mlcr::obs

@@ -45,4 +45,16 @@ struct TraceCheckReport {
 /// input — parse failures are reported in `errors`.
 [[nodiscard]] TraceCheckReport check_trace_json(const std::string& json_text);
 
+/// Validate `json_text` against the bench result schema every bench's
+/// --json flag emits (and tools/benchdiff consumes):
+///   root := {"bench":   non-empty string,
+///            "config":  object of scalar values (string/number/bool),
+///            "wall_ms": finite number >= 0,
+///            "events_per_sec": finite number >= 0,
+///            "metrics": object of finite numbers}
+/// Unknown extra keys are allowed (the schema is append-only). Returns the
+/// problems found; empty means valid. Never throws on bad input.
+[[nodiscard]] std::vector<std::string> check_bench_json(
+    const std::string& json_text);
+
 }  // namespace mlcr::obs

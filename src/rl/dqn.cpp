@@ -45,34 +45,74 @@ nn::Tensor DqnAgent::q_values(const nn::Tensor& state) {
   return online_.forward(state);
 }
 
+std::vector<nn::Tensor> DqnAgent::q_values_batch(
+    const std::vector<const nn::Tensor*>& states) {
+  return online_.forward_batch(states);
+}
+
+std::vector<std::size_t> DqnAgent::greedy_actions(
+    const std::vector<const nn::Tensor*>& states,
+    const std::vector<const ActionMask*>& masks) {
+  MLCR_CHECK(states.size() == masks.size());
+  const std::vector<nn::Tensor> qs = online_.forward_batch(states);
+  std::vector<std::size_t> actions;
+  actions.reserve(states.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const auto best = masked_argmax(qs[i], *masks[i]);
+    MLCR_CHECK_MSG(best.has_value(), "no allowed action in mask");
+    actions.push_back(*best);
+  }
+  return actions;
+}
+
 std::optional<float> DqnAgent::train_step(util::Rng& rng) {
   if (replay_.size() < config_.min_replay) return std::nullopt;
 
   const auto batch = replay_.sample(config_.batch_size, rng);
   online_.zero_grad();
 
+  // Bootstrap targets, batched: one forward pass per network over all
+  // non-terminal next states instead of one per transition. Pure inference
+  // with frozen weights and row-wise/segment-confined batching, so every
+  // target is bit-identical to the per-transition forwards it replaces
+  // (asserted in tests/rl). An empty next mask (or terminal flag) means no
+  // bootstrapping.
+  std::vector<float> targets(batch.size());
+  std::vector<std::size_t> boot_index;
+  std::vector<const nn::Tensor*> next_states;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    targets[i] = batch[i]->reward;
+    if (!batch[i]->terminal) {
+      boot_index.push_back(i);
+      next_states.push_back(&batch[i]->next_state);
+    }
+  }
+  if (!next_states.empty()) {
+    const std::vector<nn::Tensor> q_target_next =
+        target_.forward_batch(next_states);
+    if (config_.double_dqn) {
+      const std::vector<nn::Tensor> q_online_next =
+          online_.forward_batch(next_states);
+      for (std::size_t j = 0; j < boot_index.size(); ++j) {
+        const Transition* t = batch[boot_index[j]];
+        if (const auto a_star = masked_argmax(q_online_next[j], t->next_mask))
+          targets[boot_index[j]] +=
+              config_.gamma * q_target_next[j](*a_star, 0);
+      }
+    } else {
+      for (std::size_t j = 0; j < boot_index.size(); ++j) {
+        const Transition* t = batch[boot_index[j]];
+        if (const auto m = masked_max(q_target_next[j], t->next_mask))
+          targets[boot_index[j]] += config_.gamma * *m;
+      }
+    }
+  }
+
   float total_loss = 0.0F;
   const float inv_batch = 1.0F / static_cast<float>(batch.size());
-  for (const Transition* t : batch) {
-    // Bootstrap target. An empty next mask (or terminal flag) means no
-    // bootstrapping.
-    float target_value = t->reward;
-    if (!t->terminal) {
-      std::optional<float> bootstrap;
-      if (config_.double_dqn) {
-        const nn::Tensor q_online_next = online_.forward(t->next_state);
-        const auto a_star = masked_argmax(q_online_next, t->next_mask);
-        if (a_star) {
-          const nn::Tensor q_target_next = target_.forward(t->next_state);
-          bootstrap = q_target_next(*a_star, 0);
-        }
-      } else {
-        const nn::Tensor q_target_next = target_.forward(t->next_state);
-        bootstrap = masked_max(q_target_next, t->next_mask);
-      }
-      if (bootstrap) target_value += config_.gamma * *bootstrap;
-    }
-
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Transition* t = batch[i];
+    const float target_value = targets[i];
     const nn::Tensor q = online_.forward(t->state);
     MLCR_CHECK(t->action < q.rows());
     const float td = q(t->action, 0) - target_value;

@@ -49,6 +49,17 @@ class DqnAgent {
   /// Raw Q-values for a state (online network).
   [[nodiscard]] nn::Tensor q_values(const nn::Tensor& state);
 
+  /// Batched q_values: one forward pass over all states (QNetwork::
+  /// forward_batch), bit-identical per state to q_values().
+  [[nodiscard]] std::vector<nn::Tensor> q_values_batch(
+      const std::vector<const nn::Tensor*>& states);
+
+  /// Batched greedy_action over parallel state/mask arrays: one forward
+  /// pass, bit-identical per entry to greedy_action().
+  [[nodiscard]] std::vector<std::size_t> greedy_actions(
+      const std::vector<const nn::Tensor*>& states,
+      const std::vector<const ActionMask*>& masks);
+
   void observe(Transition transition) { replay_.push(std::move(transition)); }
 
   /// One gradient step on a sampled batch; returns the mean Huber loss, or

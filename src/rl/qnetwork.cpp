@@ -50,6 +50,47 @@ nn::Tensor QNetwork::forward(const nn::Tensor& tokens) {
   return q;
 }
 
+std::vector<nn::Tensor> QNetwork::forward_batch(
+    const std::vector<const nn::Tensor*>& states) {
+  std::vector<nn::Tensor> out;
+  if (states.empty()) return out;
+  const std::size_t tokens = num_tokens();
+  nn::Tensor stacked(states.size() * tokens, config_.feature_dim);
+  for (std::size_t b = 0; b < states.size(); ++b) {
+    const nn::Tensor& state = *states[b];
+    MLCR_CHECK_MSG(state.rows() == tokens &&
+                       state.cols() == config_.feature_dim,
+                   "expected tokens " << tokens << "x" << config_.feature_dim
+                                      << ", got " << state.rows() << "x"
+                                      << state.cols());
+    for (std::size_t r = 0; r < tokens; ++r) {
+      const float* in = state.row(r);
+      float* o = stacked.row(b * tokens + r);
+      for (std::size_t c = 0; c < config_.feature_dim; ++c) o[c] = in[c];
+    }
+  }
+
+  nn::Tensor h = input_proj_.forward(stacked);
+  if (config_.use_attention) {
+    for (const auto& b : blocks_) h = b->forward_batched(h, tokens);
+  } else {
+    for (const auto& layer : mlp_) h = layer->forward(h);
+  }
+  h = final_norm_.forward(h);
+  const nn::Tensor values = value_head_.forward(h);  // (B*T x 1)
+
+  out.reserve(states.size());
+  for (std::size_t b = 0; b < states.size(); ++b) {
+    nn::Tensor q(num_actions(), 1);
+    const std::size_t base = b * tokens;
+    for (std::size_t slot = 0; slot < config_.num_slots; ++slot)
+      q(slot, 0) = values(base + kFirstSlotTokenRow + slot, 0);
+    q(config_.num_slots, 0) = values(base + kFunctionTokenRow, 0);
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
 nn::Tensor QNetwork::backward(const nn::Tensor& grad_q) {
   MLCR_CHECK(grad_q.rows() == num_actions() && grad_q.cols() == 1);
   nn::Tensor grad_values(cached_tokens_, 1);

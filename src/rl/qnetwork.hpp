@@ -36,6 +36,16 @@ class QNetwork final : public nn::Module {
 
   /// tokens: ((2 + num_slots) x feature_dim) -> Q: ((num_slots + 1) x 1).
   [[nodiscard]] nn::Tensor forward(const nn::Tensor& tokens) override;
+
+  /// Inference-only batched forward: one pass over all `states` (each a
+  /// token matrix as forward() takes) with every row-wise layer applied to
+  /// the stacked (B * num_tokens) matrix and attention confined per state.
+  /// states[i]'s Q vector is bit-identical to forward(*states[i]) —
+  /// asserted in tests/rl. Clobbers the forward caches, so backward() is
+  /// invalid until the next forward().
+  [[nodiscard]] std::vector<nn::Tensor> forward_batch(
+      const std::vector<const nn::Tensor*>& states);
+
   [[nodiscard]] nn::Tensor backward(const nn::Tensor& grad_q) override;
   void collect_parameters(std::vector<nn::Parameter*>& out) override;
   [[nodiscard]] std::string name() const override { return "QNetwork"; }

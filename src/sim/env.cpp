@@ -1,5 +1,7 @@
 #include "sim/env.hpp"
 
+#include <cmath>
+#include <limits>
 #include <set>
 
 #include "containers/matching.hpp"
@@ -80,14 +82,42 @@ void ClusterEnv::offer(Invocation inv) {
                                << "s, before the node clock " << now_
                                << "s — traces must be in arrival order");
   stream_.push_back(inv);
-  advance_to(inv.arrival_s);
+  drain_to(inv.arrival_s);
   MLCR_AUDIT_POINT(audit());
 }
 
 void ClusterEnv::advance_idle(double time) {
   MLCR_CHECK_MSG(done(), "advance_idle() with a pending invocation");
-  if (time > now_) advance_to(time);
+  if (time > now_) drain_to(time);
   MLCR_AUDIT_POINT(audit());
+}
+
+void ClusterEnv::advance_to(double time) {
+  MLCR_CHECK_MSG(done(), "advance_to() with a pending invocation");
+  if (time > now_) drain_to(time);
+  MLCR_AUDIT_POINT(audit());
+}
+
+std::optional<double> ClusterEnv::next_event_time() const {
+  if (down_ || pool_ == nullptr) return std::nullopt;
+  std::optional<double> next;
+  if (!busy_.empty()) next = busy_.top().time;
+  if (config_.keep_alive_ttl_s) {
+    if (const auto oldest = pool_->oldest_idle_at()) {
+      // Smallest double t with t - oldest > ttl under floating-point
+      // rounding: expire_older_than compares strictly, so a deadline of
+      // exactly oldest + ttl would wake the fleet without expiring anything
+      // (and a deadline one ulp short would skip the expiry entirely). The
+      // nextafter loop terminates in a handful of steps.
+      const double ttl = *config_.keep_alive_ttl_s;
+      double deadline = *oldest + ttl;
+      while (deadline - *oldest <= ttl)
+        deadline =
+            std::nextafter(deadline, std::numeric_limits<double>::infinity());
+      if (!next || deadline < *next) next = deadline;
+    }
+  }
+  return next;
 }
 
 void ClusterEnv::finish_streaming() {
@@ -102,7 +132,7 @@ void ClusterEnv::crash(double time) {
   MLCR_CHECK_MSG(!down_, "crash() on an already-crashed node");
   MLCR_CHECK_MSG(done(), "crash() with a pending invocation");
   MLCR_CHECK_MSG(time >= now_, "crash() in the simulated past");
-  advance_to(time);
+  drain_to(time);
   // In-flight executions die with the node: their containers are gone and
   // their invocations retroactively fail (the time spent stays in the
   // latency totals — it was spent).
@@ -136,7 +166,7 @@ void ClusterEnv::crash(double time) {
 void ClusterEnv::recover(double time) {
   MLCR_CHECK_MSG(down_, "recover() on a healthy node");
   MLCR_CHECK_MSG(time >= now_, "recover() in the simulated past");
-  advance_to(time);
+  drain_to(time);
   down_ = false;
   if (injector_ != nullptr) injector_->count_recovery();
   if (tracer_ != nullptr && tracer_->enabled())
@@ -171,7 +201,7 @@ MatchLevel ClusterEnv::match_for(containers::ContainerId id,
   return containers::match(functions_.get(function).image, c->image);
 }
 
-void ClusterEnv::advance_to(double time) {
+void ClusterEnv::drain_to(double time) {
   while (!busy_.empty() && busy_.top().time <= time) {
     Completion done_c = busy_.top();
     busy_.pop();
@@ -191,14 +221,14 @@ void ClusterEnv::advance_to(double time) {
 void ClusterEnv::finish_episode() {
   if (episode_finished_) return;
   // Drain outstanding executions so pool peak/eviction stats are complete.
-  while (!busy_.empty()) advance_to(busy_.top().time);
+  while (!busy_.empty()) drain_to(busy_.top().time);
   episode_finished_ = true;
 }
 
 StepResult ClusterEnv::step(const Action& action) {
   MLCR_CHECK_MSG(!down_, "step() on a crashed node");
   const Invocation inv = current();
-  advance_to(inv.arrival_s);
+  drain_to(inv.arrival_s);
   const FunctionType& fn = functions_.get(inv.function);
   const bool traced = tracer_ != nullptr && tracer_->enabled();
 
@@ -387,7 +417,7 @@ StepResult ClusterEnv::step(const Action& action) {
     // finish_streaming() drains it explicitly.
     if (!streaming_) finish_episode();
   } else {
-    advance_to(at(next_index_).arrival_s);
+    drain_to(at(next_index_).arrival_s);
   }
 
   MLCR_AUDIT_POINT(audit());

@@ -122,6 +122,22 @@ class ClusterEnv {
   /// clocks in lockstep with the global clock. Requires done().
   void advance_idle(double time);
 
+  /// Streaming event API (DESIGN.md §10): advance to `time`, processing
+  /// every completion and TTL expiry due on the way. Composable —
+  /// advance_to(a); advance_to(b) with a <= b is state-identical to
+  /// advance_to(b) — which is what lets the event-driven fleet advance a
+  /// node only as far as its next event instead of to every global arrival.
+  /// Requires done(); times <= now() are no-ops.
+  void advance_to(double time);
+
+  /// Earliest future time at which this node's observable state changes on
+  /// its own (the next completion or the earliest possible TTL expiry), or
+  /// nullopt when neither is pending. The TTL deadline is the smallest
+  /// double t with t - oldest_idle > ttl under floating-point arithmetic,
+  /// so advancing to it performs a real expiry (never a spurious wake-up)
+  /// and never fires one early. A crashed node has no events.
+  [[nodiscard]] std::optional<double> next_event_time() const;
+
   /// End a streaming episode: drain outstanding executions so pool
   /// peak/eviction statistics are complete (the traced protocol does this
   /// automatically after the last invocation).
@@ -153,6 +169,9 @@ class ClusterEnv {
     return cost_model_;
   }
   [[nodiscard]] const EnvConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const EvictionPolicyFactory& eviction_factory() const noexcept {
+    return eviction_factory_;
+  }
   [[nodiscard]] const Trace* trace() const noexcept { return trace_; }
 
   /// Table-I match between the current pool container and a function type.
@@ -216,7 +235,7 @@ class ClusterEnv {
   };
 
   /// Process completions up to `time` (inclusive) and TTL expiry.
-  void advance_to(double time);
+  void drain_to(double time);
   void finish_episode();
   void reset_common();
   [[nodiscard]] const Invocation& at(std::size_t i) const;

@@ -20,7 +20,23 @@ void MetricsCollector::record(InvocationRecord rec) {
   records_.push_back(std::move(rec));
 }
 
+namespace {
+
+bool seq_less(const InvocationRecord& a, const InvocationRecord& b) {
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
 void MetricsCollector::merge(const MetricsCollector& other) {
+  // Both halves are in seq order in every current use (record() appends in
+  // arrival order, merge()/merge_many() restore seq order), so a linear
+  // stable inplace_merge gives the same result as re-sorting the whole
+  // vector — stability puts this collector's records before the other's on
+  // equal seq, exactly as the stable sort over the concatenation did.
+  const auto mid =
+      static_cast<std::vector<InvocationRecord>::difference_type>(
+          records_.size());
   records_.insert(records_.end(), other.records_.begin(),
                   other.records_.end());
   total_latency_s_ += other.total_latency_s_;
@@ -29,10 +45,32 @@ void MetricsCollector::merge(const MetricsCollector& other) {
     by_level_[i] += other.by_level_[i];
   failed_ += other.failed_;
   retries_ += other.retries_;
-  std::stable_sort(records_.begin(), records_.end(),
-                   [](const InvocationRecord& a, const InvocationRecord& b) {
-                     return a.seq < b.seq;
-                   });
+  if (std::is_sorted(records_.begin(), records_.begin() + mid, seq_less) &&
+      std::is_sorted(records_.begin() + mid, records_.end(), seq_less))
+    std::inplace_merge(records_.begin(), records_.begin() + mid,
+                       records_.end(), seq_less);
+  else
+    std::stable_sort(records_.begin(), records_.end(), seq_less);
+}
+
+void MetricsCollector::merge_many(
+    const std::vector<const MetricsCollector*>& parts) {
+  std::size_t extra = 0;
+  for (const MetricsCollector* part : parts)
+    if (part != nullptr) extra += part->records_.size();
+  records_.reserve(records_.size() + extra);
+  for (const MetricsCollector* part : parts) {
+    if (part == nullptr) continue;
+    records_.insert(records_.end(), part->records_.begin(),
+                    part->records_.end());
+    total_latency_s_ += part->total_latency_s_;
+    cold_starts_ += part->cold_starts_;
+    for (std::size_t i = 0; i < by_level_.size(); ++i)
+      by_level_[i] += part->by_level_[i];
+    failed_ += part->failed_;
+    retries_ += part->retries_;
+  }
+  std::stable_sort(records_.begin(), records_.end(), seq_less);
 }
 
 void MetricsCollector::clear() {

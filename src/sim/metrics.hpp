@@ -42,6 +42,14 @@ class MetricsCollector {
   /// series stay in global arrival order.
   void merge(const MetricsCollector& other);
 
+  /// Fold many collectors at once: one concatenation + one stable sort,
+  /// O(total log total), instead of the O(parts * total) growth of folding
+  /// them one merge() at a time. Produces exactly the record order the
+  /// sequential fold would (stable sort on seq, parts in argument order).
+  /// Null entries are skipped. This is what fleet aggregation uses — a
+  /// 1000-node fleet fold must not swamp the event core it is summarizing.
+  void merge_many(const std::vector<const MetricsCollector*>& parts);
+
   [[nodiscard]] const std::vector<InvocationRecord>& records() const noexcept {
     return records_;
   }

@@ -128,5 +128,49 @@ TEST(SchemaCheck, RejectsNonFiniteNumbers) {
           .ok());
 }
 
+TEST(BenchSchema, AcceptsMinimalAndFullDocuments) {
+  EXPECT_TRUE(check_bench_json(
+                  R"({"bench":"x","config":{},"wall_ms":1,)"
+                  R"("events_per_sec":2,"metrics":{}})")
+                  .empty());
+  EXPECT_TRUE(check_bench_json(
+                  R"({"bench":"fleet_throughput",)"
+                  R"("config":{"nodes":10,"router":"RR","traced":false},)"
+                  R"("wall_ms":12.5,"events_per_sec":800.0,)"
+                  R"("metrics":{"speedup":3.5},"extra":"ignored"})")
+                  .empty());
+}
+
+TEST(BenchSchema, RejectsMissingOrMistypedFields) {
+  // No bench name.
+  EXPECT_FALSE(check_bench_json(
+                   R"({"config":{},"wall_ms":1,"events_per_sec":2,)"
+                   R"("metrics":{}})")
+                   .empty());
+  // Empty bench name.
+  EXPECT_FALSE(check_bench_json(
+                   R"({"bench":"","config":{},"wall_ms":1,)"
+                   R"("events_per_sec":2,"metrics":{}})")
+                   .empty());
+  // config values must be scalars.
+  EXPECT_FALSE(check_bench_json(
+                   R"({"bench":"x","config":{"nested":{}},"wall_ms":1,)"
+                   R"("events_per_sec":2,"metrics":{}})")
+                   .empty());
+  // wall_ms must be a non-negative number.
+  EXPECT_FALSE(check_bench_json(
+                   R"({"bench":"x","config":{},"wall_ms":-1,)"
+                   R"("events_per_sec":2,"metrics":{}})")
+                   .empty());
+  // metrics values must be numbers.
+  EXPECT_FALSE(check_bench_json(
+                   R"({"bench":"x","config":{},"wall_ms":1,)"
+                   R"("events_per_sec":2,"metrics":{"m":"no"}})")
+                   .empty());
+  // Malformed JSON never throws.
+  EXPECT_FALSE(check_bench_json("{").empty());
+  EXPECT_FALSE(check_bench_json("[]").empty());
+}
+
 }  // namespace
 }  // namespace mlcr::obs

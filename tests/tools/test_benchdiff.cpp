@@ -1,0 +1,117 @@
+// Fixture tests for benchdiff: the checked-in baseline/candidate pairs
+// under tools/benchdiff/fixtures/ pin the comparator's verdicts — an
+// improved candidate passes, a slowed-down candidate trips the regression
+// gate (and only the gated metrics trip it), schema violations are
+// reported per input, and the threshold is honored.
+#include "tools/benchdiff/diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef BENCHDIFF_FIXTURE_DIR
+#error "BENCHDIFF_FIXTURE_DIR must point at tools/benchdiff/fixtures"
+#endif
+
+namespace mlcr::benchdiff {
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(BENCHDIFF_FIXTURE_DIR) + "/" + name;
+  std::ifstream is(path);
+  EXPECT_TRUE(is.is_open()) << "cannot open fixture " << path;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+const MetricDelta* find_delta(const DiffReport& report,
+                              const std::string& name) {
+  for (const MetricDelta& d : report.deltas)
+    if (d.name == name) return &d;
+  return nullptr;
+}
+
+TEST(BenchDiff, ImprovedCandidatePasses) {
+  const auto report = diff_bench_json(read_fixture("baseline.json"),
+                                      read_fixture("candidate_ok.json"), {});
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.errors.empty());
+  EXPECT_FALSE(report.regression);
+  EXPECT_EQ(report.bench, "fleet_throughput");
+
+  const MetricDelta* eps = find_delta(report, "events_per_sec");
+  ASSERT_NE(eps, nullptr);
+  EXPECT_GT(eps->change, 0.0);
+  EXPECT_FALSE(eps->regressed);
+  const MetricDelta* wall = find_delta(report, "wall_ms");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_GT(wall->change, 0.0);  // lower wall_ms is an improvement
+}
+
+TEST(BenchDiff, RegressedCandidateTripsGate) {
+  const auto report =
+      diff_bench_json(read_fixture("baseline.json"),
+                      read_fixture("candidate_regressed.json"), {});
+  EXPECT_TRUE(report.ok());  // the comparison itself ran fine
+  EXPECT_TRUE(report.regression);
+
+  const MetricDelta* eps = find_delta(report, "events_per_sec");
+  ASSERT_NE(eps, nullptr);
+  EXPECT_LT(eps->change, 0.0);
+  EXPECT_TRUE(eps->regressed);
+  // Informational metrics never trip the gate, even when they collapse.
+  const MetricDelta* speedup =
+      find_delta(report, "metrics.speedup_vs_lockstep");
+  ASSERT_NE(speedup, nullptr);
+  EXPECT_LT(speedup->change, 0.0);
+  EXPECT_FALSE(speedup->regressed);
+}
+
+TEST(BenchDiff, ThresholdIsHonored) {
+  DiffOptions loose;
+  // The regressed fixture is ~54% down on throughput and ~116% up on wall
+  // time; a gate looser than both must pass it.
+  loose.threshold = 1.5;
+  const auto report =
+      diff_bench_json(read_fixture("baseline.json"),
+                      read_fixture("candidate_regressed.json"), loose);
+  EXPECT_TRUE(report.ok());
+  EXPECT_FALSE(report.regression);
+}
+
+TEST(BenchDiff, SchemaViolationsAreReportedPerInput) {
+  const auto report = diff_bench_json("{\"bench\": \"x\"}",
+                                      read_fixture("baseline.json"), {});
+  EXPECT_FALSE(report.ok());
+  ASSERT_FALSE(report.errors.empty());
+  EXPECT_EQ(report.errors.front().rfind("baseline: ", 0), 0U)
+      << report.errors.front();
+}
+
+TEST(BenchDiff, BenchNameMismatchIsAnError) {
+  std::string other = read_fixture("baseline.json");
+  const auto pos = other.find("fleet_throughput");
+  ASSERT_NE(pos, std::string::npos);
+  other.replace(pos, std::string("fleet_throughput").size(), "other_bench");
+  const auto report =
+      diff_bench_json(read_fixture("baseline.json"), other, {});
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.errors.empty());
+}
+
+TEST(BenchDiff, IdenticalInputsAreAWash) {
+  const std::string base = read_fixture("baseline.json");
+  const auto report = diff_bench_json(base, base, {});
+  EXPECT_TRUE(report.ok());
+  for (const MetricDelta& d : report.deltas) {
+    EXPECT_EQ(d.change, 0.0) << d.name;
+    EXPECT_FALSE(d.regressed) << d.name;
+  }
+  EXPECT_NE(format_report(report).find("RESULT: ok"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlcr::benchdiff

@@ -1,0 +1,111 @@
+#include "benchdiff/diff.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/json.hpp"
+#include "obs/schema_check.hpp"
+
+namespace mlcr::benchdiff {
+
+namespace {
+
+/// Relative change of `candidate` vs `baseline`, signed so positive is
+/// better. `higher_is_better` flips the sign for wall-time-like quantities.
+[[nodiscard]] double relative_change(double baseline, double candidate,
+                                     bool higher_is_better) {
+  if (baseline == 0.0) return 0.0;
+  const double change = (candidate - baseline) / std::abs(baseline);
+  return higher_is_better ? change : -change;
+}
+
+[[nodiscard]] MetricDelta make_delta(const std::string& name, double baseline,
+                                     double candidate, bool higher_is_better,
+                                     double threshold, bool gates) {
+  MetricDelta d;
+  d.name = name;
+  d.baseline = baseline;
+  d.candidate = candidate;
+  d.change = relative_change(baseline, candidate, higher_is_better);
+  d.regressed = gates && d.change < -threshold;
+  return d;
+}
+
+[[nodiscard]] double number_field(const obs::JsonValue& root,
+                                  const std::string& key) {
+  const obs::JsonValue* v = root.find(key);
+  return v != nullptr ? v->number : 0.0;
+}
+
+}  // namespace
+
+DiffReport diff_bench_json(const std::string& baseline_text,
+                           const std::string& candidate_text,
+                           const DiffOptions& options) {
+  DiffReport report;
+  for (const auto& [label, text] :
+       {std::pair<const char*, const std::string&>{"baseline", baseline_text},
+        {"candidate", candidate_text}})
+    for (const std::string& e : obs::check_bench_json(text))
+      report.errors.push_back(std::string(label) + ": " + e);
+  if (!report.ok()) return report;
+
+  obs::JsonValue base, cand;
+  std::string error;
+  // The schema check above already parsed both successfully.
+  (void)obs::parse_json(baseline_text, base, error);
+  (void)obs::parse_json(candidate_text, cand, error);
+
+  report.bench = base.find("bench")->string;
+  if (cand.find("bench")->string != report.bench) {
+    report.errors.push_back("bench name mismatch: baseline is \"" +
+                            report.bench + "\", candidate is \"" +
+                            cand.find("bench")->string + "\"");
+    return report;
+  }
+
+  report.deltas.push_back(make_delta(
+      "events_per_sec", number_field(base, "events_per_sec"),
+      number_field(cand, "events_per_sec"), /*higher_is_better=*/true,
+      options.threshold, /*gates=*/true));
+  report.deltas.push_back(make_delta(
+      "wall_ms", number_field(base, "wall_ms"), number_field(cand, "wall_ms"),
+      /*higher_is_better=*/false, options.threshold, /*gates=*/true));
+
+  // Metrics present in both files, in baseline order — informational only
+  // (a bench metric like "lost invocations" has no universal direction).
+  const obs::JsonValue* base_metrics = base.find("metrics");
+  const obs::JsonValue* cand_metrics = cand.find("metrics");
+  for (const auto& [key, v] : base_metrics->object) {
+    const obs::JsonValue* other = cand_metrics->find(key);
+    if (other == nullptr) continue;
+    report.deltas.push_back(make_delta("metrics." + key, v.number,
+                                       other->number,
+                                       /*higher_is_better=*/true,
+                                       options.threshold, /*gates=*/false));
+  }
+
+  for (const MetricDelta& d : report.deltas)
+    if (d.regressed) report.regression = true;
+  return report;
+}
+
+std::string format_report(const DiffReport& report) {
+  std::string out;
+  if (!report.ok()) {
+    for (const std::string& e : report.errors) out += "error: " + e + "\n";
+    return out;
+  }
+  out += "bench: " + report.bench + "\n";
+  for (const MetricDelta& d : report.deltas) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "  %-24s %14.6g -> %14.6g  %+7.2f%%%s\n",
+                  d.name.c_str(), d.baseline, d.candidate, d.change * 100.0,
+                  d.regressed ? "  REGRESSION" : "");
+    out += line;
+  }
+  out += report.regression ? "RESULT: regression\n" : "RESULT: ok\n";
+  return out;
+}
+
+}  // namespace mlcr::benchdiff

@@ -1,0 +1,54 @@
+// benchdiff core: compare two bench result JSON files (the stable schema
+// obs::check_bench_json validates, emitted by every bench's --json flag) and
+// decide whether the candidate regressed past a threshold. A library so the
+// fixture tests can drive the comparison directly; tools/benchdiff/main.cpp
+// wraps it as the CLI CI's perf-smoke job runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mlcr::benchdiff {
+
+struct DiffOptions {
+  /// Relative drop in events_per_sec (and relative rise in wall_ms) that
+  /// counts as a regression: 0.2 fails when the candidate is more than 20%
+  /// slower than the baseline.
+  double threshold = 0.2;
+};
+
+/// One compared quantity. `change` is relative to the baseline, signed so
+/// that positive is better (throughput up / wall time down).
+struct MetricDelta {
+  std::string name;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  /// (candidate - baseline) / |baseline| with the sign flipped for
+  /// lower-is-better quantities; 0 when the baseline is 0.
+  double change = 0.0;
+  bool regressed = false;
+};
+
+struct DiffReport {
+  /// Schema/parse problems; non-empty means the comparison never ran.
+  std::vector<std::string> errors;
+  std::string bench;  ///< bench name (must match between the two files)
+  /// events_per_sec, wall_ms, then every metric present in both files (in
+  /// baseline order). Only events_per_sec and wall_ms gate the exit code;
+  /// metrics are informational.
+  std::vector<MetricDelta> deltas;
+  bool regression = false;
+
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Compare two bench JSON documents (text, not paths). Never throws on bad
+/// input — problems land in DiffReport::errors.
+[[nodiscard]] DiffReport diff_bench_json(const std::string& baseline_text,
+                                         const std::string& candidate_text,
+                                         const DiffOptions& options = {});
+
+/// Human-readable rendering of a report (one line per delta).
+[[nodiscard]] std::string format_report(const DiffReport& report);
+
+}  // namespace mlcr::benchdiff

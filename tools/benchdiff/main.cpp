@@ -1,0 +1,79 @@
+// benchdiff driver: compare a checked-in bench baseline JSON with a fresh
+// run and exit non-zero when a gated quantity (events_per_sec, wall_ms)
+// regressed past the threshold. CI's perf-smoke job runs it warn-only so
+// noisy runners annotate instead of block; locally, drop --warn-only to
+// gate.
+//
+//   benchdiff <baseline.json> <candidate.json> [--threshold 0.2]
+//             [--warn-only]
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "benchdiff/diff.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string candidate_path;
+  mlcr::benchdiff::DiffOptions options;
+  bool warn_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threshold" && i + 1 < argc)
+      options.threshold = std::atof(argv[++i]);
+    else if (arg == "--warn-only")
+      warn_only = true;
+    else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: benchdiff <baseline.json> <candidate.json> "
+                   "[--threshold 0.2] [--warn-only]\n";
+      return 0;
+    } else if (baseline_path.empty())
+      baseline_path = arg;
+    else if (candidate_path.empty())
+      candidate_path = arg;
+    else {
+      std::cerr << "unexpected argument: " << arg << "\n";
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || candidate_path.empty()) {
+    std::cerr << "usage: benchdiff <baseline.json> <candidate.json> "
+                 "[--threshold 0.2] [--warn-only]\n";
+    return 2;
+  }
+
+  std::string baseline_text;
+  std::string candidate_text;
+  if (!read_file(baseline_path, baseline_text)) {
+    std::cerr << "cannot read " << baseline_path << "\n";
+    return 2;
+  }
+  if (!read_file(candidate_path, candidate_text)) {
+    std::cerr << "cannot read " << candidate_path << "\n";
+    return 2;
+  }
+
+  const auto report = mlcr::benchdiff::diff_bench_json(
+      baseline_text, candidate_text, options);
+  std::cout << mlcr::benchdiff::format_report(report);
+  if (!report.ok()) return 2;
+  if (report.regression && !warn_only) return 1;
+  if (report.regression) std::cout << "(--warn-only: exiting 0)\n";
+  return 0;
+}
