@@ -31,7 +31,20 @@ struct SweepPoint {
 
 int main(int argc, char** argv) {
   using namespace mlcr;
-  const auto options = benchtools::BenchOptions::parse(argc, argv);
+  // --stress: append a 10M-invocation, 1000-node pass — the second
+  // perf-trajectory point in BENCH_fleet_throughput.json. Stripped before
+  // BenchOptions::parse (it is specific to this bench).
+  bool stress = false;
+  std::vector<char*> args = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--stress")
+      stress = true;
+    else
+      args.push_back(argv[i]);
+  }
+  const auto options =
+      benchtools::BenchOptions::parse(static_cast<int>(args.size()),
+                                      args.data());
   const benchtools::Suite suite;
 
   // Workload scales with --reps so the tiny CI smoke run stays cheap:
@@ -118,6 +131,46 @@ int main(int argc, char** argv) {
               << util::Table::num(last.speedup, 1)
               << "x faster than the lockstep loop\n";
 
+  // Stress pass: one event-driven run of 10M invocations over 1000 nodes.
+  // CI's perf-smoke never runs it (the checked-in baseline carries the
+  // stress_* metrics; benchdiff skips metrics absent from the candidate),
+  // but the numbers pin the large-scale trajectory point deliberately.
+  SweepPoint stress_point;
+  if (stress) {
+    const std::size_t stress_invocations = 10'000'000;
+    const std::size_t stress_nodes = 1000;
+    std::cout << "\n=== stress: " << stress_invocations << " invocations, "
+              << stress_nodes << " nodes ===\n";
+    util::Rng stress_rng(2000);
+    const sim::Trace stress_trace = fstartbench::make_overall_workload(
+        suite.bench, stress_invocations, stress_rng);
+    const double stress_loose =
+        fstartbench::estimate_loose_capacity_mb(suite.bench, stress_trace);
+    fleet::FleetConfig cfg;
+    cfg.nodes = stress_nodes;
+    cfg.node_env.pool_capacity_mb =
+        fstartbench::paper_pool_sizes(stress_loose).moderate_mb /
+        static_cast<double>(stress_nodes);
+    cfg.seed = 100;
+    fleet::FleetEnv env(suite.bench.functions, suite.bench.catalog,
+                        suite.cost, cfg,
+                        fleet::uniform_system(
+                            policies::make_greedy_match_system));
+    fleet::LeastOutstandingRouter router;
+    const std::int64_t t0 = util::wall_now_us();
+    const fleet::FleetSummary summary = env.run(stress_trace, router);
+    const std::int64_t t1 = util::wall_now_us();
+    stress_point.nodes = stress_nodes;
+    stress_point.event_ms = static_cast<double>(t1 - t0) / 1000.0;
+    stress_point.events_per_sec =
+        1000.0 * static_cast<double>(stress_invocations) /
+        stress_point.event_ms;
+    stress_point.lost = summary.lost;
+    std::cout << util::Table::num(stress_point.event_ms, 0) << " ms, "
+              << util::Table::num(stress_point.events_per_sec, 0)
+              << " inv/sec, lost " << stress_point.lost << "\n";
+  }
+
   if (!options.json_path.empty()) {
     benchtools::BenchJson out("fleet_throughput");
     out.config("nodes", last.nodes);
@@ -127,6 +180,12 @@ int main(int argc, char** argv) {
     out.events_per_sec(last.events_per_sec);
     if (last.speedup > 0.0) out.metric("speedup_vs_lockstep", last.speedup);
     out.metric("lost", static_cast<double>(last.lost));
+    if (stress) {
+      out.metric("stress_invocations", 10'000'000.0);
+      out.metric("stress_nodes", static_cast<double>(stress_point.nodes));
+      out.metric("stress_events_per_sec", stress_point.events_per_sec);
+      out.metric("stress_lost", static_cast<double>(stress_point.lost));
+    }
     if (!out.write(options.json_path)) return 1;
     std::cout << "wrote " << options.json_path << "\n";
   }

@@ -1,0 +1,268 @@
+// Serving front-end throughput (DESIGN.md §11): how fast the concurrent
+// scheduler service makes routing decisions over the sharded fleet index,
+// and how fast the full ingest -> route -> dispatch path serves requests.
+//
+// Phase 1 (route-only): worker threads hammer RoutePolicy::route() against a
+// pre-seeded ShardedFleetIndex — no dispatch, no queues — sweeping thread
+// count x shard count. This isolates the read path the sharding exists for:
+// at 1 shard every reader serializes on one shared_mutex, at 8 shards reads
+// spread across locks. The headline events_per_sec is the Least-Outstanding
+// decision rate at the widest cell (max threads, max shards).
+//
+// Phase 2 (full service): producer threads submit() into a started
+// SchedulerService over a 64-node greedy-match fleet on the wall clock,
+// retrying rejected pushes, and the end-to-end served rate is reported.
+//
+// With --json the headline cell plus per-policy and service rates are
+// written in the stable bench schema for tools/benchdiff / CI perf-smoke.
+#include <atomic>
+#include <cctype>
+#include <cstddef>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common.hpp"
+#include "fleet/fleet_env.hpp"
+#include "serve/clock.hpp"
+#include "serve/policy.hpp"
+#include "serve/service.hpp"
+#include "serve/sharded_index.hpp"
+#include "util/wall_clock.hpp"
+
+namespace {
+
+using namespace mlcr;
+
+constexpr std::size_t kNodes = 64;
+
+fleet::FleetEnv make_fleet(const benchtools::Suite& suite) {
+  fleet::FleetConfig cfg;
+  cfg.nodes = kNodes;
+  cfg.node_env.pool_capacity_mb = 1024.0;
+  cfg.seed = 100;
+  return fleet::FleetEnv(suite.bench.functions, suite.bench.catalog,
+                         suite.cost,
+                         cfg, fleet::uniform_system(
+                                  policies::make_greedy_match_system));
+}
+
+/// Put every node into a streaming episode and run a few invocations through
+/// it so the index (including the warm side) reflects a working fleet, not
+/// an empty one. Executions are drained so the containers sit idle-warm.
+void prewarm(fleet::FleetEnv& fleet, const sim::Trace& trace) {
+  const std::size_t kPrewarm = 4;
+  for (std::size_t n = 0; n < fleet.node_count(); ++n) {
+    sim::ClusterEnv& env = fleet.node_env(n);
+    policies::Scheduler& scheduler = fleet.node_scheduler(n);
+    env.reset_streaming();
+    scheduler.on_episode_start(env);
+    double last_arrival = 0.0;
+    for (std::size_t i = 0; i < kPrewarm && i < trace.size(); ++i) {
+      const sim::Invocation& inv = trace.at(i);
+      env.offer(inv);
+      const sim::StepResult result = env.step(scheduler.decide(env, inv));
+      scheduler.on_step_result(env, result);
+      last_arrival = inv.arrival_s;
+    }
+    env.advance_idle(last_arrival + 1.0);
+  }
+}
+
+/// Fresh index over the (pre-warmed) fleet at the given shard count.
+serve::ShardedFleetIndex make_index(fleet::FleetEnv& fleet, std::size_t shards,
+                                    bool track_warm) {
+  serve::ShardedFleetIndex index(fleet.node_count(), shards, track_warm);
+  for (std::size_t n = 0; n < fleet.node_count(); ++n)
+    index.update(n, fleet.node_env(n));
+  return index;
+}
+
+/// Run `decisions` route() calls split across `threads` threads against a
+/// shared policy instance; returns decisions per second. The picked node
+/// indices feed an atomic sink so the calls cannot be optimized away.
+double measure_route(serve::RoutePolicy& policy,
+                     const serve::ShardedFleetIndex& index,
+                     const sim::FunctionTable& functions,
+                     const sim::Trace& trace, std::size_t threads,
+                     std::size_t decisions) {
+  std::atomic<std::size_t> sink{0};
+  const std::size_t per_thread = decisions / threads;
+  const auto worker = [&](std::size_t tid) {
+    const auto& invs = trace.invocations();
+    std::size_t local = 0;
+    std::size_t cursor = tid * 131;  // decorrelate the per-thread streams
+    for (std::size_t i = 0; i < per_thread; ++i, ++cursor)
+      local += policy.route(index, functions, invs[cursor % invs.size()]);
+    sink.fetch_add(local, std::memory_order_relaxed);
+  };
+
+  const std::int64_t t0 = util::wall_now_us();
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> team;
+    team.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) team.emplace_back(worker, t);
+    for (auto& thread : team) thread.join();
+  }
+  const std::int64_t t1 = util::wall_now_us();
+  (void)sink.load();
+  const double secs = static_cast<double>(t1 - t0) / 1e6;
+  return secs > 0.0 ? static_cast<double>(per_thread * threads) / secs : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = benchtools::BenchOptions::parse(argc, argv);
+  const benchtools::Suite suite;
+
+  // Workload scales with --reps (default 7 -> 280k decisions per cell).
+  const std::size_t decisions = 40000 * options.reps;
+  util::Rng trace_rng(1000);
+  const sim::Trace trace =
+      fstartbench::make_overall_workload(suite.bench, 4096, trace_rng);
+
+  fleet::FleetEnv fleet = make_fleet(suite);
+  prewarm(fleet, trace);
+
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+  const std::vector<std::size_t> shard_counts = {1, 4, 8};
+  const std::size_t max_threads = thread_counts.back();
+  const std::size_t max_shards = shard_counts.back();
+
+  // --- Phase 1: route-only grid, Least-Outstanding --------------------
+  std::cout << "=== serve route-only throughput: " << kNodes << " nodes, "
+            << decisions << " Least-Outstanding decisions per cell ===\n";
+  util::Table grid({"threads", "1 shard (dec/s)", "4 shards (dec/s)",
+                    "8 shards (dec/s)"});
+  serve::LeastOutstandingPolicy lo;
+  lo.on_episode_start(kNodes);
+  {  // warm-up pass so first-touch noise lands outside the timed cells
+    serve::ShardedFleetIndex warm = make_index(fleet, 1, false);
+    (void)measure_route(lo, warm, suite.bench.functions, trace, 1,
+                        decisions / 4);
+  }
+  double headline_per_sec = 0.0;
+  double route_1t_max_shards = 0.0;
+  double route_maxt_1shard = 0.0;
+  for (const std::size_t threads : thread_counts) {
+    std::vector<std::string> cells = {std::to_string(threads)};
+    for (const std::size_t shards : shard_counts) {
+      const serve::ShardedFleetIndex index = make_index(fleet, shards, false);
+      const double per_sec = measure_route(lo, index, suite.bench.functions,
+                                           trace, threads, decisions);
+      cells.push_back(util::Table::num(per_sec, 0));
+      if (threads == max_threads && shards == max_shards)
+        headline_per_sec = per_sec;
+      if (threads == 1 && shards == max_shards) route_1t_max_shards = per_sec;
+      if (threads == max_threads && shards == 1) route_maxt_1shard = per_sec;
+    }
+    grid.add_row(std::move(cells));
+  }
+  grid.print(std::cout);
+
+  // --- Phase 1b: every standard policy at the widest cell -------------
+  std::cout << "\n=== per-policy decision rate (" << max_threads
+            << " threads, " << max_shards << " shards) ===\n";
+  util::Table per_policy({"policy", "decisions/sec"});
+  std::vector<std::pair<std::string, double>> policy_rates;
+  const serve::ShardedFleetIndex plain = make_index(fleet, max_shards, false);
+  const serve::ShardedFleetIndex warm = make_index(fleet, max_shards, true);
+  for (const serve::PolicySpec& spec : serve::standard_policies()) {
+    const std::unique_ptr<serve::RoutePolicy> policy = spec.make();
+    policy->on_episode_start(kNodes);
+    const auto& index = policy->needs_warm_index() ? warm : plain;
+    const double per_sec = measure_route(*policy, index,
+                                         suite.bench.functions, trace,
+                                         max_threads, decisions);
+    policy_rates.emplace_back(spec.name, per_sec);
+    per_policy.add_row({spec.name, util::Table::num(per_sec, 0)});
+  }
+  per_policy.print(std::cout);
+
+  // --- Phase 2: full ingest -> route -> dispatch path -----------------
+  const std::size_t requests = 2000 * options.reps;
+  fleet::FleetEnv service_fleet = make_fleet(suite);
+  serve::WallClock clock;
+  serve::ServeConfig serve_cfg;
+  serve_cfg.workers = 4;
+  serve_cfg.shards = max_shards;
+  serve_cfg.queue_capacity = 8192;
+  serve_cfg.batch = 32;
+  serve::SchedulerService service(
+      service_fleet, clock, std::make_unique<serve::LeastOutstandingPolicy>(),
+      serve_cfg);
+  service.begin_episode();
+  service.start();
+
+  constexpr std::size_t kProducers = 2;
+  const std::int64_t svc_t0 = util::wall_now_us();
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      const auto& invs = trace.invocations();
+      for (std::size_t i = 0; i < requests / kProducers; ++i) {
+        sim::Invocation inv = invs[(p * 131 + i) % invs.size()];
+        inv.seq = p * (requests / kProducers) + i;
+        inv.arrival_s = clock.now_s();
+        inv.exec_s = 0.005;
+        while (!service.submit(inv)) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  const serve::ServeSummary summary = service.finish_episode();
+  const std::int64_t svc_t1 = util::wall_now_us();
+  const double svc_secs = static_cast<double>(svc_t1 - svc_t0) / 1e6;
+  const double svc_per_sec =
+      svc_secs > 0.0 ? static_cast<double>(summary.stats.routed) / svc_secs
+                     : 0.0;
+
+  std::cout << "\n=== full service path: " << requests << " requests, "
+            << serve_cfg.workers << " workers, " << kProducers
+            << " producers ===\n"
+            << "served " << summary.stats.routed << " ("
+            << util::Table::num(svc_per_sec, 0) << " req/s), rejected "
+            << summary.stats.rejected << ", lost " << summary.stats.lost
+            << ", cold starts " << summary.fleet.total.cold_starts << "\n";
+
+  std::cout << "\nheadline: " << util::Table::num(headline_per_sec, 0)
+            << " routing decisions/sec at " << max_threads << " threads, "
+            << max_shards << " shards\n";
+
+  if (!options.json_path.empty()) {
+    benchtools::BenchJson out("serve_throughput");
+    out.config("nodes", kNodes);
+    out.config("threads", max_threads);
+    out.config("shards", max_shards);
+    out.config("route_decisions", decisions);
+    out.config("service_requests", requests);
+    out.config("policy", std::string("Least-Outstanding"));
+    out.wall_ms(1000.0 * static_cast<double>(decisions) /
+                (headline_per_sec > 0.0 ? headline_per_sec : 1.0));
+    out.events_per_sec(headline_per_sec);
+    out.metric("route_1t_8shard_per_sec", route_1t_max_shards);
+    out.metric("route_8t_1shard_per_sec", route_maxt_1shard);
+    for (const auto& [name, per_sec] : policy_rates) {
+      std::string key = "route_" + name + "_per_sec";
+      for (char& c : key) {
+        if (c == '-') c = '_';
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      out.metric(key, per_sec);
+    }
+    out.metric("service_requests_per_sec", svc_per_sec);
+    out.metric("service_rejected",
+               static_cast<double>(summary.stats.rejected));
+    out.metric("service_lost", static_cast<double>(summary.stats.lost));
+    if (!out.write(options.json_path)) return 1;
+    std::cout << "wrote " << options.json_path << "\n";
+  }
+  return 0;
+}

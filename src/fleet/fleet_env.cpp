@@ -135,6 +135,16 @@ const sim::ClusterEnv& FleetEnv::node(std::size_t i) const {
   return *nodes_[i].env;
 }
 
+sim::ClusterEnv& FleetEnv::node_env(std::size_t i) {
+  MLCR_CHECK(i < nodes_.size());
+  return *nodes_[i].env;
+}
+
+policies::Scheduler& FleetEnv::node_scheduler(std::size_t i) {
+  MLCR_CHECK(i < nodes_.size());
+  return *nodes_[i].spec.scheduler;
+}
+
 void FleetEnv::set_tracer(obs::Tracer* tracer) noexcept {
   tracer_ = tracer;
   for (std::size_t i = 0; i < nodes_.size(); ++i)

@@ -80,6 +80,13 @@ class FleetEnv {
   /// False while node `i` is inside a crash window (routers must not place
   /// work there; FailoverRouter and run()'s re-route path consult this).
   [[nodiscard]] bool node_up(std::size_t i) const;
+
+  /// Mutable access to node `i`'s environment / scheduler for the serving
+  /// layer (src/serve), which drives the nodes' streaming episodes directly
+  /// under its own shard locking. Must not be interleaved with this fleet's
+  /// own run()/run_lockstep().
+  [[nodiscard]] sim::ClusterEnv& node_env(std::size_t i);
+  [[nodiscard]] policies::Scheduler& node_scheduler(std::size_t i);
   [[nodiscard]] const sim::FunctionTable& functions() const noexcept {
     return functions_;
   }

@@ -53,6 +53,10 @@ void FleetIndex::update(std::size_t node, const sim::ClusterEnv& env) {
   if (up) load_healthy_.insert({busy, node});
   entry.busy = busy;
   entry.up = up;
+  // A crashed node keeps its last free_mb reading: its pool object survives
+  // the crash (emptied, not destroyed), and routers never consult down
+  // nodes' memory anyway.
+  entry.free_mb = env.pool().free_mb();
   entry.in_load = true;
 
   if (!track_warm_) return;
@@ -83,6 +87,24 @@ std::size_t FleetIndex::least_outstanding() const {
 std::optional<std::size_t> FleetIndex::least_outstanding_healthy() const {
   if (load_healthy_.empty()) return std::nullopt;
   return load_healthy_.begin()->second;
+}
+
+std::optional<std::pair<std::size_t, std::size_t>>
+FleetIndex::least_outstanding_entry() const {
+  if (load_all_.empty()) return std::nullopt;
+  return *load_all_.begin();
+}
+
+std::optional<std::pair<std::size_t, std::size_t>>
+FleetIndex::least_outstanding_healthy_entry() const {
+  if (load_healthy_.empty()) return std::nullopt;
+  return *load_healthy_.begin();
+}
+
+FleetIndex::NodeLoad FleetIndex::node_load(std::size_t node) const {
+  MLCR_CHECK(node < nodes_.size());
+  const NodeEntry& entry = nodes_[node];
+  return {entry.busy, entry.up, entry.free_mb, entry.in_load};
 }
 
 const std::map<std::size_t, std::size_t>* FleetIndex::nodes_matching(

@@ -58,6 +58,26 @@ class FleetIndex {
   /// down. The contract of FailoverRouter and run()'s reroute path.
   [[nodiscard]] std::optional<std::size_t> least_outstanding_healthy() const;
 
+  /// The minimum (busy, node) load entry itself, or nullopt before any
+  /// update(). The serving layer's ShardedFleetIndex merges these across
+  /// shards: the lexicographic minimum over shard minima is exactly the
+  /// global least_outstanding() pick.
+  [[nodiscard]] std::optional<std::pair<std::size_t, std::size_t>>
+  least_outstanding_entry() const;
+  [[nodiscard]] std::optional<std::pair<std::size_t, std::size_t>>
+  least_outstanding_healthy_entry() const;
+
+  /// Per-node snapshot of the last update(): in-flight executions, health,
+  /// and free pool memory — the inputs of the warm-aware tie-break, exposed
+  /// so index-only readers (the serving layer) never touch the env.
+  struct NodeLoad {
+    std::size_t busy = 0;
+    bool up = true;
+    double free_mb = 0.0;
+    bool seen = false;  ///< false before the node's first update()
+  };
+  [[nodiscard]] NodeLoad node_load(std::size_t node) const;
+
   [[nodiscard]] bool tracks_warm() const noexcept { return track_warm_; }
   [[nodiscard]] std::size_t node_count() const noexcept {
     return nodes_.size();
@@ -78,6 +98,7 @@ class FleetIndex {
   struct NodeEntry {
     std::size_t busy = 0;
     bool up = true;
+    double free_mb = 0.0;
     bool in_load = false;  ///< false until the first update()
     /// This node's current warm-key multiset, one map per match level.
     std::array<std::map<std::string, std::size_t>, 3> keys;

@@ -17,20 +17,6 @@ namespace {
   return util::splitmix64(x);
 }
 
-/// Hash of the OS + language package lists of an image: the affinity key of
-/// ConsistentHashRouter. The runtime level is deliberately excluded so that
-/// functions differing only in their runtime packages still colocate (and
-/// can serve each other at Table-I L2).
-[[nodiscard]] std::uint64_t affinity_key(
-    const containers::ImageSpec& image) noexcept {
-  std::uint64_t h = 0x9E3779B97F4A7C15ULL;
-  for (const containers::Level level :
-       {containers::Level::kOs, containers::Level::kLanguage})
-    for (const containers::PackageId id : image.level(level))
-      h = mix(h ^ (static_cast<std::uint64_t>(id) + 1));
-  return h;
-}
-
 [[nodiscard]] std::size_t least_outstanding_node(const FleetEnv& fleet) {
   // Index fast path: the ordered load set's minimum is exactly what the
   // linear scan below picks (min busy, lowest index on ties).
@@ -61,6 +47,48 @@ namespace {
 }
 
 }  // namespace
+
+std::uint64_t affinity_key(const containers::ImageSpec& image) noexcept {
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+  for (const containers::Level level :
+       {containers::Level::kOs, containers::Level::kLanguage})
+    for (const containers::PackageId id : image.level(level))
+      h = mix(h ^ (static_cast<std::uint64_t>(id) + 1));
+  return h;
+}
+
+std::vector<HashRingPoint> build_hash_ring(std::size_t nodes,
+                                           std::size_t virtual_nodes) {
+  MLCR_CHECK(nodes > 0 && virtual_nodes > 0);
+  std::vector<HashRingPoint> ring;
+  ring.reserve(nodes * virtual_nodes);
+  for (std::size_t node = 0; node < nodes; ++node) {
+    // Each (node, replica) pair gets a deterministic ring position; the
+    // double-mix decorrelates adjacent indices.
+    std::uint64_t h = mix(0xF1EE7000ULL + node);
+    for (std::size_t v = 0; v < virtual_nodes; ++v) {
+      h = mix(h + v + 1);
+      ring.push_back({h, node});
+    }
+  }
+  std::sort(ring.begin(), ring.end(),
+            [](const HashRingPoint& a, const HashRingPoint& b) {
+              if (a.hash != b.hash) return a.hash < b.hash;
+              return a.node < b.node;  // deterministic on (improbable) ties
+            });
+  return ring;
+}
+
+std::size_t hash_ring_pick(const std::vector<HashRingPoint>& ring,
+                           std::uint64_t key) {
+  MLCR_CHECK_MSG(!ring.empty(), "pick on an empty hash ring");
+  auto it = std::lower_bound(ring.begin(), ring.end(), key,
+                             [](const HashRingPoint& p, std::uint64_t k) {
+                               return p.hash < k;
+                             });
+  if (it == ring.end()) it = ring.begin();
+  return it->node;
+}
 
 void RandomRouter::on_episode_start(const FleetEnv& fleet) {
   (void)fleet;
@@ -102,36 +130,14 @@ ConsistentHashRouter::ConsistentHashRouter(std::size_t virtual_nodes)
 }
 
 void ConsistentHashRouter::on_episode_start(const FleetEnv& fleet) {
-  ring_.clear();
-  ring_.reserve(fleet.node_count() * virtual_nodes_);
-  for (std::size_t node = 0; node < fleet.node_count(); ++node) {
-    // Each (node, replica) pair gets a deterministic ring position; the
-    // double-mix decorrelates adjacent indices.
-    std::uint64_t h = mix(0xF1EE7000ULL + node);
-    for (std::size_t v = 0; v < virtual_nodes_; ++v) {
-      h = mix(h + v + 1);
-      ring_.push_back({h, node});
-    }
-  }
-  std::sort(ring_.begin(), ring_.end(),
-            [](const RingPoint& a, const RingPoint& b) {
-              if (a.hash != b.hash) return a.hash < b.hash;
-              return a.node < b.node;  // deterministic on (improbable) ties
-            });
+  ring_ = build_hash_ring(fleet.node_count(), virtual_nodes_);
 }
 
 std::size_t ConsistentHashRouter::route(const FleetEnv& fleet,
                                         const sim::Invocation& inv) {
   MLCR_CHECK_MSG(!ring_.empty(), "route() before on_episode_start()");
-  const std::uint64_t key =
-      affinity_key(fleet.functions().get(inv.function).image);
-  // First ring point clockwise of the key (wrapping).
-  auto it = std::lower_bound(ring_.begin(), ring_.end(), key,
-                             [](const RingPoint& p, std::uint64_t k) {
-                               return p.hash < k;
-                             });
-  if (it == ring_.end()) it = ring_.begin();
-  return it->node;
+  return hash_ring_pick(ring_,
+                        affinity_key(fleet.functions().get(inv.function).image));
 }
 
 std::size_t WarmAwareRouter::route(const FleetEnv& fleet,

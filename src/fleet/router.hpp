@@ -27,9 +27,38 @@
 #include "sim/invocation.hpp"
 #include "util/rng.hpp"
 
+namespace mlcr::containers {
+class ImageSpec;
+}
+
 namespace mlcr::fleet {
 
 class FleetEnv;
+
+/// Hash of the OS + language package lists of an image: the affinity key of
+/// ConsistentHashRouter. The runtime level is deliberately excluded so that
+/// functions differing only in their runtime packages still colocate (and
+/// can serve each other at Table-I L2). Shared with the serving layer's
+/// HashAffinityPolicy so live routing and replay agree bit-for-bit.
+[[nodiscard]] std::uint64_t affinity_key(
+    const containers::ImageSpec& image) noexcept;
+
+/// One virtual node on the consistent-hash ring.
+struct HashRingPoint {
+  std::uint64_t hash = 0;
+  std::size_t node = 0;
+};
+
+/// Build the sorted ring of `nodes` x `virtual_nodes` deterministic points —
+/// the per-episode state of ConsistentHashRouter, factored out so the
+/// serving layer constructs the identical ring.
+[[nodiscard]] std::vector<HashRingPoint> build_hash_ring(
+    std::size_t nodes, std::size_t virtual_nodes);
+
+/// First ring point clockwise of `key` (wrapping). Requires a non-empty
+/// sorted ring.
+[[nodiscard]] std::size_t hash_ring_pick(
+    const std::vector<HashRingPoint>& ring, std::uint64_t key);
 
 class Router {
  public:
@@ -107,12 +136,8 @@ class ConsistentHashRouter final : public Router {
   [[nodiscard]] std::string name() const override { return "Hash-Affinity"; }
 
  private:
-  struct RingPoint {
-    std::uint64_t hash = 0;
-    std::size_t node = 0;
-  };
   std::size_t virtual_nodes_;
-  std::vector<RingPoint> ring_;  ///< sorted by hash
+  std::vector<HashRingPoint> ring_;  ///< sorted by hash
 };
 
 /// Scans every node's warm pool for the best Table-I match with the

@@ -1,0 +1,34 @@
+// The single wall-time producer of the serving layer: WallClock wraps
+// util::wall_now_us (the src/util allowed zone). Everything else in
+// src/serve receives time through the Clock interface — enforced by the
+// simlint `serve-clock-injection` rule, whose allow-list names exactly this
+// file.
+#include "serve/clock.hpp"
+
+#include "util/check.hpp"
+#include "util/wall_clock.hpp"
+
+namespace mlcr::serve {
+
+SimClock::SimClock(double start_s) : now_s_(start_s) {
+  MLCR_CHECK_MSG(start_s >= 0.0, "SimClock cannot start before the epoch");
+}
+
+double SimClock::now_s() const {
+  return now_s_.load(std::memory_order_acquire);
+}
+
+void SimClock::advance_to(double t) {
+  const double now = now_s_.load(std::memory_order_relaxed);
+  MLCR_CHECK_MSG(t >= now, "SimClock::advance_to(" << t << ") would move time "
+                                                   << "backwards from " << now);
+  now_s_.store(t, std::memory_order_release);
+}
+
+WallClock::WallClock() : epoch_us_(util::wall_now_us()) {}
+
+double WallClock::now_s() const {
+  return static_cast<double>(util::wall_now_us() - epoch_us_) / 1e6;
+}
+
+}  // namespace mlcr::serve

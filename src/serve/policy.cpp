@@ -1,0 +1,114 @@
+#include "serve/policy.hpp"
+
+#include "sim/invocation.hpp"
+#include "util/check.hpp"
+
+namespace mlcr::serve {
+
+void RandomPolicy::on_episode_start(std::size_t node_count) {
+  (void)node_count;
+  std::lock_guard lock(mutex_);
+  rng_ = util::Rng(seed_);
+}
+
+std::size_t RandomPolicy::route(const ShardedFleetIndex& index,
+                                const sim::FunctionTable& functions,
+                                const sim::Invocation& inv) {
+  (void)functions;
+  (void)inv;
+  MLCR_CHECK_MSG(index.node_count() > 0, "route() over an empty fleet");
+  std::lock_guard lock(mutex_);
+  return rng_.uniform_index(index.node_count());
+}
+
+void RoundRobinPolicy::on_episode_start(std::size_t node_count) {
+  (void)node_count;
+  next_.store(0, std::memory_order_relaxed);
+}
+
+std::size_t RoundRobinPolicy::route(const ShardedFleetIndex& index,
+                                    const sim::FunctionTable& functions,
+                                    const sim::Invocation& inv) {
+  (void)functions;
+  (void)inv;
+  const std::size_t n = index.node_count();
+  MLCR_CHECK_MSG(n > 0, "route() over an empty fleet");
+  return next_.fetch_add(1, std::memory_order_relaxed) % n;
+}
+
+std::size_t LeastOutstandingPolicy::route(const ShardedFleetIndex& index,
+                                          const sim::FunctionTable& functions,
+                                          const sim::Invocation& inv) {
+  (void)functions;
+  (void)inv;
+  MLCR_CHECK_MSG(index.node_count() > 0, "route() over an empty fleet");
+  return index.least_outstanding();
+}
+
+HashAffinityPolicy::HashAffinityPolicy(std::size_t virtual_nodes)
+    : virtual_nodes_(virtual_nodes) {
+  MLCR_CHECK(virtual_nodes_ > 0);
+}
+
+void HashAffinityPolicy::on_episode_start(std::size_t node_count) {
+  ring_ = fleet::build_hash_ring(node_count, virtual_nodes_);
+}
+
+std::size_t HashAffinityPolicy::route(const ShardedFleetIndex& index,
+                                      const sim::FunctionTable& functions,
+                                      const sim::Invocation& inv) {
+  (void)index;
+  MLCR_CHECK_MSG(!ring_.empty(), "route() before on_episode_start()");
+  return fleet::hash_ring_pick(
+      ring_, fleet::affinity_key(functions.get(inv.function).image));
+}
+
+std::size_t WarmAwarePolicy::route(const ShardedFleetIndex& index,
+                                   const sim::FunctionTable& functions,
+                                   const sim::Invocation& inv) {
+  MLCR_CHECK_MSG(index.node_count() > 0, "route() over an empty fleet");
+  const auto& fn_image = functions.get(inv.function).image;
+  // Best level first: at the first non-empty lookup every candidate's best
+  // match is exactly that level (a better one would have answered the
+  // higher lookup), so the (busy, free memory, index) tie-break reproduces
+  // fleet::WarmAwareRouter's index-path choice bit for bit.
+  for (const containers::MatchLevel level :
+       {containers::MatchLevel::kL3, containers::MatchLevel::kL2,
+        containers::MatchLevel::kL1}) {
+    const std::vector<std::size_t> candidates =
+        index.nodes_matching(fn_image, level);
+    if (candidates.empty()) continue;
+    std::size_t best = candidates.front();
+    fleet::FleetIndex::NodeLoad best_load = index.node_load(best);
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      const std::size_t node = candidates[i];
+      const fleet::FleetIndex::NodeLoad load = index.node_load(node);
+      if (load.busy < best_load.busy ||
+          (load.busy == best_load.busy && load.free_mb > best_load.free_mb)) {
+        best = node;
+        best_load = load;
+      }
+    }
+    return best;
+  }
+  // Fleet-wide cold start: place it where the least work is outstanding.
+  return index.least_outstanding();
+}
+
+std::vector<PolicySpec> standard_policies(std::uint64_t seed) {
+  std::vector<PolicySpec> policies;
+  policies.push_back(
+      {"Random", [seed] { return std::make_unique<RandomPolicy>(seed); }});
+  policies.push_back(
+      {"Round-Robin", [] { return std::make_unique<RoundRobinPolicy>(); }});
+  policies.push_back(
+      {"Least-Outstanding",
+       [] { return std::make_unique<LeastOutstandingPolicy>(); }});
+  policies.push_back(
+      {"Hash-Affinity", [] { return std::make_unique<HashAffinityPolicy>(); }});
+  policies.push_back(
+      {"Warm-Aware", [] { return std::make_unique<WarmAwarePolicy>(); }});
+  return policies;
+}
+
+}  // namespace mlcr::serve

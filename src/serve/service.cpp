@@ -1,0 +1,469 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "core/mlcr.hpp"
+#include "policies/runner.hpp"
+#include "util/check.hpp"
+
+namespace mlcr::serve {
+
+SchedulerService::SchedulerService(fleet::FleetEnv& fleet, Clock& clock,
+                                   std::unique_ptr<RoutePolicy> policy,
+                                   ServeConfig config)
+    : fleet_(fleet),
+      clock_(clock),
+      policy_(std::move(policy)),
+      config_(config) {
+  MLCR_CHECK(policy_ != nullptr);
+  MLCR_CHECK_MSG(config_.workers > 0, "the service needs at least one worker");
+  MLCR_CHECK_MSG(config_.shards > 0, "the service needs at least one shard");
+  MLCR_CHECK_MSG(config_.batch > 0, "batch must drain at least one request");
+  MLCR_CHECK_MSG(config_.queue_capacity > 0, "queues need room for one item");
+  MLCR_CHECK_MSG(
+      config_.degrade_depth <= config_.queue_capacity,
+      "degrade_depth beyond the queue capacity would never trigger");
+}
+
+SchedulerService::~SchedulerService() {
+  for (auto& queue : queues_) queue->close();
+  for (auto& worker : workers_) {
+    if (!worker.valid()) continue;
+    try {
+      worker.get();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+      // A worker that died mid-episode has nothing left to report here.
+    }
+  }
+  workers_.clear();
+  pool_.reset();
+}
+
+void SchedulerService::begin_episode() {
+  MLCR_CHECK_MSG(pool_ == nullptr, "begin_episode() while workers run");
+  MLCR_CHECK_MSG(fleet_.config().faults.faultless(),
+                 "the service never fires the fleet's crash schedule — "
+                 "serve only faultless fleets");
+  const std::size_t nodes = fleet_.node_count();
+
+  // MLCR detection: batched wave dispatch only makes sense when every node
+  // consults the same DQN; a fleet mixing MLCR and heuristic nodes has no
+  // coherent batching story, so reject it outright.
+  mlcr_.assign(nodes, nullptr);
+  std::size_t mlcr_nodes = 0;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    mlcr_[i] = dynamic_cast<core::MlcrScheduler*>(&fleet_.node_scheduler(i));
+    if (mlcr_[i] != nullptr) ++mlcr_nodes;
+  }
+  MLCR_CHECK_MSG(mlcr_nodes == 0 || mlcr_nodes == nodes,
+                 "fleets mixing MLCR and non-MLCR nodes are unsupported");
+  mlcr_mode_ = mlcr_nodes == nodes;
+
+  for (std::size_t i = 0; i < nodes; ++i) {
+    fleet_.node_env(i).reset_streaming();
+    fleet_.node_scheduler(i).on_episode_start(fleet_.node_env(i));
+  }
+  policy_->on_episode_start(nodes);
+
+  index_ = std::make_unique<ShardedFleetIndex>(nodes, config_.shards,
+                                               policy_->needs_warm_index());
+  for (std::size_t i = 0; i < nodes; ++i)
+    index_->update(i, fleet_.node_env(i));
+
+  queues_.clear();
+  for (std::size_t w = 0; w < config_.workers; ++w)
+    queues_.push_back(
+        std::make_unique<BoundedQueue<Request>>(config_.queue_capacity));
+  shard_mutexes_.clear();
+  for (std::size_t s = 0; s < index_->shard_count(); ++s)
+    shard_mutexes_.push_back(std::make_unique<std::mutex>());
+
+  submit_cursor_.store(0, std::memory_order_relaxed);
+  janitor_cursor_.store(0, std::memory_order_relaxed);
+  for (auto* counter :
+       {&submitted_, &routed_, &rejected_, &degraded_, &lost_, &rerouted_,
+        &batches_, &inference_calls_, &max_wave_})
+    counter->store(0, std::memory_order_relaxed);
+  in_episode_ = true;
+}
+
+void SchedulerService::start() {
+  MLCR_CHECK_MSG(in_episode_, "start() before begin_episode()");
+  MLCR_CHECK_MSG(pool_ == nullptr, "start() while workers already run");
+  pool_ = std::make_unique<util::ThreadPool>(config_.workers);
+  workers_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w)
+    workers_.push_back(pool_->submit([this, w] { worker_loop(w); }));
+}
+
+bool SchedulerService::submit(const sim::Invocation& inv) {
+  MLCR_CHECK_MSG(in_episode_, "submit() outside an episode");
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t slot =
+      submit_cursor_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  BoundedQueue<Request>& queue = *queues_[slot];
+  const bool degraded =
+      config_.degrade_depth > 0 && queue.size() >= config_.degrade_depth;
+  if (!queue.try_push({inv, degraded})) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+std::size_t SchedulerService::pump_once() {
+  MLCR_CHECK_MSG(in_episode_, "pump_once() outside an episode");
+  MLCR_CHECK_MSG(pool_ == nullptr,
+                 "pump_once() is the single-threaded drive path");
+  std::size_t processed = 0;
+  std::vector<Request> batch;
+  batch.reserve(config_.batch);
+  for (auto& queue : queues_) {
+    for (;;) {
+      batch.clear();
+      if (queue->drain_nowait(batch, config_.batch) == 0) break;
+      processed += batch.size();
+      process_batch(batch);
+    }
+  }
+  return processed;
+}
+
+void SchedulerService::worker_loop(std::size_t worker) {
+  BoundedQueue<Request>& queue = *queues_[worker];
+  std::vector<Request> batch;
+  batch.reserve(config_.batch);
+  for (;;) {
+    batch.clear();
+    if (queue.pop_batch(batch, config_.batch) == 0) return;
+    process_batch(batch);
+  }
+}
+
+void SchedulerService::drain_queues_on_caller() {
+  std::vector<Request> batch;
+  batch.reserve(config_.batch);
+  for (auto& queue : queues_) {
+    for (;;) {
+      batch.clear();
+      if (queue->drain_nowait(batch, config_.batch) == 0) break;
+      process_batch(batch);
+    }
+  }
+}
+
+ServeSummary SchedulerService::finish_episode() {
+  MLCR_CHECK_MSG(in_episode_, "finish_episode() outside an episode");
+  for (auto& queue : queues_) queue->close();
+  if (pool_ != nullptr) {
+    for (auto& worker : workers_) worker.get();
+    workers_.clear();
+    pool_.reset();
+  } else {
+    // Pump-driven episode: serve whatever is still queued, as a worker
+    // draining after close() would.
+    drain_queues_on_caller();
+  }
+
+  ServeSummary out;
+  out.stats = stats();
+  std::vector<fleet::NodeObservation> observations;
+  observations.reserve(fleet_.node_count());
+  for (std::size_t i = 0; i < fleet_.node_count(); ++i) {
+    sim::ClusterEnv& env = fleet_.node_env(i);
+    env.finish_streaming();
+    observations.push_back(
+        {policies::summarize_env(env, fleet_.node_scheduler(i).name()),
+         &env.metrics()});
+  }
+  out.fleet =
+      fleet::aggregate_fleet(policy_->name(), fleet_.system_name(),
+                             observations);
+  out.fleet.lost = out.stats.lost;
+  out.fleet.rerouted = out.stats.rerouted;
+
+  // Conservation: every submission ends in exactly one bucket, and every
+  // dispatched request became exactly one node invocation.
+  MLCR_CHECK_MSG(out.stats.submitted ==
+                     out.stats.routed + out.stats.rejected + out.stats.lost,
+                 "service lost track of " << out.stats.submitted << " - ("
+                                          << out.stats.routed << " + "
+                                          << out.stats.rejected << " + "
+                                          << out.stats.lost << ") requests");
+  MLCR_CHECK_MSG(out.stats.routed == out.fleet.total.invocations,
+                 "routed " << out.stats.routed << " requests but the nodes "
+                           << "recorded " << out.fleet.total.invocations
+                           << " invocations");
+
+  in_episode_ = false;
+  index_.reset();
+  queues_.clear();
+  shard_mutexes_.clear();
+  return out;
+}
+
+ServeStats SchedulerService::stats() const {
+  ServeStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.routed = routed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.lost = lost_.load(std::memory_order_relaxed);
+  s.rerouted = rerouted_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.inference_calls = inference_calls_.load(std::memory_order_relaxed);
+  s.max_wave = max_wave_.load(std::memory_order_relaxed);
+  return s;
+}
+
+const ShardedFleetIndex& SchedulerService::index() const {
+  MLCR_CHECK_MSG(index_ != nullptr, "index() outside an episode");
+  return *index_;
+}
+
+SchedulerService::RouteOutcome SchedulerService::pick_target(
+    const sim::Invocation& inv) const {
+  RouteOutcome out;
+  out.node = policy_->route(*index_, fleet_.functions(), inv);
+  MLCR_CHECK_MSG(out.node < fleet_.node_count(),
+                 "policy picked an invalid node");
+  if (!index_->node_load(out.node).up) {
+    // Deterministic failover, as in FleetEnv::run: least outstanding work
+    // among healthy nodes, lowest index on ties.
+    const auto best = index_->least_outstanding_healthy();
+    if (!best) {
+      out.lost = true;
+      return out;
+    }
+    out.node = *best;
+    out.rerouted = true;
+  }
+  return out;
+}
+
+std::optional<std::size_t> SchedulerService::serve_one(const Request& req) {
+  const RouteOutcome route = pick_target(req.inv);
+  if (route.lost) {
+    lost_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  if (route.rerouted) rerouted_.fetch_add(1, std::memory_order_relaxed);
+  dispatch_one(req, route.node);
+  return route.node;
+}
+
+void SchedulerService::dispatch_one(const Request& req, std::size_t target) {
+  std::lock_guard lock(*shard_mutexes_[index_->shard_of(target)]);
+  sim::ClusterEnv& env = fleet_.node_env(target);
+  sim::Invocation inv = req.inv;
+  // Concurrent ingestion can deliver a request after the node's clock moved
+  // past its stamped arrival; clamping keeps offer()'s non-decreasing
+  // arrival contract. A no-op in ordered single-threaded replay.
+  if (inv.arrival_s < env.now()) inv.arrival_s = env.now();
+  env.offer(inv);
+  policies::Scheduler& scheduler = fleet_.node_scheduler(target);
+  const sim::Action action =
+      req.degraded ? sim::Action::cold() : scheduler.decide(env, inv);
+  const sim::StepResult result = env.step(action);
+  if (!req.degraded) scheduler.on_step_result(env, result);
+  index_->update(target, env);
+  routed_.fetch_add(1, std::memory_order_relaxed);
+  if (req.degraded) degraded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SchedulerService::note_wave(std::size_t width) {
+  inference_calls_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t prev = max_wave_.load(std::memory_order_relaxed);
+  while (prev < width && !max_wave_.compare_exchange_weak(
+                             prev, width, std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t SchedulerService::dispatch_wave(const std::vector<Request>& batch,
+                                            std::size_t begin) {
+  // Phase 1 — route. Every wave member must target a *distinct* node:
+  // ClusterEnv requires offer -> step before the next offer on a node, and
+  // a wave steps only after the batched forward. The whole wave routes
+  // against the wave-start index (the documented batched-serving
+  // semantics); a repeated target closes the wave and that request
+  // re-routes at the head of the next one.
+  struct Entry {
+    const Request* req;
+    std::size_t target;
+    bool rerouted;
+  };
+  std::vector<Entry> wave;
+  wave.reserve(config_.batch);
+  std::size_t next = begin;
+  while (next < batch.size() && wave.size() < config_.batch) {
+    const Request& req = batch[next];
+    const RouteOutcome route = pick_target(req.inv);
+    if (route.lost) {
+      lost_.fetch_add(1, std::memory_order_relaxed);
+      ++next;
+      continue;
+    }
+    const bool repeat =
+        std::any_of(wave.begin(), wave.end(), [&](const Entry& e) {
+          return e.target == route.node;
+        });
+    if (repeat) break;
+    wave.push_back({&req, route.node, route.rerouted});
+    ++next;
+  }
+  if (wave.empty()) return next;
+
+  // Phase 2 — lock the touched shards' dispatch mutexes in ascending shard
+  // order (deduped), so concurrent workers can never deadlock.
+  std::vector<std::size_t> shards;
+  shards.reserve(wave.size());
+  for (const Entry& entry : wave)
+    shards.push_back(index_->shard_of(entry.target));
+  std::sort(shards.begin(), shards.end());
+  shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards.size());
+  for (const std::size_t shard : shards)
+    locks.emplace_back(*shard_mutexes_[shard]);
+
+  // Phase 3 — offer every wave member (clamped), then decide the
+  // non-degraded ones in a single forward_batch under the inference mutex.
+  std::vector<sim::Invocation> offered;
+  offered.reserve(wave.size());
+  for (const Entry& entry : wave) {
+    sim::ClusterEnv& env = fleet_.node_env(entry.target);
+    sim::Invocation inv = entry.req->inv;
+    if (inv.arrival_s < env.now()) inv.arrival_s = env.now();
+    env.offer(inv);
+    offered.push_back(inv);
+  }
+  std::vector<sim::Action> actions(wave.size(), sim::Action::cold());
+  std::vector<std::size_t> ask;
+  ask.reserve(wave.size());
+  for (std::size_t i = 0; i < wave.size(); ++i)
+    if (!wave[i].req->degraded) ask.push_back(i);
+  if (!ask.empty()) {
+    std::vector<core::MlcrScheduler*> schedulers;
+    std::vector<const sim::ClusterEnv*> envs;
+    std::vector<const sim::Invocation*> invs;
+    schedulers.reserve(ask.size());
+    envs.reserve(ask.size());
+    invs.reserve(ask.size());
+    for (const std::size_t i : ask) {
+      schedulers.push_back(mlcr_[wave[i].target]);
+      envs.push_back(&fleet_.node_env(wave[i].target));
+      invs.push_back(&offered[i]);
+    }
+    std::lock_guard inference_lock(inference_mutex_);
+    const std::vector<sim::Action> decided =
+        core::MlcrScheduler::decide_batch(schedulers, envs, invs);
+    for (std::size_t j = 0; j < ask.size(); ++j) actions[ask[j]] = decided[j];
+    note_wave(ask.size());
+  }
+
+  // Phase 4 — step every member and refresh its index entry before the
+  // shard locks drop.
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    const Entry& entry = wave[i];
+    sim::ClusterEnv& env = fleet_.node_env(entry.target);
+    const sim::StepResult result = env.step(actions[i]);
+    if (!entry.req->degraded)
+      fleet_.node_scheduler(entry.target).on_step_result(env, result);
+    index_->update(entry.target, env);
+    routed_.fetch_add(1, std::memory_order_relaxed);
+    if (entry.req->degraded)
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+    if (entry.rerouted) rerouted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return next;
+}
+
+void SchedulerService::process_batch(const std::vector<Request>& batch) {
+  if (batch.empty()) return;
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  if (mlcr_mode_) {
+    std::size_t i = 0;
+    while (i < batch.size()) i = dispatch_wave(batch, i);
+  } else {
+    for (const Request& req : batch) (void)serve_one(req);
+  }
+  janitor_step();
+}
+
+void SchedulerService::janitor_step() {
+  const double now = clock_.now_s();
+  const std::size_t node =
+      janitor_cursor_.fetch_add(1, std::memory_order_relaxed) %
+      fleet_.node_count();
+  std::lock_guard lock(*shard_mutexes_[index_->shard_of(node)]);
+  sim::ClusterEnv& env = fleet_.node_env(node);
+  if (env.now() >= now) return;
+  env.advance_idle(now);
+  index_->update(node, env);
+}
+
+ServeSummary SchedulerService::run_replay(const sim::Trace& trace) {
+  auto* sim_clock = dynamic_cast<SimClock*>(&clock_);
+  MLCR_CHECK_MSG(sim_clock != nullptr,
+                 "run_replay() requires a simulated clock");
+  MLCR_CHECK_MSG(pool_ == nullptr, "run_replay() while workers run");
+  begin_episode();
+
+  // The event core of FleetEnv::run, replicated over the sharded index: one
+  // lazily-invalidated heap entry per node holds its next self-scheduled
+  // event (completion or TTL expiry); stale entries are discarded on pop.
+  // Faultless by construction, so no fault-event merge is needed.
+  struct AdvanceEntry {
+    double time;
+    std::size_t node;
+    std::uint64_t version;
+  };
+  struct AdvanceLater {
+    bool operator()(const AdvanceEntry& a, const AdvanceEntry& b) const {
+      if (a.time != b.time) return a.time > b.time;  // min-heap on time
+      return a.node > b.node;                        // deterministic ties
+    }
+  };
+  std::priority_queue<AdvanceEntry, std::vector<AdvanceEntry>, AdvanceLater>
+      heap;
+  std::vector<std::uint64_t> versions(fleet_.node_count(), 0);
+  const auto reschedule = [&](std::size_t node) {
+    ++versions[node];
+    if (const auto at = fleet_.node_env(node).next_event_time())
+      heap.push({*at, node, versions[node]});
+  };
+  for (std::size_t i = 0; i < fleet_.node_count(); ++i) reschedule(i);
+
+  const auto drain_until = [&](double t) {
+    for (;;) {
+      while (!heap.empty() && heap.top().version != versions[heap.top().node])
+        heap.pop();
+      if (heap.empty() || heap.top().time > t) return;
+      const AdvanceEntry entry = heap.top();
+      heap.pop();
+      sim::ClusterEnv& env = fleet_.node_env(entry.node);
+      env.advance_to(entry.time);
+      index_->update(entry.node, env);
+      reschedule(entry.node);
+    }
+  };
+
+  double last_arrival = 0.0;
+  for (const sim::Invocation& inv : trace.invocations()) {
+    MLCR_CHECK_MSG(inv.arrival_s >= last_arrival,
+                   "replay traces must be sorted by arrival");
+    last_arrival = inv.arrival_s;
+    sim_clock->advance_to(inv.arrival_s);
+    drain_until(inv.arrival_s);
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    // Strictly sequential dispatch — MLCR decides per request, exactly as
+    // FleetEnv::dispatch does, so the replay is bit-identical to run().
+    if (const auto target = serve_one({inv, false})) reschedule(*target);
+  }
+  return finish_episode();
+}
+
+}  // namespace mlcr::serve

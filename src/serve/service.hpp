@@ -1,0 +1,212 @@
+// SchedulerService: the online serving front-end over an MLCR fleet
+// (DESIGN.md §11). Producers submit() invocations into bounded per-worker
+// queues; worker threads drain them in batches and dispatch each request to
+// a node picked by a RoutePolicy over the ShardedFleetIndex. The node's own
+// scheduler (any SystemSpec, including MLCR) then makes the container-reuse
+// decision, exactly as in FleetEnv::run.
+//
+// Concurrency model (two-level locking):
+//   - routing reads only the sharded index (shared locks inside it) — never
+//     a node environment;
+//   - dispatch mutates node state under the service's per-shard std::mutex
+//     (node n -> shard n % shards), and refreshes the index entry before
+//     releasing it, so readers never observe a node mid-step;
+//   - lock order is service shard mutex -> index shard lock (inside
+//     update()) -> inference mutex, never reversed; multi-shard waves
+//     acquire shard mutexes in ascending shard order.
+//
+// Backpressure: a submit() that finds its queue at/above `degrade_depth` is
+// accepted *degraded* — it will be served with a forced cold start, skipping
+// the scheduler (the serving twin of the faults layer's
+// degrade-rather-than-fail semantics); a submit() that finds the queue full
+// is rejected outright. Always: submitted == routed + rejected + lost.
+//
+// Time never comes from the OS directly — an injected serve::Clock drives
+// the janitor (and live arrival stamps), so the same service runs live
+// (WallClock) or bit-reproducibly under run_replay() (SimClock).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "fleet/fleet_env.hpp"
+#include "fleet/metrics.hpp"
+#include "serve/clock.hpp"
+#include "serve/policy.hpp"
+#include "serve/queue.hpp"
+#include "serve/sharded_index.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mlcr::core {
+class MlcrScheduler;
+}
+
+namespace mlcr::serve {
+
+struct ServeConfig {
+  /// Worker threads; each owns one ingestion queue (submit round-robins).
+  std::size_t workers = 1;
+  /// Index/dispatch shards (clamped to the node count).
+  std::size_t shards = 1;
+  /// Per-worker queue bound; a push into a full queue is rejected.
+  std::size_t queue_capacity = 1024;
+  /// Queue depth at/above which an accepted request is served degraded
+  /// (forced cold start, scheduler bypassed). 0 disables degradation.
+  std::size_t degrade_depth = 0;
+  /// Max requests drained per worker wake-up — and, on an MLCR fleet, the
+  /// max wave width batched through one QNetwork::forward_batch call.
+  std::size_t batch = 8;
+};
+
+/// Service-level accounting for one episode (all counters monotone).
+struct ServeStats {
+  std::size_t submitted = 0;  ///< every submit() call
+  std::size_t routed = 0;     ///< dispatched to (and executed on) a node
+  std::size_t rejected = 0;   ///< dropped at ingestion: queue full
+  std::size_t degraded = 0;   ///< of routed: served with a forced cold start
+  std::size_t lost = 0;       ///< accepted but no healthy node remained
+  std::size_t rerouted = 0;   ///< target node down -> deterministic failover
+  std::size_t batches = 0;    ///< consumer drains that served >= 1 request
+  std::size_t inference_calls = 0;  ///< MLCR decide_batch invocations
+  std::size_t max_wave = 0;         ///< widest single decide_batch
+};
+
+/// Episode result: the fleet-level summary (same accounting as
+/// FleetEnv::run — summarize_env + aggregate_fleet per node) plus the
+/// service-level counters.
+struct ServeSummary {
+  fleet::FleetSummary fleet;
+  ServeStats stats;
+};
+
+class SchedulerService {
+ public:
+  /// The fleet must outlive the service and use a faultless plan (the
+  /// service drives streaming episodes directly and never fires the fleet's
+  /// crash/recover schedule). `clock` is borrowed; `policy` is owned.
+  SchedulerService(fleet::FleetEnv& fleet, Clock& clock,
+                   std::unique_ptr<RoutePolicy> policy, ServeConfig config);
+  ~SchedulerService();
+
+  SchedulerService(const SchedulerService&) = delete;
+  SchedulerService& operator=(const SchedulerService&) = delete;
+
+  /// Reset every node's streaming episode and scheduler, rebuild the sharded
+  /// index, create fresh queues, and zero the counters. Detects an MLCR
+  /// fleet (all node schedulers are MlcrScheduler — mixed fleets are
+  /// rejected) and switches dispatch to batched wave inference.
+  void begin_episode();
+
+  /// Spawn the worker threads (requires begin_episode()).
+  void start();
+
+  /// Enqueue one invocation; false when its queue was full (rejected).
+  /// Thread-safe. Arrival stamps should come from the service clock (live)
+  /// or the trace (replay); dispatch clamps them to the target node's clock.
+  [[nodiscard]] bool submit(const sim::Invocation& inv);
+
+  /// Single-threaded drive path for deterministic tests: drain and serve
+  /// everything currently queued on the caller's thread (no workers may be
+  /// running). Returns the number of requests served or dropped.
+  std::size_t pump_once();
+
+  /// Close the queues, drain what remains (joining the workers when
+  /// start()ed), finish every node's streaming episode and aggregate the
+  /// fleet summary. Ends the episode.
+  [[nodiscard]] ServeSummary finish_episode();
+
+  /// Deterministic replay: run `trace` through the full service path —
+  /// sharded index, routing policy, per-node schedulers — single-threadedly
+  /// in arrival order, advancing the SimClock and the nodes' event cores
+  /// exactly as FleetEnv::run does. With an up-to-date index every policy
+  /// matches its fleet-router twin decision for decision, so the returned
+  /// fleet summary equals FleetEnv::run's (asserted in tests/serve).
+  /// Requires a SimClock and a faultless plan. Runs its own episode.
+  [[nodiscard]] ServeSummary run_replay(const sim::Trace& trace);
+
+  [[nodiscard]] const ServeConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const RoutePolicy& policy() const noexcept { return *policy_; }
+  [[nodiscard]] bool mlcr_mode() const noexcept { return mlcr_mode_; }
+  /// Live counters (racy-but-monotone snapshot while workers run).
+  [[nodiscard]] ServeStats stats() const;
+  /// The episode's index (requires an episode in progress).
+  [[nodiscard]] const ShardedFleetIndex& index() const;
+
+ private:
+  struct Request {
+    sim::Invocation inv;
+    bool degraded = false;
+  };
+
+  /// Routing decision for one request; `lost` when no healthy node exists.
+  struct RouteOutcome {
+    bool lost = false;
+    std::size_t node = 0;
+    bool rerouted = false;
+  };
+
+  [[nodiscard]] RouteOutcome pick_target(const sim::Invocation& inv) const;
+
+  /// Route + dispatch one request (used by the non-MLCR path and replay).
+  /// Returns the node served, or nullopt when the request was lost.
+  std::optional<std::size_t> serve_one(const Request& req);
+
+  /// Offer/decide/step/observe on `target` under its shard mutex, then
+  /// refresh the index entry. Mirrors FleetEnv::dispatch.
+  void dispatch_one(const Request& req, std::size_t target);
+
+  /// Serve `batch[begin..]` up to one MLCR wave: route requests until a
+  /// target node repeats or the wave reaches config_.batch, then offer all,
+  /// decide the whole wave in one forward_batch, and step each. Returns the
+  /// index of the first unserved request.
+  std::size_t dispatch_wave(const std::vector<Request>& batch,
+                            std::size_t begin);
+
+  void process_batch(const std::vector<Request>& batch);
+
+  /// Advance one node (round-robin) to the service clock so idle nodes
+  /// still see completions and TTL expiry; called after every batch.
+  void janitor_step();
+
+  void worker_loop(std::size_t worker);
+  void drain_queues_on_caller();
+  void note_wave(std::size_t width);
+
+  fleet::FleetEnv& fleet_;
+  Clock& clock_;
+  std::unique_ptr<RoutePolicy> policy_;
+  ServeConfig config_;
+
+  bool in_episode_ = false;
+  bool mlcr_mode_ = false;
+  std::unique_ptr<ShardedFleetIndex> index_;
+  /// Per node: its scheduler as MlcrScheduler, set only in MLCR mode.
+  std::vector<core::MlcrScheduler*> mlcr_;
+  /// unique_ptr: queues/mutexes are neither movable nor copyable.
+  std::vector<std::unique_ptr<BoundedQueue<Request>>> queues_;
+  std::vector<std::unique_ptr<std::mutex>> shard_mutexes_;
+  /// Serializes forward_batch on the shared agent across workers.
+  std::mutex inference_mutex_;
+
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::vector<std::future<void>> workers_;
+
+  std::atomic<std::size_t> submit_cursor_{0};
+  std::atomic<std::size_t> janitor_cursor_{0};
+  std::atomic<std::size_t> submitted_{0};
+  std::atomic<std::size_t> routed_{0};
+  std::atomic<std::size_t> rejected_{0};
+  std::atomic<std::size_t> degraded_{0};
+  std::atomic<std::size_t> lost_{0};
+  std::atomic<std::size_t> rerouted_{0};
+  std::atomic<std::size_t> batches_{0};
+  std::atomic<std::size_t> inference_calls_{0};
+  std::atomic<std::size_t> max_wave_{0};
+};
+
+}  // namespace mlcr::serve

@@ -1,0 +1,80 @@
+#include "serve/sharded_index.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/check.hpp"
+
+namespace mlcr::serve {
+
+ShardedFleetIndex::ShardedFleetIndex(std::size_t nodes, std::size_t shards,
+                                     bool track_warm)
+    : nodes_(nodes), track_warm_(track_warm) {
+  MLCR_CHECK_MSG(nodes > 0, "an index needs at least one node");
+  MLCR_CHECK_MSG(shards > 0, "an index needs at least one shard");
+  const std::size_t count = std::min(shards, nodes);
+  shards_.reserve(count);
+  for (std::size_t s = 0; s < count; ++s)
+    shards_.push_back(std::make_unique<Shard>(nodes, track_warm));
+}
+
+void ShardedFleetIndex::update(std::size_t node, const sim::ClusterEnv& env) {
+  MLCR_CHECK(node < nodes_);
+  Shard& shard = *shards_[shard_of(node)];
+  std::unique_lock lock(shard.mutex);
+  shard.index.update(node, env);
+}
+
+std::size_t ShardedFleetIndex::least_outstanding() const {
+  // The global minimum of the (busy, node) order is the minimum over shard
+  // minima; comparing the pairs keeps the lowest-index tie-break exact.
+  std::optional<std::pair<std::size_t, std::size_t>> best;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    const auto entry = shard->index.least_outstanding_entry();
+    if (entry && (!best || *entry < *best)) best = entry;
+  }
+  MLCR_CHECK_MSG(best.has_value(), "least_outstanding() before any update()");
+  return best->second;
+}
+
+std::optional<std::size_t> ShardedFleetIndex::least_outstanding_healthy()
+    const {
+  std::optional<std::pair<std::size_t, std::size_t>> best;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    const auto entry = shard->index.least_outstanding_healthy_entry();
+    if (entry && (!best || *entry < *best)) best = entry;
+  }
+  if (!best) return std::nullopt;
+  return best->second;
+}
+
+fleet::FleetIndex::NodeLoad ShardedFleetIndex::node_load(
+    std::size_t node) const {
+  MLCR_CHECK(node < nodes_);
+  const Shard& shard = *shards_[shard_of(node)];
+  std::shared_lock lock(shard.mutex);
+  return shard.index.node_load(node);
+}
+
+std::vector<std::size_t> ShardedFleetIndex::nodes_matching(
+    const containers::ImageSpec& image, containers::MatchLevel level) const {
+  MLCR_CHECK_MSG(track_warm_, "warm lookup on a load-only index");
+  std::vector<std::size_t> out;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    const auto* matches = shard->index.nodes_matching(image, level);
+    if (matches == nullptr) continue;
+    for (const auto& [node, count] : *matches) {
+      (void)count;
+      out.push_back(node);
+    }
+  }
+  // Each shard's answer is already ascending; the merged view must be too
+  // (the warm-aware tie-break walks candidates in node order).
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace mlcr::serve

@@ -1,0 +1,83 @@
+// Sharded fleet/warm-pool index for the concurrent scheduler service
+// (DESIGN.md §11). The single-threaded FleetIndex is exact but global; the
+// service shards it so concurrent routing reads and per-node dispatch writes
+// do not serialize on one lock:
+//
+//   - node n belongs to shard n % shards;
+//   - every shard holds its own FleetIndex (over the full node-id space, but
+//     only its own nodes are ever updated) behind a std::shared_mutex;
+//   - readers (routing) take shared locks, across as many shards as the
+//     query needs; writers (dispatch, janitor) take the unique lock of the
+//     single shard owning the touched node.
+//
+// All queries are exact merges of per-shard answers, so routing over the
+// sharded index is bit-identical to routing over one FleetIndex — the
+// property the deterministic-replay tests pin.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <vector>
+
+#include "containers/matching.hpp"
+#include "fleet/fleet_index.hpp"
+
+namespace mlcr::sim {
+class ClusterEnv;
+}
+
+namespace mlcr::serve {
+
+class ShardedFleetIndex {
+ public:
+  /// `shards` is clamped to `nodes` (more shards than nodes adds pure
+  /// overhead); `track_warm` as in FleetIndex.
+  ShardedFleetIndex(std::size_t nodes, std::size_t shards, bool track_warm);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] bool tracks_warm() const noexcept { return track_warm_; }
+  [[nodiscard]] std::size_t shard_of(std::size_t node) const noexcept {
+    return node % shards_.size();
+  }
+
+  /// Writer: re-derive `node`'s contribution from its environment, under the
+  /// owning shard's unique lock. The caller must hold whatever lock guards
+  /// the env itself (the service's dispatch shard mutex) while this reads it.
+  void update(std::size_t node, const sim::ClusterEnv& env);
+
+  /// Node with the fewest in-flight executions (lowest index on ties) —
+  /// merged over shard minima; bit-identical to FleetIndex. Requires at
+  /// least one update().
+  [[nodiscard]] std::size_t least_outstanding() const;
+  /// Same over healthy nodes only; nullopt when the whole fleet is down.
+  [[nodiscard]] std::optional<std::size_t> least_outstanding_healthy() const;
+
+  /// Snapshot of one node's load entry (shared lock on its shard).
+  [[nodiscard]] fleet::FleetIndex::NodeLoad node_load(std::size_t node) const;
+
+  /// Nodes holding at least one idle container matching `image` at level
+  /// >= `level`, ascending node order, merged across shards. Empty when no
+  /// node matches. Requires tracks_warm().
+  [[nodiscard]] std::vector<std::size_t> nodes_matching(
+      const containers::ImageSpec& image, containers::MatchLevel level) const;
+
+ private:
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    fleet::FleetIndex index;
+
+    Shard(std::size_t nodes, bool track_warm) : index(nodes, track_warm) {}
+  };
+
+  std::size_t nodes_;
+  bool track_warm_;
+  /// unique_ptr because std::shared_mutex is neither movable nor copyable.
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace mlcr::serve

@@ -1,0 +1,141 @@
+// MlcrScheduler::decide_batch: one forward_batch pass over B distinct
+// environments must be bit-identical, entry by entry, to each scheduler's
+// own sequential decide() — including the per-scheduler prev-arrival state
+// it advances. This is the contract that lets the serving layer batch waves
+// of requests without changing any routing decision.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/mlcr.hpp"
+#include "testing/fixtures.hpp"
+#include "util/check.hpp"
+
+namespace mlcr::core {
+namespace {
+
+using mlcr::testing::TinyWorld;
+
+MlcrConfig tiny_mlcr() {
+  MlcrConfig cfg = make_default_mlcr_config(/*num_slots=*/4,
+                                            /*embed_dim=*/16);
+  cfg.dqn.network.ffn_dim = 32;
+  return cfg;
+}
+
+std::unique_ptr<sim::ClusterEnv> make_env(const TinyWorld& world,
+                                          const sim::StartupCostModel& cost) {
+  sim::EnvConfig cfg;
+  cfg.pool_capacity_mb = 2048.0;
+  auto env = std::make_unique<sim::ClusterEnv>(
+      world.functions, world.catalog, cost, cfg,
+      [] { return std::make_unique<containers::LruEviction>(); });
+  env->reset_streaming();
+  return env;
+}
+
+TEST(ServeMlcrBatch, DecideBatchMatchesSequentialDecideBitForBit) {
+  TinyWorld world;
+  const sim::StartupCostModel cost = world.cost_model();
+  const MlcrConfig cfg = tiny_mlcr();
+  auto agent = std::make_shared<rl::DqnAgent>(cfg.dqn, util::Rng(21));
+
+  // Two mirrored 3-node worlds driven identically: `seq` decides one env at
+  // a time, `bat` decides all three per round in one forward_batch.
+  constexpr std::size_t kNodes = 3;
+  std::vector<std::unique_ptr<sim::ClusterEnv>> seq_envs;
+  std::vector<std::unique_ptr<sim::ClusterEnv>> bat_envs;
+  std::vector<std::unique_ptr<MlcrScheduler>> seq_scheds;
+  std::vector<std::unique_ptr<MlcrScheduler>> bat_scheds;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    seq_envs.push_back(make_env(world, cost));
+    bat_envs.push_back(make_env(world, cost));
+    seq_scheds.push_back(
+        std::make_unique<MlcrScheduler>(agent, StateEncoder(cfg.encoder)));
+    bat_scheds.push_back(
+        std::make_unique<MlcrScheduler>(agent, StateEncoder(cfg.encoder)));
+    seq_scheds.back()->on_episode_start(*seq_envs[i]);
+    bat_scheds.back()->on_episode_start(*bat_envs[i]);
+  }
+
+  const sim::FunctionTypeId fns[] = {world.fn_py_flask, world.fn_py_numpy,
+                                     world.fn_js};
+  double t = 0.0;
+  // Several rounds so the per-scheduler prev-arrival state matters.
+  for (std::size_t round = 0; round < 4; ++round) {
+    std::vector<sim::Invocation> offered;
+    offered.reserve(kNodes);
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      const sim::Invocation inv =
+          TinyWorld::inv(fns[(round + i) % 3], t + 0.3 * static_cast<double>(i),
+                         0.4);
+      offered.push_back(inv);
+      seq_envs[i]->offer(inv);
+      bat_envs[i]->offer(inv);
+    }
+    // Sequential reference decisions, one env at a time.
+    std::vector<sim::Action> expected;
+    expected.reserve(kNodes);
+    for (std::size_t i = 0; i < kNodes; ++i)
+      expected.push_back(seq_scheds[i]->decide(*seq_envs[i], offered[i]));
+    // One batched pass over the mirrored world.
+    std::vector<MlcrScheduler*> schedulers;
+    std::vector<const sim::ClusterEnv*> envs;
+    std::vector<const sim::Invocation*> invs;
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      schedulers.push_back(bat_scheds[i].get());
+      envs.push_back(bat_envs[i].get());
+      invs.push_back(&offered[i]);
+    }
+    const std::vector<sim::Action> actions =
+        MlcrScheduler::decide_batch(schedulers, envs, invs);
+    ASSERT_EQ(actions.size(), kNodes);
+
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      SCOPED_TRACE("round " + std::to_string(round) + " env " +
+                   std::to_string(i));
+      EXPECT_EQ(actions[i].kind, expected[i].kind);
+      EXPECT_EQ(actions[i].container, expected[i].container);
+      const sim::StepResult a = seq_envs[i]->step(expected[i]);
+      const sim::StepResult b = bat_envs[i]->step(actions[i]);
+      // Bit-exact doubles: the two worlds must stay identical forever.
+      EXPECT_EQ(a.latency_s, b.latency_s);
+      EXPECT_EQ(a.cold, b.cold);
+      EXPECT_EQ(a.match, b.match);
+    }
+    t += 5.0;
+  }
+}
+
+TEST(ServeMlcrBatch, EmptyBatchIsANoOp) {
+  EXPECT_TRUE(MlcrScheduler::decide_batch({}, {}, {}).empty());
+}
+
+TEST(ServeMlcrBatch, RejectsSchedulersWithDifferentAgents) {
+  TinyWorld world;
+  const sim::StartupCostModel cost = world.cost_model();
+  const MlcrConfig cfg = tiny_mlcr();
+  auto agent_a = std::make_shared<rl::DqnAgent>(cfg.dqn, util::Rng(1));
+  auto agent_b = std::make_shared<rl::DqnAgent>(cfg.dqn, util::Rng(2));
+  MlcrScheduler sched_a(agent_a, StateEncoder(cfg.encoder));
+  MlcrScheduler sched_b(agent_b, StateEncoder(cfg.encoder));
+  auto env_a = make_env(world, cost);
+  auto env_b = make_env(world, cost);
+  const sim::Invocation inv = TinyWorld::inv(world.fn_py_flask, 0.0, 0.1);
+  env_a->offer(inv);
+  env_b->offer(inv);
+  EXPECT_THROW((void)MlcrScheduler::decide_batch(
+                   {&sched_a, &sched_b}, {env_a.get(), env_b.get()},
+                   {&inv, &inv}),
+               util::CheckError);
+}
+
+TEST(ServeMlcrBatch, RejectsMismatchedSpanLengths) {
+  EXPECT_THROW(
+      (void)MlcrScheduler::decide_batch({nullptr}, {}, {}),
+      util::CheckError);
+}
+
+}  // namespace
+}  // namespace mlcr::core

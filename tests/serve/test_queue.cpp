@@ -1,0 +1,96 @@
+// BoundedQueue: FIFO batch draining, rejection at capacity, close()
+// semantics, and an MPMC stress run (the suite runs under TSan in CI).
+#include "serve/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace mlcr::serve {
+namespace {
+
+TEST(ServeQueue, TryPushRejectsWhenFull) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));
+  EXPECT_EQ(queue.size(), 2U);
+}
+
+TEST(ServeQueue, PopBatchDrainsFifoUpToMax) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(queue.try_push(i));
+  std::vector<int> out;
+  EXPECT_EQ(queue.pop_batch(out, 3), 3U);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(queue.pop_batch(out, 8), 2U);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ServeQueue, CloseDrainsRemainderThenSignalsShutdown) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.try_push(7));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(8));  // closed queues accept nothing
+  std::vector<int> out;
+  EXPECT_EQ(queue.pop_batch(out, 4), 1U);  // the remainder drains first
+  EXPECT_EQ(queue.pop_batch(out, 4), 0U);  // then 0 = closed-and-empty
+}
+
+TEST(ServeQueue, CloseUnblocksAWaitingConsumer) {
+  BoundedQueue<int> queue(4);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    std::vector<int> out;
+    const std::size_t n = queue.pop_batch(out, 4);
+    EXPECT_EQ(n, 0U);
+    returned.store(true);
+  });
+  queue.close();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(ServeQueue, DrainNowaitNeverBlocks) {
+  BoundedQueue<int> queue(4);
+  std::vector<int> out;
+  EXPECT_EQ(queue.drain_nowait(out, 4), 0U);
+}
+
+TEST(ServeQueue, MpmcStressConservesEveryItem) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kConsumers = 2;
+  constexpr std::size_t kPerProducer = 2000;
+  BoundedQueue<int> queue(64);
+  std::atomic<std::size_t> popped{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers + kConsumers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        while (!queue.try_push(static_cast<int>(i))) std::this_thread::yield();
+      }
+    });
+  }
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      std::vector<int> out;
+      for (;;) {
+        out.clear();
+        const std::size_t n = queue.pop_batch(out, 16);
+        if (n == 0) return;
+        popped.fetch_add(n);
+      }
+    });
+  }
+  for (std::size_t p = 0; p < kProducers; ++p) threads[p].join();
+  queue.close();
+  for (std::size_t c = kProducers; c < threads.size(); ++c) threads[c].join();
+  EXPECT_EQ(popped.load(), kProducers * kPerProducer);
+}
+
+}  // namespace
+}  // namespace mlcr::serve

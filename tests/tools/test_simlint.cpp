@@ -76,6 +76,7 @@ const FixtureCase kFixtureCases[] = {
     {"uninit_member.cpp", "src/containers/uninit_member.cpp"},
     {"missing_transition_check.cpp", "src/sim/env.cpp"},
     {"obs_wall_time.cpp", "src/obs/obs_wall_time.cpp"},
+    {"serve_clock_injection.cpp", "src/serve/service_like.cpp"},
     {"router_route_check.cpp", "src/fleet/router.cpp"},
     {"fault_rng_stream.cpp", "src/faults/fault_rng_stream.cpp"},
     {"clean.cpp", "src/sim/clean.cpp"},
@@ -109,6 +110,15 @@ TEST(Simlint, PathScopedRulesAreQuietOutsideTheirScope) {
   // interface; the router rule keys on the file, not the method name.
   const std::string router_src = read_fixture("router_route_check.cpp");
   EXPECT_TRUE(lint_source(router_src, "src/policies/router_like.cpp").empty());
+  // Wall-time reads are legal in the two serve allowed zones — the WallClock
+  // implementation itself and src/util — and outside src/ entirely (bench
+  // code stamps wall time for its own tables).
+  const std::string serve_src = read_fixture("serve_clock_injection.cpp");
+  EXPECT_TRUE(lint_source(serve_src, "src/serve/clock.cpp").empty());
+  EXPECT_TRUE(lint_source(serve_src, "src/util/wall_clock.cpp").empty());
+  EXPECT_TRUE(lint_source(serve_src, "bench/serve_throughput.cpp").empty());
+  // ...and the rule covers all service/simulation logic, not just src/serve.
+  EXPECT_FALSE(lint_source(serve_src, "src/fleet/serve_like.cpp").empty());
   // Literal-seed Rng construction is legal outside fault-handling code
   // (benches and tests seed their own streams); the rule is scoped to
   // src/faults and src/fleet.
@@ -123,6 +133,7 @@ TEST(Simlint, CleanFixtureIsQuietUnderEveryScope) {
   const std::string source = read_fixture("clean.cpp");
   for (const char* pretend :
        {"src/sim/clean.cpp", "src/containers/clean.cpp", "src/util/clean.cpp",
+        "src/serve/clean.cpp",
         "bench/clean.cpp", "tests/sim/clean.cpp"}) {
     const auto violations = lint_source(source, pretend);
     EXPECT_TRUE(violations.empty())

@@ -46,6 +46,12 @@ bool fault_code(const std::string& p) {
   // stream split() off the episode seed, never a locally-invented seed.
   return starts_with(p, "src/faults/") || starts_with(p, "src/fleet/");
 }
+bool serve_logic(const std::string& p) {
+  // Everything in src/ except the established allowed zones: src/util (the
+  // wall-clock producer), src/obs (its own obs-wall-time rule), and the one
+  // file implementing serve::WallClock.
+  return sim_code(p) && !obs_code(p) && p != "src/serve/clock.cpp";
+}
 
 // --- Source preprocessing --------------------------------------------------
 
@@ -191,6 +197,15 @@ const LineRule kLineRules[] = {
      "derive the stream from the episode: split() the caller's Rng or "
      "forward a seed variable; a literal seed decouples fault injection "
      "from the episode seed and silently breaks replay"},
+    {"serve-clock-injection",
+     "direct wall-time reads in service/simulation logic — the serving layer "
+     "takes time from an injected serve::Clock, so the same code path runs "
+     "live (WallClock) or deterministically replayed (SimClock)",
+     serve_logic,
+     R"(\b(wall_now_us|clock_gettime|gettimeofday)\s*\()",
+     "inject a serve::Clock (SimClock for replay, WallClock for live "
+     "serving) instead of reading wall time; src/serve/clock.cpp is the "
+     "only wall-time consumer outside src/util"},
     {"obs-wall-time",
      "wall-time reads inside src/obs — the tracing layer is clock-free by "
      "contract (DESIGN.md, Observability): every timestamp is supplied by "
