@@ -183,4 +183,55 @@ std::vector<std::string> check_bench_json(const std::string& json_text) {
   return errors;
 }
 
+std::vector<std::string> check_simlint_json(const std::string& json_text) {
+  std::vector<std::string> errors;
+  JsonValue root;
+  std::string parse_error;
+  if (!parse_json(json_text, root, parse_error)) {
+    errors.push_back("JSON parse error: " + parse_error);
+    return errors;
+  }
+  if (root.type != JsonValue::Type::kObject) {
+    errors.push_back("root must be an object");
+    return errors;
+  }
+
+  const JsonValue* tool = root.find("tool");
+  if (tool == nullptr || tool->type != JsonValue::Type::kString ||
+      tool->string != "simlint")
+    errors.push_back("\"tool\" must be the string \"simlint\"");
+
+  const JsonValue* violations = root.find("violations");
+  if (violations == nullptr ||
+      violations->type != JsonValue::Type::kArray) {
+    errors.push_back("\"violations\" must be an array");
+    return errors;
+  }
+
+  const JsonValue* count = root.find("count");
+  if (!is_finite_number(count) ||
+      count->number != static_cast<double>(violations->array.size()))
+    errors.push_back(
+        "\"count\" must be a number equal to the violations array length");
+
+  for (std::size_t i = 0; i < violations->array.size(); ++i) {
+    const JsonValue& v = violations->array[i];
+    const std::string at = "violation " + std::to_string(i) + ": ";
+    if (v.type != JsonValue::Type::kObject) {
+      errors.push_back(at + "not an object");
+      continue;
+    }
+    for (const char* key : {"file", "rule", "message"}) {
+      const JsonValue* field = v.find(key);
+      if (field == nullptr || field->type != JsonValue::Type::kString ||
+          field->string.empty())
+        errors.push_back(at + "\"" + key + "\" must be a non-empty string");
+    }
+    const JsonValue* line = v.find("line");
+    if (!is_finite_number(line) || line->number < 1.0)
+      errors.push_back(at + "\"line\" must be a finite number >= 1");
+  }
+  return errors;
+}
+
 }  // namespace mlcr::obs

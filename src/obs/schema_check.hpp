@@ -57,4 +57,17 @@ struct TraceCheckReport {
 [[nodiscard]] std::vector<std::string> check_bench_json(
     const std::string& json_text);
 
+/// Validate `json_text` against the report schema simlint --json emits (and
+/// CI's lint-strict job uploads):
+///   root := {"tool": "simlint",
+///            "count": number == len(violations),
+///            "violations": [{"file":    non-empty string,
+///                            "line":    finite number >= 1,
+///                            "rule":    non-empty string,
+///                            "message": non-empty string}*]}
+/// Unknown extra keys are allowed (append-only schema). Returns the problems
+/// found; empty means valid. Never throws on bad input.
+[[nodiscard]] std::vector<std::string> check_simlint_json(
+    const std::string& json_text);
+
 }  // namespace mlcr::obs

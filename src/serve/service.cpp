@@ -8,6 +8,7 @@
 #include "core/mlcr.hpp"
 #include "policies/runner.hpp"
 #include "util/check.hpp"
+#include "util/lock_audit.hpp"
 
 namespace mlcr::serve {
 
@@ -256,7 +257,10 @@ std::optional<std::size_t> SchedulerService::serve_one(const Request& req) {
 }
 
 void SchedulerService::dispatch_one(const Request& req, std::size_t target) {
-  std::lock_guard lock(*shard_mutexes_[index_->shard_of(target)]);
+  const std::size_t shard = index_->shard_of(target);
+  std::lock_guard lock(*shard_mutexes_[shard]);
+  const util::LockRankScope lock_rank(util::lock_ranks::service_shard(shard),
+                                      "service shard mutex");
   sim::ClusterEnv& env = fleet_.node_env(target);
   sim::Invocation inv = req.inv;
   // Concurrent ingestion can deliver a request after the node's clock moved
@@ -326,8 +330,13 @@ std::size_t SchedulerService::dispatch_wave(const std::vector<Request>& batch,
   shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
   std::vector<std::unique_lock<std::mutex>> locks;
   locks.reserve(shards.size());
-  for (const std::size_t shard : shards)
+  std::vector<util::LockRankScope> lock_ranks;
+  lock_ranks.reserve(shards.size());
+  for (const std::size_t shard : shards) {
     locks.emplace_back(*shard_mutexes_[shard]);
+    lock_ranks.emplace_back(util::lock_ranks::service_shard(shard),
+                            "service shard mutex");
+  }
 
   // Phase 3 — offer every wave member (clamped), then decide the
   // non-degraded ones in a single forward_batch under the inference mutex.
@@ -358,6 +367,8 @@ std::size_t SchedulerService::dispatch_wave(const std::vector<Request>& batch,
       invs.push_back(&offered[i]);
     }
     std::lock_guard inference_lock(inference_mutex_);
+    const util::LockRankScope inference_rank(util::lock_ranks::kInference,
+                                             "inference mutex");
     const std::vector<sim::Action> decided =
         core::MlcrScheduler::decide_batch(schedulers, envs, invs);
     for (std::size_t j = 0; j < ask.size(); ++j) actions[ask[j]] = decided[j];
@@ -398,7 +409,10 @@ void SchedulerService::janitor_step() {
   const std::size_t node =
       janitor_cursor_.fetch_add(1, std::memory_order_relaxed) %
       fleet_.node_count();
-  std::lock_guard lock(*shard_mutexes_[index_->shard_of(node)]);
+  const std::size_t shard = index_->shard_of(node);
+  std::lock_guard lock(*shard_mutexes_[shard]);
+  const util::LockRankScope lock_rank(util::lock_ranks::service_shard(shard),
+                                      "service shard mutex");
   sim::ClusterEnv& env = fleet_.node_env(node);
   if (env.now() >= now) return;
   env.advance_idle(now);

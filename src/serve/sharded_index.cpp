@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "util/check.hpp"
+#include "util/lock_audit.hpp"
 
 namespace mlcr::serve {
 
@@ -20,8 +21,11 @@ ShardedFleetIndex::ShardedFleetIndex(std::size_t nodes, std::size_t shards,
 
 void ShardedFleetIndex::update(std::size_t node, const sim::ClusterEnv& env) {
   MLCR_CHECK(node < nodes_);
-  Shard& shard = *shards_[shard_of(node)];
+  const std::size_t s = shard_of(node);
+  Shard& shard = *shards_[s];
   std::unique_lock lock(shard.mutex);
+  const util::LockRankScope lock_rank(util::lock_ranks::index_shard(s),
+                                      "index shard lock");
   shard.index.update(node, env);
 }
 
@@ -29,9 +33,12 @@ std::size_t ShardedFleetIndex::least_outstanding() const {
   // The global minimum of the (busy, node) order is the minimum over shard
   // minima; comparing the pairs keeps the lowest-index tie-break exact.
   std::optional<std::pair<std::size_t, std::size_t>> best;
-  for (const auto& shard : shards_) {
-    std::shared_lock lock(shard->mutex);
-    const auto entry = shard->index.least_outstanding_entry();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    std::shared_lock lock(shard.mutex);
+    const util::LockRankScope lock_rank(util::lock_ranks::index_shard(s),
+                                        "index shard lock");
+    const auto entry = shard.index.least_outstanding_entry();
     if (entry && (!best || *entry < *best)) best = entry;
   }
   MLCR_CHECK_MSG(best.has_value(), "least_outstanding() before any update()");
@@ -41,9 +48,12 @@ std::size_t ShardedFleetIndex::least_outstanding() const {
 std::optional<std::size_t> ShardedFleetIndex::least_outstanding_healthy()
     const {
   std::optional<std::pair<std::size_t, std::size_t>> best;
-  for (const auto& shard : shards_) {
-    std::shared_lock lock(shard->mutex);
-    const auto entry = shard->index.least_outstanding_healthy_entry();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    std::shared_lock lock(shard.mutex);
+    const util::LockRankScope lock_rank(util::lock_ranks::index_shard(s),
+                                        "index shard lock");
+    const auto entry = shard.index.least_outstanding_healthy_entry();
     if (entry && (!best || *entry < *best)) best = entry;
   }
   if (!best) return std::nullopt;
@@ -53,8 +63,11 @@ std::optional<std::size_t> ShardedFleetIndex::least_outstanding_healthy()
 fleet::FleetIndex::NodeLoad ShardedFleetIndex::node_load(
     std::size_t node) const {
   MLCR_CHECK(node < nodes_);
-  const Shard& shard = *shards_[shard_of(node)];
+  const std::size_t s = shard_of(node);
+  const Shard& shard = *shards_[s];
   std::shared_lock lock(shard.mutex);
+  const util::LockRankScope lock_rank(util::lock_ranks::index_shard(s),
+                                      "index shard lock");
   return shard.index.node_load(node);
 }
 
@@ -62,9 +75,12 @@ std::vector<std::size_t> ShardedFleetIndex::nodes_matching(
     const containers::ImageSpec& image, containers::MatchLevel level) const {
   MLCR_CHECK_MSG(track_warm_, "warm lookup on a load-only index");
   std::vector<std::size_t> out;
-  for (const auto& shard : shards_) {
-    std::shared_lock lock(shard->mutex);
-    const auto* matches = shard->index.nodes_matching(image, level);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    std::shared_lock lock(shard.mutex);
+    const util::LockRankScope lock_rank(util::lock_ranks::index_shard(s),
+                                        "index shard lock");
+    const auto* matches = shard.index.nodes_matching(image, level);
     if (matches == nullptr) continue;
     for (const auto& [node, count] : *matches) {
       (void)count;

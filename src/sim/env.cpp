@@ -123,6 +123,10 @@ std::optional<double> ClusterEnv::next_event_time() const {
 void ClusterEnv::finish_streaming() {
   MLCR_CHECK_MSG(streaming_, "finish_streaming() requires reset_streaming()");
   MLCR_CHECK_MSG(done(), "finish_streaming() with a pending invocation");
+  // Concurrent ingestion handed this node invocations in dispatch order;
+  // restore canonical seq order so cumulative series and the fleet-level
+  // audit see the strict sequential contract.
+  metrics_.sort_records_by_seq();
   finish_episode();
   MLCR_AUDIT_POINT(audit());
 }
@@ -521,7 +525,10 @@ void ClusterEnv::audit() const {
     MLCR_CHECK_MSG(c->id < next_container_id_,
                    "pooled container id " << c->id << " never issued");
 
-  metrics_.audit();
+  // Mid-flight streaming records arrive in dispatch order, not seq order;
+  // finish_streaming() sorts before the final audit re-imposes the strict
+  // ordering contract.
+  metrics_.audit(/*require_seq_order=*/!streaming_);
   const std::size_t episode_size =
       streaming_ ? stream_.size() : (trace_ != nullptr ? trace_->size() : 0);
   MLCR_CHECK_MSG(next_index_ <= episode_size, "episode index out of range");

@@ -28,6 +28,10 @@ bool seq_less(const InvocationRecord& a, const InvocationRecord& b) {
 
 }  // namespace
 
+void MetricsCollector::sort_records_by_seq() {
+  std::stable_sort(records_.begin(), records_.end(), seq_less);
+}
+
 void MetricsCollector::merge(const MetricsCollector& other) {
   // Both halves are in seq order in every current use (record() appends in
   // arrival order, merge()/merge_many() restore seq order), so a linear
@@ -89,9 +93,16 @@ double MetricsCollector::goodput() const noexcept {
 }
 
 void MetricsCollector::mark_failed(std::uint64_t seq) {
-  const auto it = std::lower_bound(
+  auto it = std::lower_bound(
       records_.begin(), records_.end(), seq,
       [](const InvocationRecord& r, std::uint64_t s) { return r.seq < s; });
+  if (it == records_.end() || it->seq != seq) {
+    // Streaming episodes append in dispatch order, so the binary search may
+    // miss until sort_records_by_seq() runs; fall back to a linear scan.
+    it = std::find_if(
+        records_.begin(), records_.end(),
+        [seq](const InvocationRecord& r) { return r.seq == seq; });
+  }
   MLCR_CHECK_MSG(it != records_.end() && it->seq == seq,
                  "mark_failed: no record with trace seq " << seq);
   if (it->failed) return;
@@ -137,7 +148,7 @@ std::vector<double> MetricsCollector::cumulative_latency() const {
   return out;
 }
 
-void MetricsCollector::audit() const {
+void MetricsCollector::audit(bool require_seq_order) const {
   double total = 0.0;
   std::size_t cold = 0;
   std::size_t failed = 0;
@@ -156,7 +167,7 @@ void MetricsCollector::audit() const {
     else
       ++by_level[static_cast<std::size_t>(r.match)];
     retries += r.attempts - 1;
-    MLCR_CHECK_MSG(i == 0 || r.seq >= prev_seq,
+    MLCR_CHECK_MSG(!require_seq_order || i == 0 || r.seq >= prev_seq,
                    "records out of trace-sequence order at seq " << r.seq);
     prev_seq = r.seq;
   }

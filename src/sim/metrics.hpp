@@ -37,6 +37,12 @@ class MetricsCollector {
   void record(InvocationRecord rec);
   void clear();
 
+  /// Restore canonical trace-sequence order (stable sort on seq). Streaming
+  /// ingestion (the serving front-end) records completions in dispatch
+  /// order, not arrival order; sorting at episode end makes the cumulative
+  /// series and the seq-order audit meaningful again.
+  void sort_records_by_seq();
+
   /// Fold another collector into this one (fleet-wide aggregation across
   /// nodes). Records are re-ordered by trace sequence number so cumulative
   /// series stay in global arrival order.
@@ -105,9 +111,12 @@ class MetricsCollector {
 
   /// Invariant auditor: the incremental aggregates (total latency, cold
   /// count, per-level warm counts) match a recomputation from the records,
-  /// and records are in trace-sequence order. Throws util::CheckError on
+  /// and (when `require_seq_order`) records are in trace-sequence order.
+  /// Streaming episodes pass false mid-flight — concurrent producers hand a
+  /// node invocations in dispatch order — and sort_records_by_seq() at
+  /// episode end restores the strict contract. Throws util::CheckError on
   /// violation; see util/audit.hpp for when it runs automatically.
-  void audit() const;
+  void audit(bool require_seq_order = true) const;
 
  private:
   friend struct MetricsTestPeer;  ///< test-only corruption hook (tests/sim)

@@ -1,0 +1,133 @@
+// Runtime lock-order validator — the dynamic half of the concurrency
+// contract (DESIGN.md §12). The static half is simlint's lock-discipline
+// checker (tools/simlint/locks.hpp); both encode the same declared order:
+//
+//   service shard mutexes (ascending shard)  rank 1'000'000 + shard
+//   inference mutex                          rank 2'000'000
+//   index shard locks (leaves)               rank 3'000'000 + shard
+//
+// Every thread keeps a thread-local stack of held ranks. An acquisition must
+// carry a rank strictly greater than everything the thread already holds —
+// equal is a double-acquisition, smaller is an ordering inversion; either
+// throws util::CheckError via MLCR_CHECK_MSG so tests can assert on it.
+// Releases may happen in any order (dispatch_wave's guard vector is
+// destroyed front-to-back), so released() erases by value, not by popping.
+//
+// The validator methods are always compiled — tests drive them directly —
+// but instrumentation call sites go through LockRankScope, whose body
+// compiles away unless MLCR_AUDIT_ENABLED (Debug builds, or MLCR_AUDIT=ON;
+// CI's TSan job runs the serve suite with the validator live). Validation is
+// purely thread-local: no atomics, no shared state, no interference with the
+// locking it observes.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/audit.hpp"
+#include "util/check.hpp"
+
+namespace mlcr::util {
+
+namespace lock_ranks {
+
+inline constexpr std::uint64_t kServiceShardBase = 1'000'000;
+inline constexpr std::uint64_t kInference = 2'000'000;
+inline constexpr std::uint64_t kIndexShardBase = 3'000'000;
+
+/// Rank of SchedulerService's dispatch mutex for `shard` (ascending-index
+/// acquisition across a wave maps to ascending ranks).
+[[nodiscard]] constexpr std::uint64_t service_shard(std::size_t shard) {
+  return kServiceShardBase + shard;
+}
+
+/// Rank of ShardedFleetIndex's per-shard lock — the leaves: with the top
+/// rank band, acquiring anything on top of one is an inversion by
+/// construction.
+[[nodiscard]] constexpr std::uint64_t index_shard(std::size_t shard) {
+  return kIndexShardBase + shard;
+}
+
+}  // namespace lock_ranks
+
+/// Thread-local acquisition-stack validator. Static methods only; the held
+/// stack lives per thread.
+class LockOrderValidator {
+ public:
+  /// Record an acquisition. Throws CheckError if `rank` is not strictly
+  /// greater than every rank this thread already holds.
+  static void acquired(std::uint64_t rank, const char* name) {
+    std::vector<std::uint64_t>& stack = held();
+    for (const std::uint64_t h : stack) {
+      MLCR_CHECK_MSG(h != rank, "lock-order audit: '"
+                                    << name << "' (rank " << rank
+                                    << ") acquired twice on one thread");
+      MLCR_CHECK_MSG(h < rank, "lock-order audit: '"
+                                   << name << "' (rank " << rank
+                                   << ") acquired while holding rank " << h
+                                   << "; the declared order is service shard "
+                                      "mutexes (ascending) < inference mutex "
+                                      "< index shard locks");
+    }
+    stack.push_back(rank);
+  }
+
+  /// Record a release. Out-of-LIFO release is legal (guard vectors destroy
+  /// front-to-back); releasing a rank that is not held is ignored so scope
+  /// teardown stays noexcept.
+  static void released(std::uint64_t rank) noexcept {
+    std::vector<std::uint64_t>& stack = held();
+    const auto it = std::find(stack.rbegin(), stack.rend(), rank);
+    if (it != stack.rend()) stack.erase(std::next(it).base());
+  }
+
+  /// Number of ranks the calling thread currently holds (for tests).
+  [[nodiscard]] static std::size_t held_count() { return held().size(); }
+
+  /// Drop all record for the calling thread (test isolation after a thrown
+  /// CheckError left ranks registered).
+  static void reset() { held().clear(); }
+
+ private:
+  [[nodiscard]] static std::vector<std::uint64_t>& held() {
+    thread_local std::vector<std::uint64_t> stack;
+    return stack;
+  }
+};
+
+/// RAII companion for an already-taken guard: declare one right after the
+/// lock it shadows. Compiles to nothing unless the auditor is enabled.
+class LockRankScope {
+ public:
+  LockRankScope(std::uint64_t rank, const char* name) : rank_(rank) {
+#if MLCR_AUDIT_ENABLED
+    LockOrderValidator::acquired(rank_, name);
+    armed_ = true;
+#else
+    (void)name;
+#endif
+  }
+
+  LockRankScope(LockRankScope&& other) noexcept
+      : rank_(other.rank_), armed_(other.armed_) {
+    other.armed_ = false;
+  }
+
+  LockRankScope(const LockRankScope&) = delete;
+  LockRankScope& operator=(const LockRankScope&) = delete;
+  LockRankScope& operator=(LockRankScope&&) = delete;
+
+  ~LockRankScope() {
+#if MLCR_AUDIT_ENABLED
+    if (armed_) LockOrderValidator::released(rank_);
+#endif
+  }
+
+ private:
+  std::uint64_t rank_;
+  bool armed_ = false;
+};
+
+}  // namespace mlcr::util

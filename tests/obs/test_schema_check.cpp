@@ -172,5 +172,51 @@ TEST(BenchSchema, RejectsMissingOrMistypedFields) {
   EXPECT_FALSE(check_bench_json("[]").empty());
 }
 
+TEST(SimlintSchema, AcceptsEmptyAndPopulatedReports) {
+  EXPECT_TRUE(check_simlint_json(
+                  R"({"tool":"simlint","count":0,"violations":[]})")
+                  .empty());
+  EXPECT_TRUE(check_simlint_json(
+                  R"({"tool":"simlint","count":2,"violations":[)"
+                  R"({"file":"src/sim/env.cpp","line":12,)"
+                  R"("rule":"banned-random","message":"use util::Rng"},)"
+                  R"({"file":"src/serve/service.cpp","line":300,)"
+                  R"("rule":"lock-order","message":"inversion"}],)"
+                  R"("extra":"ignored"})")
+                  .empty());
+}
+
+TEST(SimlintSchema, RejectsContractViolations) {
+  // Wrong tool name.
+  EXPECT_FALSE(check_simlint_json(
+                   R"({"tool":"otherlint","count":0,"violations":[]})")
+                   .empty());
+  // count disagrees with the array length.
+  EXPECT_FALSE(check_simlint_json(
+                   R"({"tool":"simlint","count":3,"violations":[]})")
+                   .empty());
+  // Missing violations array.
+  EXPECT_FALSE(
+      check_simlint_json(R"({"tool":"simlint","count":0})").empty());
+  // Violation with an empty rule.
+  EXPECT_FALSE(check_simlint_json(
+                   R"({"tool":"simlint","count":1,"violations":[)"
+                   R"({"file":"a.cpp","line":1,"rule":"","message":"m"}]})")
+                   .empty());
+  // Line numbers are 1-based.
+  EXPECT_FALSE(check_simlint_json(
+                   R"({"tool":"simlint","count":1,"violations":[)"
+                   R"({"file":"a.cpp","line":0,"rule":"r","message":"m"}]})")
+                   .empty());
+  // Violation missing its message.
+  EXPECT_FALSE(check_simlint_json(
+                   R"({"tool":"simlint","count":1,"violations":[)"
+                   R"({"file":"a.cpp","line":1,"rule":"r"}]})")
+                   .empty());
+  // Root must be an object; malformed JSON never throws.
+  EXPECT_FALSE(check_simlint_json("[]").empty());
+  EXPECT_FALSE(check_simlint_json("{").empty());
+}
+
 }  // namespace
 }  // namespace mlcr::obs

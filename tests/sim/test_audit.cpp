@@ -222,6 +222,12 @@ TEST(MetricsAudit, CatchesOutOfOrderRecords) {
   ASSERT_GE(records.size(), 2U);
   std::swap(records.front(), records.back());
   EXPECT_THROW(m.audit(), util::CheckError);
+  // Streaming episodes audit without the ordering contract mid-flight
+  // (concurrent producers dispatch out of arrival order)...
+  EXPECT_NO_THROW(m.audit(/*require_seq_order=*/false));
+  // ...and sorting restores the strict contract at episode end.
+  m.sort_records_by_seq();
+  EXPECT_NO_THROW(m.audit());
 }
 
 TEST(EncoderAudit, QuietOnRealEncodings) {

@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/schema_check.hpp"
+
 #ifndef SIMLINT_FIXTURE_DIR
 #error "SIMLINT_FIXTURE_DIR must point at tools/simlint/fixtures"
 #endif
@@ -79,6 +81,9 @@ const FixtureCase kFixtureCases[] = {
     {"serve_clock_injection.cpp", "src/serve/service_like.cpp"},
     {"router_route_check.cpp", "src/fleet/router.cpp"},
     {"fault_rng_stream.cpp", "src/faults/fault_rng_stream.cpp"},
+    {"lock_discipline.cpp", "src/serve/lock_discipline.cpp"},
+    {"lock_clean.cpp", "src/serve/lock_clean.cpp"},
+    {"unused_suppression.cpp", "src/serve/unused_suppression.cpp"},
     {"clean.cpp", "src/sim/clean.cpp"},
 };
 
@@ -177,10 +182,29 @@ TEST(Simlint, LineAndFileSuppressionsSilenceARule) {
       "int g() { return rand() % 5; }\n";
   EXPECT_TRUE(lint_source(file_allow, "src/sim/x.cpp").empty());
 
-  // A suppression for one rule must not silence another.
+  // A suppression for one rule must not silence another — and the mismatch
+  // is itself an error: the banned-clock allow suppresses nothing here.
   const std::string wrong_allow =
       "int f() { return rand() % 3; }  // simlint:allow(banned-clock)\n";
-  EXPECT_EQ(lint_source(wrong_allow, "src/sim/x.cpp").size(), 1U);
+  const auto wrong = lint_source(wrong_allow, "src/sim/x.cpp");
+  ASSERT_EQ(wrong.size(), 2U);
+  EXPECT_EQ(wrong[0].rule, "banned-random");
+  EXPECT_EQ(wrong[1].rule, "unused-suppression");
+
+  // Unused-suppression violations cannot themselves be suppressed.
+  const std::string meta_allow =
+      "// simlint:allow(banned-clock)  // simlint:allow(unused-suppression)\n";
+  EXPECT_FALSE(lint_source(meta_allow, "src/sim/x.cpp").empty());
+
+  // An allow spelled inside a string literal (e.g. a lint test's own source
+  // text) is not a suppression: it neither silences the rule on the next
+  // line nor counts as unused.
+  const std::string in_string =
+      "const char* kDoc = \"x  // simlint:allow(banned-random)\";\n"
+      "int f() { return rand() % 3; }\n";
+  const auto stringy = lint_source(in_string, "src/sim/x.cpp");
+  ASSERT_EQ(stringy.size(), 1U);
+  EXPECT_EQ(stringy[0].rule, "banned-random");
 }
 
 TEST(Simlint, PairedHeaderMembersFeedUnorderedIterationRule) {
@@ -205,6 +229,22 @@ TEST(Simlint, PairedHeaderMembersFeedUnorderedIterationRule) {
   ASSERT_EQ(violations.size(), 1U);
   EXPECT_EQ(violations[0].rule, "unordered-iteration");
   EXPECT_EQ(violations[0].line, 3U);
+}
+
+TEST(Simlint, JsonOutputSatisfiesTheSimlintSchema) {
+  // The exact JSON --json writes (main.cpp self-validates the same way
+  // before writing) — pin it against the obs schema checker here so a
+  // serializer change that breaks the schema fails in unit tests, not CI.
+  const std::string empty_doc = violations_to_json({});
+  EXPECT_TRUE(obs::check_simlint_json(empty_doc).empty()) << empty_doc;
+
+  const std::string source =
+      "int f() { return rand() % 3; }  // path: \"quoted\\here\"\n";
+  const std::string doc =
+      violations_to_json(lint_source(source, "src/sim/x.cpp"));
+  const auto errors = obs::check_simlint_json(doc);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? doc : errors[0]);
+  EXPECT_NE(doc.find("\"rule\":\"banned-random\""), std::string::npos) << doc;
 }
 
 TEST(Simlint, CommentsAndStringsNeverFire) {

@@ -1,0 +1,168 @@
+// Tokenizer tests: the lexical hazards that defeat line-regex scanning —
+// raw strings, line continuations, block comments, directives — must not
+// confuse the token stream the lock-fact extractor consumes.
+#include "tools/simlint/token.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace mlcr::simlint {
+namespace {
+
+std::vector<std::string> idents(const std::vector<Token>& toks) {
+  std::vector<std::string> out;
+  for (const Token& t : toks)
+    if (t.kind == Token::Kind::kIdent) out.push_back(t.text);
+  return out;
+}
+
+bool has_ident(const std::vector<Token>& toks, const std::string& name) {
+  for (const Token& t : toks)
+    if (t.kind == Token::Kind::kIdent && t.text == name) return true;
+  return false;
+}
+
+TEST(SimlintToken, BasicStreamWithLinesAndCompoundPunct) {
+  const auto toks = tokenize("int x = 1;\nstd::mutex* m = obj->mu;\n");
+  ASSERT_GE(toks.size(), 10U);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[0].kind, Token::Kind::kIdent);
+  EXPECT_EQ(toks[0].line, 1U);
+  EXPECT_EQ(toks[3].text, "1");
+  EXPECT_EQ(toks[3].kind, Token::Kind::kNumber);
+  // `::` and `->` stay whole so member chains are readable.
+  bool saw_scope = false;
+  bool saw_arrow = false;
+  for (const Token& t : toks) {
+    if (t.text == "::") saw_scope = true;
+    if (t.text == "->") saw_arrow = true;
+    if (t.line == 2U) {
+      EXPECT_NE(t.text, "int");
+    }
+  }
+  EXPECT_TRUE(saw_scope);
+  EXPECT_TRUE(saw_arrow);
+}
+
+TEST(SimlintToken, CommentsAreDroppedAndDoNotNest) {
+  const auto toks = tokenize("// lock_guard in a line comment\n"
+                             "/* lock_guard /* inner */ int after;\n");
+  EXPECT_FALSE(has_ident(toks, "lock_guard"));
+  // Block comments end at the FIRST */ (C++ semantics, no nesting): the
+  // code after it is live again.
+  EXPECT_TRUE(has_ident(toks, "after"));
+  EXPECT_FALSE(has_ident(toks, "inner"));
+}
+
+TEST(SimlintToken, StringAndCharLiteralsBecomeOpaqueTokens) {
+  const auto toks = tokenize("const char* s = \"lock_guard \\\" still\";\n"
+                             "char c = '{';\n");
+  EXPECT_FALSE(has_ident(toks, "lock_guard"));
+  EXPECT_FALSE(has_ident(toks, "still"));
+  std::size_t strings = 0;
+  std::size_t chars = 0;
+  std::size_t braces = 0;
+  for (const Token& t : toks) {
+    if (t.kind == Token::Kind::kString) ++strings;
+    if (t.kind == Token::Kind::kChar) ++chars;
+    if (t.kind == Token::Kind::kPunct && t.text == "{") ++braces;
+  }
+  EXPECT_EQ(strings, 1U);
+  EXPECT_EQ(chars, 1U);
+  // The '{' inside the char literal must not look like a scope.
+  EXPECT_EQ(braces, 0U);
+}
+
+TEST(SimlintToken, RawStringsMatchByDelimiterAndTrackLines) {
+  const std::string src =
+      "auto s = R\"x(std::lock_guard lock(mu_); )\" )x\";\n"
+      "int next_line = 0;\n";
+  const auto toks = tokenize(src);
+  EXPECT_FALSE(has_ident(toks, "lock_guard"));
+  std::size_t raws = 0;
+  for (const Token& t : toks)
+    if (t.kind == Token::Kind::kRawString) ++raws;
+  EXPECT_EQ(raws, 1U);
+  // A plain )" inside the delimited raw string does not end it.
+  for (const Token& t : toks) {
+    if (t.kind == Token::Kind::kIdent && t.text == "next_line") {
+      EXPECT_EQ(t.line, 2U);
+    }
+  }
+}
+
+TEST(SimlintToken, MultiLineRawStringKeepsLineNumbers) {
+  const auto toks = tokenize("auto s = R\"(line one\nline two\n)\";\n"
+                             "int after = 0;\n");
+  EXPECT_FALSE(has_ident(toks, "line"));
+  for (const Token& t : toks) {
+    if (t.kind == Token::Kind::kIdent && t.text == "after") {
+      EXPECT_EQ(t.line, 4U);
+    }
+  }
+}
+
+TEST(SimlintToken, LineContinuationsSpliceEverywhereButRawStrings) {
+  // Spliced identifier: "loc\<newline>k_guard" is one identifier.
+  const auto spliced = tokenize("loc\\\nk_guard x;\n");
+  EXPECT_TRUE(has_ident(spliced, "lock_guard"));
+  // A spliced // comment swallows the next physical line entirely.
+  const auto comment = tokenize("// swallowed \\\nint hidden = 1;\nint live;\n");
+  EXPECT_FALSE(has_ident(comment, "hidden"));
+  EXPECT_TRUE(has_ident(comment, "live"));
+  // Tokens after a splice still carry physical line numbers.
+  for (const Token& t : comment) {
+    if (t.kind == Token::Kind::kIdent && t.text == "live") {
+      EXPECT_EQ(t.line, 3U);
+    }
+  }
+}
+
+TEST(SimlintToken, DirectiveTokensAreFlagged) {
+  const auto toks = tokenize("#define LOCK(m) std::lock_guard g(m)\n"
+                             "int code = 0;\n"
+                             "#include \"serve/service.hpp\"\n");
+  bool directive_guard = false;
+  for (const Token& t : toks) {
+    if (t.text == "lock_guard") {
+      EXPECT_TRUE(t.in_directive);
+      directive_guard = true;
+    }
+    if (t.text == "code") {
+      EXPECT_FALSE(t.in_directive);
+    }
+    if (t.kind == Token::Kind::kString) {
+      EXPECT_TRUE(t.in_directive);  // the include target
+    }
+  }
+  EXPECT_TRUE(directive_guard);
+  // A multi-line macro (spliced) keeps the directive flag across the splice.
+  const auto multi = tokenize("#define TWO(m) \\\n  std::lock_guard g(m)\n"
+                              "int outside;\n");
+  for (const Token& t : multi) {
+    if (t.text == "lock_guard") {
+      EXPECT_TRUE(t.in_directive);
+    }
+    if (t.text == "outside") {
+      EXPECT_FALSE(t.in_directive);
+    }
+  }
+}
+
+TEST(SimlintToken, NumbersWithSeparatorsAndUnterminatedLiteralsRecover) {
+  const auto toks = tokenize("auto r = 1'000'000 + 0x1F;\n"
+                             "const char* broken = \"no closing quote\n"
+                             "int survivor = 2;\n");
+  bool saw_big = false;
+  for (const Token& t : toks)
+    if (t.kind == Token::Kind::kNumber && t.text == "1'000'000") saw_big = true;
+  EXPECT_TRUE(saw_big);
+  // Unterminated string recovers at end of line; later code still lexes.
+  EXPECT_TRUE(has_ident(toks, "survivor"));
+  EXPECT_EQ(idents(toks).back(), "survivor");
+}
+
+}  // namespace
+}  // namespace mlcr::simlint

@@ -1,0 +1,9 @@
+// Layering fixture (bad tree): serve (layer 6) including sim (layer 3) is a
+// legal downward edge; the violation lives in the files below it.
+#pragma once
+
+#include "sim/loop_a.hpp"
+
+namespace fixture {
+inline int api_version() { return loop_a(); }
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Layering fixture (bad tree): half of an include cycle within one layer.
+#pragma once
+
+#include "sim/loop_b.hpp"
+
+namespace fixture {
+inline int loop_a() { return 1; }
+}  // namespace fixture

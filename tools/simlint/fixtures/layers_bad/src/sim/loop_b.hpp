@@ -1,0 +1,9 @@
+// Layering fixture (bad tree): this include closes the loop_a -> loop_b ->
+// loop_a cycle, so the cycle is reported here.
+#pragma once
+
+#include "sim/loop_a.hpp"  // VIOLATION layer-cycle
+
+namespace fixture {
+inline int loop_b() { return 2; }
+}  // namespace fixture

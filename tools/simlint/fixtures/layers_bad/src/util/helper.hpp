@@ -1,0 +1,9 @@
+// Layering fixture (bad tree): util is layer 0 and may not reach up into
+// the serving layer.
+#pragma once
+
+#include "serve/api.hpp"  // VIOLATION layer-upward
+
+namespace fixture {
+inline int helper() { return api_version(); }
+}  // namespace fixture

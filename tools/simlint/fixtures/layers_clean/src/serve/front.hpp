@@ -1,0 +1,13 @@
+// Layering fixture (clean tree): serve (layer 6) may include any lower
+// layer; unresolved and angle-bracket includes are ignored.
+#pragma once
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "third_party/not_in_tree.hpp"
+#include "util/base.hpp"
+
+namespace fixture {
+inline int front() { return engine() + base(); }
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Layering fixture (clean tree): sim (layer 3) reaching down to util
+// (layer 0) is the intended direction.
+#pragma once
+
+#include "util/base.hpp"
+
+namespace fixture {
+inline int engine() { return base() + 1; }
+}  // namespace fixture

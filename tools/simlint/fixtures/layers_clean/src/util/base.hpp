@@ -1,0 +1,6 @@
+// Layering fixture (clean tree): the foundation includes nothing.
+#pragma once
+
+namespace fixture {
+inline int base() { return 0; }
+}  // namespace fixture

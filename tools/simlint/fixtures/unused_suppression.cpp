@@ -1,0 +1,20 @@
+// Unused-suppression fixture: a simlint:allow(...) that still matches a
+// violation is silent, while stale or misspelled allowances are errors on
+// the line of the comment itself.
+#include <cstdlib>
+
+// This suppression is used (it silences banned-random) — quiet.
+inline int jitter() {
+  return std::rand() % 3;  // simlint:allow(banned-random) fixture-justified
+}
+
+// A known rule that fires nowhere near this line is a stale allowance.
+inline int idle() {
+  return 7;  // simlint:allow(banned-clock)  // VIOLATION unused-suppression
+}
+
+// A misspelled rule id can never match anything.
+// simlint:allow(baned-random)  // VIOLATION unused-suppression
+
+// File-level allowances go stale the same way.
+// simlint:allow-file(banned-getenv)  // VIOLATION unused-suppression

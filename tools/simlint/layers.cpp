@@ -1,0 +1,237 @@
+#include "simlint/layers.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <stdexcept>
+
+#include "simlint/token.hpp"
+
+namespace mlcr::simlint {
+
+namespace {
+
+constexpr char kCycleId[] = "layer-cycle";
+constexpr char kUpwardId[] = "layer-upward";
+
+struct LayerSpec {
+  const char* prefix;
+  int layer;
+};
+
+// The as-built layer order; see layers.hpp for the rationale. obs/faults sit
+// below sim because event records and fault schedules are inputs the
+// simulator consumes, not instrumentation layered on top of it.
+const LayerSpec kLayers[] = {
+    {"src/util/", 0},        {"src/obs/", 1},    {"src/faults/", 1},
+    {"src/containers/", 2},  {"src/nn/", 2},     {"src/sim/", 3},
+    {"src/rl/", 3},          {"src/policies/", 4}, {"src/core/", 5},
+    {"src/fleet/", 5},       {"src/fstartbench/", 5}, {"src/serve/", 6},
+    {"bench/", 7},           {"tools/", 7},      {"examples/", 7},
+    {"tests/", 7},
+};
+
+constexpr int kTopLayer = 8;
+
+[[nodiscard]] bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+struct Include {
+  std::size_t line = 0;
+  std::string target;
+};
+
+/// Quoted `#include "..."` directives; angle includes are not tokenized as
+/// strings and so fall out naturally.
+[[nodiscard]] std::vector<Include> quoted_includes(const std::string& source) {
+  const std::vector<Token> toks = tokenize(source);
+  std::vector<Include> out;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].text != "#" || !toks[i].in_directive) continue;
+    if (toks[i + 1].kind != Token::Kind::kIdent ||
+        toks[i + 1].text != "include")
+      continue;
+    if (toks[i + 2].kind != Token::Kind::kString) continue;
+    const std::string& quoted = toks[i + 2].text;
+    if (quoted.size() < 2) continue;
+    out.push_back({toks[i + 2].line, quoted.substr(1, quoted.size() - 2)});
+  }
+  return out;
+}
+
+/// Resolve a quoted include against the scanned set, mirroring the build's
+/// include directories: the includer's own directory first, then the `src/`
+/// and `tools/` roots, then repo-relative. Unresolved includes are ignored.
+[[nodiscard]] std::string resolve_include(
+    const std::string& includer_rel, const std::string& target,
+    const std::map<std::string, std::size_t>& known) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(includer_rel).parent_path();
+  const std::string candidates[] = {
+      (dir / target).lexically_normal().generic_string(),
+      (fs::path("src") / target).lexically_normal().generic_string(),
+      (fs::path("tools") / target).lexically_normal().generic_string(),
+      fs::path(target).lexically_normal().generic_string(),
+  };
+  for (const std::string& c : candidates)
+    if (known.count(c) != 0) return c;
+  return {};
+}
+
+/// Local suppression test (same spelling/semantics as lint_source): a
+/// `simlint:allow(<rule>)` on the flagged line or the line above, or an
+/// `allow-file` anywhere in the file.
+[[nodiscard]] bool layer_allowed(const std::vector<std::string>& raw,
+                                 const std::string& rule, std::size_t line) {
+  static const std::regex kAllow(
+      R"(simlint:allow(-file)?\(([A-Za-z0-9_-]+)\))");
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    auto begin = std::sregex_iterator(raw[i].begin(), raw[i].end(), kAllow);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      if ((*it)[2].str() != rule) continue;
+      if ((*it)[1].matched) return true;  // allow-file
+      if (i + 1 == line || i + 2 == line) return true;
+    }
+  }
+  return false;
+}
+
+[[nodiscard]] std::vector<std::string> split_lines(const std::string& source) {
+  std::vector<std::string> lines;
+  std::istringstream is(source);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& layer_rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {kCycleId,
+       "cycle in the resolved quoted-include graph (reported at the include "
+       "that closes the cycle)"},
+      {kUpwardId,
+       "quoted include that reaches a higher architectural layer than the "
+       "including file"},
+  };
+  return kRules;
+}
+
+int layer_of(const std::string& rel_path) {
+  for (const LayerSpec& spec : kLayers)
+    if (starts_with(rel_path, spec.prefix)) return spec.layer;
+  return kTopLayer;
+}
+
+std::vector<Violation> check_layers(const std::vector<LayerFile>& files) {
+  std::map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < files.size(); ++i)
+    index.emplace(files[i].rel_path, i);
+
+  struct Edge {
+    std::size_t to = 0;
+    std::size_t line = 0;
+  };
+  std::vector<std::vector<Edge>> adj(files.size());
+  std::vector<std::vector<std::string>> raw(files.size());
+  std::vector<Violation> out;
+
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    raw[i] = split_lines(files[i].source);
+    for (const Include& inc : quoted_includes(files[i].source)) {
+      const std::string resolved =
+          resolve_include(files[i].rel_path, inc.target, index);
+      if (resolved.empty()) continue;
+      const std::size_t j = index.at(resolved);
+      adj[i].push_back({j, inc.line});
+      if (layer_of(files[j].rel_path) > layer_of(files[i].rel_path) &&
+          !layer_allowed(raw[i], kUpwardId, inc.line)) {
+        out.push_back(
+            {files[i].rel_path, inc.line, kUpwardId,
+             "layer " + std::to_string(layer_of(files[i].rel_path)) +
+                 " file includes '" + files[j].rel_path + "' (layer " +
+                 std::to_string(layer_of(files[j].rel_path)) +
+                 "); dependencies must point downward — move the shared "
+                 "piece to a lower layer or invert the dependency"});
+      }
+    }
+  }
+
+  // Cycle detection: DFS with tricolor marking over the sorted-by-caller file
+  // order; every back edge closes exactly one reported cycle.
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(files.size(), Color::kWhite);
+  std::vector<std::size_t> path;
+
+  const std::function<void(std::size_t)> dfs = [&](std::size_t u) {
+    color[u] = Color::kGray;
+    path.push_back(u);
+    for (const Edge& e : adj[u]) {
+      if (color[e.to] == Color::kGray) {
+        std::string chain;
+        const auto it = std::find(path.begin(), path.end(), e.to);
+        for (auto p = it; p != path.end(); ++p)
+          chain += files[*p].rel_path + " -> ";
+        chain += files[e.to].rel_path;
+        if (!layer_allowed(raw[u], kCycleId, e.line))
+          out.push_back({files[u].rel_path, e.line, kCycleId,
+                         "include cycle: " + chain +
+                             "; break the cycle with a forward declaration "
+                             "or by splitting the header"});
+      } else if (color[e.to] == Color::kWhite) {
+        dfs(e.to);
+      }
+    }
+    path.pop_back();
+    color[u] = Color::kBlack;
+  };
+  for (std::size_t i = 0; i < files.size(); ++i)
+    if (color[i] == Color::kWhite) dfs(i);
+
+  std::sort(out.begin(), out.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return out;
+}
+
+std::vector<Violation> lint_layers(const std::string& repo_root,
+                                   const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> paths;
+  for (const std::string& root : roots) {
+    const fs::path base = fs::path(repo_root) / root;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension();
+      if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc")
+        paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<LayerFile> files;
+  for (const fs::path& p : paths) {
+    const std::string rel = p.lexically_relative(repo_root).generic_string();
+    if (rel.find("fixtures/") != std::string::npos)
+      continue;  // fixture trees contain deliberate violations
+    std::ifstream is(p, std::ios::binary);
+    if (!is.is_open())
+      throw std::runtime_error("simlint: cannot read " + p.string());
+    std::ostringstream os;
+    os << is.rdbuf();
+    files.push_back({rel, os.str()});
+  }
+  return check_layers(files);
+}
+
+}  // namespace mlcr::simlint

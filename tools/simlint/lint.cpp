@@ -10,6 +10,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/json.hpp"
+#include "simlint/locks.hpp"
+#include "simlint/token.hpp"
+
 namespace mlcr::simlint {
 
 namespace {
@@ -55,10 +59,13 @@ bool serve_logic(const std::string& p) {
 
 // --- Source preprocessing --------------------------------------------------
 
-/// Blanks comments, string literals and char literals so rule patterns never
-/// fire inside them; line structure is preserved. The raw lines are kept
-/// separately for `simlint:allow` detection.
-[[nodiscard]] std::vector<std::string> code_lines(const std::string& source) {
+/// Blanks string literals and char literals, and either blanks comments too
+/// (`keep_comments == false` — the form rule patterns scan) or keeps their
+/// text (`keep_comments == true` — the form `simlint:allow` detection scans,
+/// so allow-comments embedded in string literals never count). Line
+/// structure is preserved either way.
+[[nodiscard]] std::vector<std::string> blanked_lines(const std::string& source,
+                                                     bool keep_comments) {
   std::string code = source;
   std::size_t i = 0;
   const std::size_t n = code.size();
@@ -71,12 +78,12 @@ bool serve_logic(const std::string& p) {
     if (c == '/' && i + 1 < n && code[i + 1] == '/') {
       std::size_t end = code.find('\n', i);
       if (end == std::string::npos) end = n;
-      blank(i, end);
+      if (!keep_comments) blank(i, end);
       i = end;
     } else if (c == '/' && i + 1 < n && code[i + 1] == '*') {
       std::size_t end = code.find("*/", i + 2);
       end = end == std::string::npos ? n : end + 2;
-      blank(i, end);
+      if (!keep_comments) blank(i, end);
       i = end;
     } else if (c == 'R' && i + 1 < n && code[i + 1] == '"') {
       const std::size_t paren = code.find('(', i + 2);
@@ -105,27 +112,44 @@ bool serve_logic(const std::string& p) {
   return lines;
 }
 
-[[nodiscard]] std::vector<std::string> raw_lines(const std::string& source) {
-  std::vector<std::string> lines;
-  std::istringstream is(source);
-  std::string line;
-  while (std::getline(is, line)) lines.push_back(line);
-  return lines;
+[[nodiscard]] std::vector<std::string> code_lines(const std::string& source) {
+  return blanked_lines(source, /*keep_comments=*/false);
+}
+
+/// Comments kept, literals blanked — where suppression comments live.
+[[nodiscard]] std::vector<std::string> comment_lines(
+    const std::string& source) {
+  return blanked_lines(source, /*keep_comments=*/true);
 }
 
 // --- Suppression -----------------------------------------------------------
+//
+// Each `simlint:allow(...)` comment becomes one entry; matching a violation
+// marks it used, and entries still unused after filtering are themselves
+// errors (unused-suppression) — stale allowances must not linger once the
+// code they excused is gone.
+
+struct SuppressionEntry {
+  std::string rule;
+  std::size_t line = 0;  ///< 1-based line of the comment itself
+  bool file_level = false;
+  bool used = false;
+};
 
 struct Suppressions {
-  std::set<std::string> file_level;
-  std::map<std::size_t, std::set<std::string>> by_line;  ///< 1-based
+  std::vector<SuppressionEntry> entries;
 
-  [[nodiscard]] bool allowed(const std::string& rule, std::size_t line) const {
-    if (file_level.count(rule) != 0) return true;
-    for (const std::size_t l : {line, line > 1 ? line - 1 : line}) {
-      const auto it = by_line.find(l);
-      if (it != by_line.end() && it->second.count(rule) != 0) return true;
+  [[nodiscard]] bool allowed(const std::string& rule, std::size_t line) {
+    bool hit = false;
+    for (SuppressionEntry& e : entries) {
+      if (e.rule != rule) continue;
+      // A line-level entry covers its own line and the line below it.
+      if (e.file_level || e.line == line || e.line + 1 == line) {
+        e.used = true;
+        hit = true;
+      }
     }
-    return false;
+    return hit;
   }
 };
 
@@ -136,12 +160,8 @@ struct Suppressions {
   Suppressions out;
   for (std::size_t i = 0; i < raw.size(); ++i) {
     auto begin = std::sregex_iterator(raw[i].begin(), raw[i].end(), kAllow);
-    for (auto it = begin; it != std::sregex_iterator(); ++it) {
-      if ((*it)[1].matched)
-        out.file_level.insert((*it)[2].str());
-      else
-        out.by_line[i + 1].insert((*it)[2].str());
-    }
+    for (auto it = begin; it != std::sregex_iterator(); ++it)
+      out.entries.push_back({(*it)[2].str(), i + 1, (*it)[1].matched, false});
   }
   return out;
 }
@@ -475,6 +495,14 @@ void check_router_routes(const std::vector<std::string>& code,
   }
 }
 
+constexpr char kUnusedSuppressionId[] = "unused-suppression";
+
+/// Rule ids consumed by the whole-tree layering pass (layers.cpp), which
+/// honors suppressions itself; lint_source must not count them unused.
+[[nodiscard]] bool is_layer_rule(const std::string& id) {
+  return id == "layer-cycle" || id == "layer-upward";
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rules() {
@@ -493,6 +521,22 @@ const std::vector<RuleInfo>& rules() {
     out.push_back({kRouterId,
                    "Router::route() definition in fleet/router.cpp without "
                    "MLCR_CHECK / assert on its placement inputs"});
+    out.push_back({"lock-order",
+                   "lock acquisition that violates the declared lock-order "
+                   "table (rank-descending, descending indexed-family "
+                   "indexes, or anything acquired over a leaf lock)"});
+    out.push_back({"lock-double",
+                   "a mutex acquired again while already held on the same "
+                   "code path"});
+    out.push_back({"lock-loop",
+                   "indexed-family locks accumulated in a loop without prior "
+                   "sort+unique of the indexes (ascending-order evidence)"});
+    out.push_back({"bare-lock",
+                   ".lock()/.unlock()/.try_lock() called directly on a mutex "
+                   "instead of through an RAII guard"});
+    out.push_back({kUnusedSuppressionId,
+                   "a simlint:allow(...) comment that no longer suppresses "
+                   "any violation (or names an unknown rule)"});
     return out;
   }();
   return kRules;
@@ -502,7 +546,7 @@ std::vector<Violation> lint_source(const std::string& source,
                                    const std::string& rel_path,
                                    const std::string& paired_header) {
   const std::vector<std::string> code = code_lines(source);
-  const Suppressions allow = collect_suppressions(raw_lines(source));
+  Suppressions allow = collect_suppressions(comment_lines(source));
 
   std::vector<Violation> found;
   for (const LineRule& rule : kLineRules) {
@@ -523,10 +567,28 @@ std::vector<Violation> lint_source(const std::string& source,
   if (sim_or_containers(rel_path)) check_uninit_members(code, rel_path, found);
   check_transitions(code, rel_path, found);
   check_router_routes(code, rel_path, found);
+  for (Violation& v : check_lock_discipline(tokenize(source), rel_path))
+    found.push_back(std::move(v));
 
   std::vector<Violation> out;
   for (Violation& v : found)
     if (!allow.allowed(v.rule, v.line)) out.push_back(std::move(v));
+
+  // Stale or misspelled allowances are errors themselves. These are not
+  // subject to suppression: the fix is always to delete the comment.
+  for (const SuppressionEntry& e : allow.entries) {
+    if (e.used || is_layer_rule(e.rule)) continue;
+    bool known = e.rule == kUnusedSuppressionId;
+    for (const RuleInfo& r : rules()) known = known || r.id == e.rule;
+    out.push_back({rel_path, e.line, kUnusedSuppressionId,
+                   known ? "simlint:allow(" + e.rule +
+                               ") no longer suppresses any violation; "
+                               "remove the stale comment"
+                         : "simlint:allow(" + e.rule +
+                               ") names an unknown rule; fix the spelling "
+                               "or remove it (see simlint --list-rules)"});
+  }
+
   std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
     if (a.line != b.line) return a.line < b.line;
     return a.rule < b.rule;
@@ -581,6 +643,21 @@ std::vector<Violation> lint_tree(const std::string& repo_root,
     for (Violation& v : lint_file(f.string(), rel)) out.push_back(std::move(v));
   }
   return out;
+}
+
+std::string violations_to_json(const std::vector<Violation>& violations) {
+  std::ostringstream os;
+  os << "{\"tool\":\"simlint\",\"count\":" << violations.size()
+     << ",\"violations\":[";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const Violation& v = violations[i];
+    if (i != 0) os << ",";
+    os << "{\"file\":" << obs::json_quote(v.file) << ",\"line\":" << v.line
+       << ",\"rule\":" << obs::json_quote(v.rule)
+       << ",\"message\":" << obs::json_quote(v.message) << "}";
+  }
+  os << "]}";
+  return os.str();
 }
 
 }  // namespace mlcr::simlint

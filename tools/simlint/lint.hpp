@@ -8,7 +8,13 @@
 // Suppression: append `// simlint:allow(<rule-id>)` to the flagged line (or
 // the line above it), or `// simlint:allow-file(<rule-id>)` anywhere in the
 // file to silence a rule for the whole file. Every suppression should carry a
-// justification comment.
+// justification comment, and one that no longer suppresses anything (or
+// names an unknown rule) is itself an error: unused-suppression.
+//
+// Beyond the line-lexical rules, simlint tokenizes each unit (token.hpp) and
+// runs scope-aware analyses: the lock-discipline checker (locks.hpp) per
+// translation unit, and the include-graph layering checker (layers.hpp) as a
+// whole-tree pass.
 #pragma once
 
 #include <string>
@@ -49,5 +55,13 @@ struct RuleInfo {
 /// `repo_root`), reporting repo-relative file names, sorted by (file, line).
 [[nodiscard]] std::vector<Violation> lint_tree(
     const std::string& repo_root, const std::vector<std::string>& roots);
+
+/// Serialize violations as the machine-readable report `--json` emits:
+///   {"tool": "simlint", "count": N,
+///    "violations": [{"file", "line", "rule", "message"}*]}
+/// The schema is validated by obs::check_simlint_json (and by simlint itself
+/// before writing the report).
+[[nodiscard]] std::string violations_to_json(
+    const std::vector<Violation>& violations);
 
 }  // namespace mlcr::simlint

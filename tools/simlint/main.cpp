@@ -1,27 +1,61 @@
 // simlint driver: lints the given roots and exits non-zero when any rule
-// fires. Run as a CTest over src/, bench/ and tests/ (see
-// tools/simlint/CMakeLists.txt); CI fails on violations.
+// fires. Run as a CTest over src/, bench/, tests/ and examples/ (see
+// tools/simlint/CMakeLists.txt); CI's lint-strict job runs it with --layers
+// --json --github over the full tree.
 //
-//   simlint --root <repo_root> [--list-rules] [dir...]
+//   simlint --root <repo_root> [--list-rules] [--layers | --layers-only]
+//           [--json <path>] [--github] [dir...]
+//
+//   --layers       also run the include-graph layering pass (whole tree)
+//   --layers-only  run only the layering pass
+//   --json <path>  write the machine-readable report (schema self-checked
+//                  via obs::check_simlint_json before writing)
+//   --github       emit GitHub Actions ::error annotations alongside the
+//                  human-readable lines
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "obs/schema_check.hpp"
+#include "simlint/layers.hpp"
 #include "simlint/lint.hpp"
+
+namespace {
+
+// The layering pass always covers the whole architecture, independent of
+// which roots the per-file rules were asked to scan.
+const std::vector<std::string> kLayerRoots = {"src", "bench", "tests",
+                                              "tools", "examples"};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string repo_root = ".";
+  std::string json_path;
   std::vector<std::string> roots;
   bool list_rules = false;
+  bool layers = false;
+  bool layers_only = false;
+  bool github = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc)
       repo_root = argv[++i];
+    else if (arg == "--json" && i + 1 < argc)
+      json_path = argv[++i];
     else if (arg == "--list-rules")
       list_rules = true;
+    else if (arg == "--layers")
+      layers = true;
+    else if (arg == "--layers-only")
+      layers_only = true;
+    else if (arg == "--github")
+      github = true;
     else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: simlint --root <repo_root> [--list-rules] "
+                   "[--layers | --layers-only] [--json <path>] [--github] "
                    "[dir...]\n";
       return 0;
     } else
@@ -32,19 +66,47 @@ int main(int argc, char** argv) {
   if (list_rules) {
     for (const auto& rule : mlcr::simlint::rules())
       std::cout << rule.id << ": " << rule.description << "\n";
+    for (const auto& rule : mlcr::simlint::layer_rules())
+      std::cout << rule.id << ": " << rule.description << "\n";
     return 0;
   }
 
   std::vector<mlcr::simlint::Violation> violations;
   try {
-    violations = mlcr::simlint::lint_tree(repo_root, roots);
+    if (!layers_only) violations = mlcr::simlint::lint_tree(repo_root, roots);
+    if (layers || layers_only)
+      for (auto& v : mlcr::simlint::lint_layers(repo_root, kLayerRoots))
+        violations.push_back(std::move(v));
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
     return 2;
   }
-  for (const auto& v : violations)
+
+  for (const auto& v : violations) {
     std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
               << v.message << "\n";
+    if (github)
+      std::cout << "::error file=" << v.file << ",line=" << v.line
+                << "::[" << v.rule << "] " << v.message << "\n";
+  }
+
+  if (!json_path.empty()) {
+    const std::string report = mlcr::simlint::violations_to_json(violations);
+    const std::vector<std::string> schema_errors =
+        mlcr::obs::check_simlint_json(report);
+    if (!schema_errors.empty()) {
+      for (const auto& err : schema_errors)
+        std::cerr << "simlint --json internal schema error: " << err << "\n";
+      return 2;
+    }
+    std::ofstream os(json_path, std::ios::binary);
+    if (!os.is_open()) {
+      std::cerr << "simlint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    os << report << "\n";
+  }
+
   if (!violations.empty()) {
     std::cout << violations.size() << " violation(s)\n";
     return 1;

@@ -1,0 +1,203 @@
+#include "simlint/token.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace mlcr::simlint {
+
+namespace {
+
+[[nodiscard]] bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool raw_string_prefix(const std::string& ident) {
+  return ident == "R" || ident == "LR" || ident == "uR" || ident == "UR" ||
+         ident == "u8R";
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& src) {
+  std::vector<Token> out;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  std::size_t line = 1;
+  bool bol = true;  // only whitespace seen since the last newline
+  bool in_directive = false;
+
+  // Length of a line splice (backslash, optional CR, newline) at `at`.
+  const auto splice_len = [&](std::size_t at) -> std::size_t {
+    if (at >= n || src[at] != '\\') return 0;
+    std::size_t j = at + 1;
+    if (j < n && src[j] == '\r') ++j;
+    if (j < n && src[j] == '\n') return j - at + 1;
+    return 0;
+  };
+  const auto skip_splices = [&] {
+    for (std::size_t len = splice_len(i); len != 0; len = splice_len(i)) {
+      i += len;
+      ++line;
+    }
+  };
+  const auto emit = [&](Token::Kind kind, std::string text,
+                        std::size_t at_line) {
+    out.push_back({kind, std::move(text), at_line, in_directive});
+    bol = false;
+  };
+
+  while (i < n) {
+    skip_splices();
+    if (i >= n) break;
+    const char c = src[i];
+
+    if (c == '\n') {
+      ++line;
+      ++i;
+      bol = true;
+      in_directive = false;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+
+    // Line comment — a trailing splice extends it to the next physical line.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      i += 2;
+      for (;;) {
+        skip_splices();
+        if (i >= n || src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    // Block comment — never nests; the first `*/` ends it.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i < n && !(src[i] == '*' && i + 1 < n && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = std::min(i + 2, n);
+      continue;
+    }
+
+    if (bol && c == '#') {
+      in_directive = true;
+      emit(Token::Kind::kPunct, "#", line);
+      ++i;
+      continue;
+    }
+
+    if (ident_start(c)) {
+      const std::size_t tok_line = line;
+      std::string text;
+      while (i < n) {
+        skip_splices();
+        if (i >= n || !ident_char(src[i])) break;
+        text.push_back(src[i]);
+        ++i;
+      }
+      // Raw string literal: no splicing inside — the delimiter match is on
+      // the raw bytes, and `lock_guard` inside one is just characters.
+      if (raw_string_prefix(text) && i < n && src[i] == '"') {
+        const std::size_t open_paren = src.find('(', i + 1);
+        if (open_paren != std::string::npos) {
+          const std::string delim =
+              src.substr(i + 1, open_paren - (i + 1));
+          const std::string closer = ")" + delim + "\"";
+          std::size_t end = src.find(closer, open_paren + 1);
+          end = end == std::string::npos ? n : end + closer.size();
+          text.append(src.begin() + static_cast<std::ptrdiff_t>(i),
+                      src.begin() + static_cast<std::ptrdiff_t>(end));
+          line += static_cast<std::size_t>(
+              std::count(src.begin() + static_cast<std::ptrdiff_t>(i),
+                         src.begin() + static_cast<std::ptrdiff_t>(end),
+                         '\n'));
+          i = end;
+          emit(Token::Kind::kRawString, std::move(text), tok_line);
+          continue;
+        }
+      }
+      emit(Token::Kind::kIdent, std::move(text), tok_line);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      const std::size_t tok_line = line;
+      std::string text;
+      while (i < n) {
+        skip_splices();
+        if (i >= n) break;
+        const char d = src[i];
+        const bool digit_sep =
+            d == '\'' && i + 1 < n &&
+            std::isalnum(static_cast<unsigned char>(src[i + 1])) != 0;
+        if (ident_char(d) || d == '.' || digit_sep) {
+          text.push_back(d);
+          ++i;
+        } else {
+          break;
+        }
+      }
+      emit(Token::Kind::kNumber, std::move(text), tok_line);
+      continue;
+    }
+
+    if (c == '"' || c == '\'') {
+      const std::size_t tok_line = line;
+      const char quote = c;
+      std::string text(1, quote);
+      ++i;
+      while (i < n && src[i] != quote) {
+        const std::size_t len = splice_len(i);
+        if (len != 0) {  // spliced literal continues on the next line
+          i += len;
+          ++line;
+          continue;
+        }
+        if (src[i] == '\n') break;  // unterminated: recover at end of line
+        if (src[i] == '\\' && i + 1 < n) {
+          text.push_back(src[i]);
+          text.push_back(src[i + 1]);
+          i += 2;
+          continue;
+        }
+        text.push_back(src[i]);
+        ++i;
+      }
+      if (i < n && src[i] == quote) {
+        text.push_back(quote);
+        ++i;
+      }
+      emit(quote == '"' ? Token::Kind::kString : Token::Kind::kChar,
+           std::move(text), tok_line);
+      continue;
+    }
+
+    // Punctuation: keep `::` and `->` whole (the fact extractors read member
+    // chains), everything else is a single character.
+    const std::size_t tok_line = line;
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      emit(Token::Kind::kPunct, "::", tok_line);
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      emit(Token::Kind::kPunct, "->", tok_line);
+      i += 2;
+      continue;
+    }
+    emit(Token::Kind::kPunct, std::string(1, c), tok_line);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace mlcr::simlint

@@ -1,0 +1,40 @@
+// Lightweight C++ tokenizer for simlint's scope-aware analyses (lock
+// discipline, include-graph layering). One pass over the raw source handles
+// the lexical hazards that defeat line-regex scanning:
+//
+//   - line/block comments are dropped (block comments do not nest, exactly
+//     as in C++ — `/* a /* b */ c` resumes tokenizing at `c`);
+//   - string/char literals become single kString/kChar tokens, so a
+//     `lock_guard` spelled inside a literal never produces an identifier;
+//   - raw strings `R"delim(...)delim"` are matched by delimiter and kept as
+//     one kRawString token; line splices inside them are literal text;
+//   - backslash-newline line continuations are spliced everywhere else
+//     (including inside `//` comments, which they extend), while every token
+//     still records the physical line its first character sits on;
+//   - preprocessor directives (`# ...` to the unspliced end of line) are
+//     tokenized but flagged `in_directive`, so fact extractors can skip
+//     macro bodies while the include scanner reads `#include` strings.
+//
+// No preprocessing or name lookup happens: this stays a lexical layer, just
+// a trustworthy one for the analyses in locks.cpp and layers.cpp.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mlcr::simlint {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct, kString, kChar, kRawString };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  std::size_t line = 0;       ///< 1-based physical line of the first char
+  bool in_directive = false;  ///< inside a `#...` preprocessor directive
+};
+
+/// Tokenize `source`. Never throws: malformed input (unterminated literals
+/// or comments) is tokenized best-effort to the end of the file.
+[[nodiscard]] std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace mlcr::simlint
