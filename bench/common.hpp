@@ -50,14 +50,21 @@ struct Suite {
 ///   --json F       write a machine-readable result summary (the stable
 ///                  bench schema obs::check_bench_json validates and
 ///                  tools/benchdiff compares) to F
+///   --snapshots F  write flight-recorder telemetry snapshots (the JSONL
+///                  schema obs::check_snapshot_jsonl validates and
+///                  tools/obsreport renders) to F — serving benches only
+///   --replay-only  skip the wall-clock measurement phases and run only the
+///                  deterministic SimClock replay — serving benches only
 struct BenchOptions {
   std::size_t reps = 7;
   std::size_t episodes = 30;
   std::size_t threads = 1;
   bool fresh = false;
+  bool replay_only = false;
   std::string trace_path;
   std::string metrics_path;
   std::string json_path;
+  std::string snapshots_path;
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions o;
@@ -78,12 +85,16 @@ struct BenchOptions {
         o.threads = next();
       else if (arg == "--fresh")
         o.fresh = true;
+      else if (arg == "--replay-only")
+        o.replay_only = true;
       else if (arg == "--trace")
         o.trace_path = next_str();
       else if (arg == "--metrics")
         o.metrics_path = next_str();
       else if (arg == "--json")
         o.json_path = next_str();
+      else if (arg == "--snapshots")
+        o.snapshots_path = next_str();
       else
         std::cerr << "ignoring unknown flag: " << arg << "\n";
     }

@@ -1,0 +1,105 @@
+#include "obs/concurrent.hpp"
+
+#include <functional>
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/lock_audit.hpp"
+
+namespace mlcr::obs {
+
+ConcurrentMetricsRegistry::ConcurrentMetricsRegistry(std::size_t slots) {
+  MLCR_CHECK_MSG(slots > 0, "registry needs at least one slot");
+  slots_.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i)
+    slots_.push_back(std::make_unique<Slot>());
+}
+
+std::size_t ConcurrentMetricsRegistry::local_slot_index() const {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+         slots_.size();
+}
+
+void ConcurrentMetricsRegistry::add(const std::string& name,
+                                    std::uint64_t n) {
+  const std::size_t i = local_slot_index();
+  Slot& slot = *slots_[i];
+  std::lock_guard<std::mutex> guard(slot.slot_mutex_);
+  util::LockRankScope rank(util::lock_ranks::registry_slot(i), "slot_mutex_");
+  slot.counters[name] += n;
+}
+
+void ConcurrentMetricsRegistry::set_gauge(const std::string& name,
+                                          double value) {
+  const std::uint64_t stamp =
+      1 + gauge_stamp_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t i = local_slot_index();
+  Slot& slot = *slots_[i];
+  std::lock_guard<std::mutex> guard(slot.slot_mutex_);
+  util::LockRankScope rank(util::lock_ranks::registry_slot(i), "slot_mutex_");
+  GaugeSample& sample = slot.gauges[name];
+  if (stamp > sample.stamp) {
+    sample.stamp = stamp;
+    sample.value = value;
+  }
+}
+
+void ConcurrentMetricsRegistry::record(const std::string& name,
+                                       double value) {
+  const std::size_t i = local_slot_index();
+  Slot& slot = *slots_[i];
+  std::lock_guard<std::mutex> guard(slot.slot_mutex_);
+  util::LockRankScope rank(util::lock_ranks::registry_slot(i), "slot_mutex_");
+  const auto it = slot.histograms.find(name);
+  if (it != slot.histograms.end()) {
+    it->second.add(value);
+  } else {
+    slot.histograms.emplace(name, Histogram()).first->second.add(value);
+  }
+}
+
+MetricsRegistry ConcurrentMetricsRegistry::snapshot() const {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, GaugeSample> gauges;
+  std::map<std::string, Histogram> histograms;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& slot = *slots_[i];
+    std::lock_guard<std::mutex> guard(slot.slot_mutex_);
+    util::LockRankScope rank(util::lock_ranks::registry_slot(i),
+                             "slot_mutex_");
+    for (const auto& [name, n] : slot.counters) counters[name] += n;
+    for (const auto& [name, sample] : slot.gauges) {
+      GaugeSample& best = gauges[name];
+      if (sample.stamp > best.stamp) best = sample;
+    }
+    for (const auto& [name, hist] : slot.histograms) {
+      const auto it = histograms.find(name);
+      if (it != histograms.end())
+        it->second.merge(hist);
+      else
+        histograms.emplace(name, hist);
+    }
+  }
+
+  MetricsRegistry merged;
+  for (const auto& [name, n] : counters) merged.counter(name).add(n);
+  for (const auto& [name, sample] : gauges)
+    merged.gauge(name).set(sample.value);
+  for (const auto& [name, hist] : histograms)
+    merged.histogram(name).merge(hist);
+  return merged;
+}
+
+void ConcurrentMetricsRegistry::clear() {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = *slots_[i];
+    std::lock_guard<std::mutex> guard(slot.slot_mutex_);
+    util::LockRankScope rank(util::lock_ranks::registry_slot(i),
+                             "slot_mutex_");
+    slot.counters.clear();
+    slot.gauges.clear();
+    slot.histograms.clear();
+  }
+}
+
+}  // namespace mlcr::obs

@@ -1,0 +1,85 @@
+// ConcurrentMetricsRegistry: the thread-safe front-end of the telemetry
+// plane. Worker threads record counters/gauges/histogram samples into one of
+// a small number of slots (picked by thread id), each guarded by its own
+// mutex — so the serving hot path never contends on a global lock. Reads
+// merge every slot into a plain single-threaded MetricsRegistry
+// (Histogram::merge for histograms, sums for counters, a global stamp for
+// last-write-wins gauges), in deterministic name order.
+//
+// Determinism: a single-threaded writer (SchedulerService::run_replay under
+// SimClock) lands every sample in one slot, and snapshot() merges slots in a
+// fixed order with commutative/associative operations — so snapshots are a
+// pure function of the recorded samples, per the DESIGN.md §6 contract.
+//
+// Locking: slot mutexes are the leaves of the declared lock order
+// (util::lock_ranks::registry_slot); nothing is ever acquired while one is
+// held, and the snapshot path takes them one at a time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.hpp"
+
+namespace mlcr::obs {
+
+class ConcurrentMetricsRegistry {
+ public:
+  /// `slots` bounds writer contention: ~one slot per expected worker thread
+  /// is plenty. Slot count is fixed for the registry's lifetime.
+  explicit ConcurrentMetricsRegistry(std::size_t slots = 8);
+
+  ConcurrentMetricsRegistry(const ConcurrentMetricsRegistry&) = delete;
+  ConcurrentMetricsRegistry& operator=(const ConcurrentMetricsRegistry&) =
+      delete;
+
+  /// Add `n` to the named counter (create-on-first-use, like
+  /// MetricsRegistry::counter).
+  void add(const std::string& name, std::uint64_t n = 1);
+
+  /// Set the named gauge. Across slots the write with the newest global
+  /// stamp wins, so concurrent setters merge to a well-defined value.
+  void set_gauge(const std::string& name, double value);
+
+  /// Record one histogram sample (all histograms share the default
+  /// Histogram layout so cross-slot merges are always layout-compatible).
+  void record(const std::string& name, double value);
+
+  /// Merge every slot into a plain registry: counter sums, newest-stamp
+  /// gauges, Histogram::merge. Safe to call while writers are recording;
+  /// the result is a consistent per-slot (not global) cut.
+  [[nodiscard]] MetricsRegistry snapshot() const;
+
+  [[nodiscard]] std::size_t slot_count() const noexcept {
+    return slots_.size();
+  }
+
+  /// Drop all recorded values (episode boundaries).
+  void clear();
+
+ private:
+  struct GaugeSample {
+    std::uint64_t stamp = 0;
+    double value = 0.0;
+  };
+
+  struct Slot {
+    mutable std::mutex slot_mutex_;
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, GaugeSample> gauges;
+    std::map<std::string, Histogram> histograms;
+  };
+
+  /// Slot index for the calling thread (stable per thread per registry).
+  [[nodiscard]] std::size_t local_slot_index() const;
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::atomic<std::uint64_t> gauge_stamp_{0};
+};
+
+}  // namespace mlcr::obs

@@ -1,0 +1,95 @@
+#include "obs/flight_recorder.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "obs/sink.hpp"
+#include "obs/trace_event.hpp"
+#include "util/check.hpp"
+
+namespace mlcr::obs {
+
+FlightRecorder::FlightRecorder(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path)), os_(owned_.get()) {
+  MLCR_CHECK_MSG(owned_->is_open(), "cannot open " << path << " for writing");
+}
+
+FlightRecorder::FlightRecorder(std::ostream& os) : os_(&os) {}
+
+FlightRecorder::~FlightRecorder() { close(); }
+
+void FlightRecorder::close() {
+  if (closed_) return;
+  closed_ = true;
+  os_->flush();
+}
+
+namespace {
+
+void write_histogram(std::ostream& os, const Histogram& h) {
+  os << "{\"count\":" << h.count() << ",\"sum\":" << format_number(h.sum())
+     << ",\"min\":" << format_number(h.min())
+     << ",\"max\":" << format_number(h.max())
+     << ",\"mean\":" << format_number(h.mean())
+     << ",\"p50\":" << format_number(h.p50())
+     << ",\"p95\":" << format_number(h.p95())
+     << ",\"p99\":" << format_number(h.p99()) << "}";
+}
+
+void write_slo(std::ostream& os, const SloReport& slo) {
+  os << "{\"window_s\":" << format_number(slo.window_s)
+     << ",\"submitted\":" << slo.submitted << ",\"routed\":" << slo.routed
+     << ",\"rejected\":" << slo.rejected << ",\"lost\":" << slo.lost
+     << ",\"route_p50_s\":" << format_number(slo.route_p50_s)
+     << ",\"route_p95_s\":" << format_number(slo.route_p95_s)
+     << ",\"route_p99_s\":" << format_number(slo.route_p99_s)
+     << ",\"e2e_p50_s\":" << format_number(slo.e2e_p50_s)
+     << ",\"e2e_p95_s\":" << format_number(slo.e2e_p95_s)
+     << ",\"e2e_p99_s\":" << format_number(slo.e2e_p99_s)
+     << ",\"goodput\":" << format_number(slo.goodput)
+     << ",\"rejection_rate\":" << format_number(slo.rejection_rate)
+     << ",\"queue_depth_max\":" << format_number(slo.queue_depth_max)
+     << ",\"breaches\":[";
+  for (std::size_t i = 0; i < slo.breaches.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\"" << json_escape(slo.breaches[i]) << "\"";
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+void FlightRecorder::write(double t_s, const MetricsRegistry& metrics,
+                           const SloReport& slo) {
+  MLCR_CHECK_MSG(!closed_, "write to a closed flight recorder");
+  std::ostream& os = *os_;
+  os << "{\"t\":" << format_number(t_s) << ",\"seq\":" << seq_++
+     << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : metrics.counters()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << c.value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : metrics.gauges()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << format_number(g.value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : metrics.histograms()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":";
+    write_histogram(os, h);
+  }
+  os << "},\"slo\":";
+  write_slo(os, slo);
+  os << "}\n";
+  MLCR_CHECK_MSG(os.good(), "failed writing flight-recorder snapshot");
+}
+
+}  // namespace mlcr::obs

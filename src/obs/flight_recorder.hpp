@@ -1,0 +1,49 @@
+// Flight recorder: periodic JSONL snapshots of the telemetry plane. Each
+// write() emits one self-contained JSON line — merged metrics plus the
+// current SLO report — so a crashed or live-debugged serving process leaves
+// an append-only record of its recent state.
+//
+// The line format is validated by obs::check_snapshot_jsonl and rendered by
+// tools/obsreport. All maps iterate in name order and numbers render through
+// format_number, so under SimClock two identical runs produce byte-identical
+// files (DESIGN.md §6 extends to telemetry).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "obs/metrics_registry.hpp"
+#include "obs/slo.hpp"
+
+namespace mlcr::obs {
+
+class FlightRecorder {
+ public:
+  /// Stream to `path` (truncating). Throws CheckError if it cannot open.
+  explicit FlightRecorder(const std::string& path);
+  /// Stream to a caller-owned ostream (tests).
+  explicit FlightRecorder(std::ostream& os);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+  ~FlightRecorder();
+
+  /// Append one snapshot line at (simulated or wall) time `t_s`.
+  void write(double t_s, const MetricsRegistry& metrics,
+             const SloReport& slo);
+
+  [[nodiscard]] std::uint64_t snapshot_count() const noexcept { return seq_; }
+
+  /// Flush and stop accepting writes.
+  void close();
+
+ private:
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* os_ = nullptr;
+  std::uint64_t seq_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace mlcr::obs

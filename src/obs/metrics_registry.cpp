@@ -23,6 +23,38 @@ double exact_rank_percentile(std::vector<double> values, double p) {
   return values[index];
 }
 
+std::vector<double> exact_rank_percentiles(std::vector<double> values,
+                                           const std::vector<double>& ps) {
+  std::vector<double> out(ps.size(), 0.0);
+  if (values.empty() || ps.empty()) {
+    for (const double p : ps)
+      MLCR_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile p out of [0, 100]");
+    return out;
+  }
+  const auto n = values.size();
+  std::vector<std::pair<std::size_t, std::size_t>> order;  // (index, ps slot)
+  order.reserve(ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const double p = ps[i];
+    MLCR_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile p out of [0, 100]");
+    const auto rank = static_cast<std::size_t>(std::max(
+        1.0, std::ceil(p / 100.0 * static_cast<double>(n))));
+    order.emplace_back(std::min(rank, n) - 1, i);
+  }
+  std::sort(order.begin(), order.end());
+  // Ascending ranks let each nth_element start where the previous one ended:
+  // everything left of a selected index is already <= that element.
+  std::size_t lo = 0;
+  for (const auto& [index, slot] : order) {
+    std::nth_element(values.begin() + static_cast<std::ptrdiff_t>(lo),
+                     values.begin() + static_cast<std::ptrdiff_t>(index),
+                     values.end());
+    out[slot] = values[index];
+    lo = index;
+  }
+  return out;
+}
+
 // --- Histogram --------------------------------------------------------------
 
 Histogram::Histogram(double min_value, double growth)

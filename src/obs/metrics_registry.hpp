@@ -23,6 +23,14 @@ namespace mlcr::obs {
 [[nodiscard]] double exact_rank_percentile(std::vector<double> values,
                                            double p);
 
+/// Several nearest-rank percentiles from one copy of the samples: selects
+/// each rank with std::nth_element over progressively narrowed ranges, so
+/// the whole batch costs one O(n) copy + k selections instead of k copies
+/// and k full sorts. Results are returned in the order of `ps`; each matches
+/// exact_rank_percentile(values, p) exactly. Empty input -> all zeros.
+[[nodiscard]] std::vector<double> exact_rank_percentiles(
+    std::vector<double> values, const std::vector<double>& ps);
+
 /// Monotone event count.
 class Counter {
  public:
@@ -106,6 +114,19 @@ class MetricsRegistry {
     return counters_.size() + gauges_.size() + histograms_.size();
   }
   void clear();
+
+  /// Read-only iteration in deterministic name order (snapshot exporters).
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const
+      noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const noexcept {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const
+      noexcept {
+    return histograms_;
+  }
 
   /// Compact CSV: `kind,name,field,value` rows, sorted by (kind, name);
   /// histograms expand to count/sum/min/max/mean/p50/p95/p99/p999.

@@ -1,6 +1,7 @@
 #include "obs/schema_check.hpp"
 
 #include "obs/json.hpp"
+#include "obs/trace_event.hpp"
 
 #include <cctype>
 #include <cmath>
@@ -25,8 +26,21 @@ void add_error(TraceCheckReport& report, std::size_t index,
          std::isfinite(v->number);
 }
 
+// Per-flow tally, keyed by cat|name|id (the trace_event flow binding key).
+struct FlowTally {
+  std::size_t starts = 0;
+  std::size_t steps = 0;
+  std::size_t ends = 0;
+};
+
+void add_flow_error(TraceCheckReport& report, const std::string& what) {
+  if (report.flow_errors.size() >= TraceCheckReport::kMaxErrors) return;
+  report.flow_errors.push_back(what);
+}
+
 void check_event(const JsonValue& e, std::size_t index,
-                 TraceCheckReport& report) {
+                 TraceCheckReport& report,
+                 std::map<std::string, FlowTally>& flows) {
   if (e.type != JsonValue::Type::kObject) {
     add_error(report, index, "not an object");
     return;
@@ -42,8 +56,8 @@ void check_event(const JsonValue& e, std::size_t index,
   const JsonValue* ph = e.find("ph");
   if (ph == nullptr || ph->type != JsonValue::Type::kString ||
       ph->string.size() != 1 ||
-      std::string("XBEiICM").find(ph->string[0]) == std::string::npos) {
-    add_error(report, index, "\"ph\" must be one of X B E i I C M");
+      std::string("XBEiICMstf").find(ph->string[0]) == std::string::npos) {
+    add_error(report, index, "\"ph\" must be one of X B E i I C M s t f");
     return;
   }
   const char phase = ph->string[0];
@@ -56,8 +70,8 @@ void check_event(const JsonValue& e, std::size_t index,
   if (!is_finite_number(e.find("tid")))
     add_error(report, index, "\"tid\" must be a number");
 
-  const JsonValue* cat = e.find("cat");
-  if (cat != nullptr && cat->type != JsonValue::Type::kString)
+  const JsonValue* cat_field = e.find("cat");
+  if (cat_field != nullptr && cat_field->type != JsonValue::Type::kString)
     add_error(report, index, "\"cat\" must be a string");
 
   const JsonValue* args = e.find("args");
@@ -98,8 +112,57 @@ void check_event(const JsonValue& e, std::size_t index,
     case 'I':
       ++report.instant_counts[name->string];
       break;
+    case 's':
+    case 't':
+    case 'f': {
+      const JsonValue* id = e.find("id");
+      std::string id_key;
+      if (id != nullptr && id->type == JsonValue::Type::kNumber &&
+          std::isfinite(id->number) && id->number >= 0.0) {
+        id_key = format_number(id->number);
+      } else if (id != nullptr && id->type == JsonValue::Type::kString &&
+                 !id->string.empty()) {
+        id_key = id->string;
+      } else {
+        add_error(report, index,
+                  "flow event needs \"id\" finite number >= 0 or "
+                  "non-empty string");
+        break;
+      }
+      const std::string cat =
+          (cat_field != nullptr && cat_field->type == JsonValue::Type::kString)
+              ? cat_field->string
+              : std::string();
+      FlowTally& tally = flows[cat + "|" + name->string + "|" + id_key];
+      if (phase == 's') {
+        ++tally.starts;
+        ++report.flow_start_counts[name->string];
+      } else if (phase == 't') {
+        ++tally.steps;
+      } else {
+        ++tally.ends;
+        ++report.flow_end_counts[name->string];
+      }
+      break;
+    }
     default:
       break;  // B/E accepted without extra requirements
+  }
+}
+
+void check_flow_pairing(const std::map<std::string, FlowTally>& flows,
+                        TraceCheckReport& report) {
+  for (const auto& [key, tally] : flows) {
+    if (tally.starts == 0)
+      add_flow_error(report, "flow " + key + ": " +
+                                 (tally.ends > 0 ? "end" : "step") +
+                                 " without a flow-start");
+    else if (tally.ends == 0)
+      add_flow_error(report, "flow " + key + ": started but never ended");
+    else if (tally.starts != tally.ends)
+      add_flow_error(report,
+                     "flow " + key + ": " + std::to_string(tally.starts) +
+                         " starts vs " + std::to_string(tally.ends) + " ends");
   }
 }
 
@@ -130,8 +193,10 @@ TraceCheckReport check_trace_json(const std::string& json_text) {
   }
 
   report.event_count = events->array.size();
+  std::map<std::string, FlowTally> flows;
   for (std::size_t i = 0; i < events->array.size(); ++i)
-    check_event(events->array[i], i, report);
+    check_event(events->array[i], i, report, flows);
+  check_flow_pairing(flows, report);
   return report;
 }
 
@@ -230,6 +295,107 @@ std::vector<std::string> check_simlint_json(const std::string& json_text) {
     const JsonValue* line = v.find("line");
     if (!is_finite_number(line) || line->number < 1.0)
       errors.push_back(at + "\"line\" must be a finite number >= 1");
+  }
+  return errors;
+}
+
+namespace {
+
+void check_numeric_object(const JsonValue* v, const std::string& at,
+                          const char* key, std::vector<std::string>& errors) {
+  if (v == nullptr || v->type != JsonValue::Type::kObject) {
+    errors.push_back(at + "\"" + key + "\" must be an object");
+    return;
+  }
+  for (const auto& [name, value] : v->object)
+    if (!is_finite_number(&value))
+      errors.push_back(at + key + "." + name + " must be a finite number");
+}
+
+void check_snapshot_line(const JsonValue& root, const std::string& at,
+                         double& last_seq, std::vector<std::string>& errors) {
+  if (root.type != JsonValue::Type::kObject) {
+    errors.push_back(at + "line must be a JSON object");
+    return;
+  }
+
+  const JsonValue* t = root.find("t");
+  if (!is_finite_number(t) || t->number < 0.0)
+    errors.push_back(at + "\"t\" must be a finite number >= 0");
+
+  const JsonValue* seq = root.find("seq");
+  if (!is_finite_number(seq) || seq->number < 0.0) {
+    errors.push_back(at + "\"seq\" must be a finite number >= 0");
+  } else {
+    if (last_seq >= 0.0 && seq->number <= last_seq)
+      errors.push_back(at + "\"seq\" must increase across lines");
+    last_seq = seq->number;
+  }
+
+  check_numeric_object(root.find("counters"), at, "counters", errors);
+  check_numeric_object(root.find("gauges"), at, "gauges", errors);
+
+  const JsonValue* histograms = root.find("histograms");
+  if (histograms == nullptr ||
+      histograms->type != JsonValue::Type::kObject) {
+    errors.push_back(at + "\"histograms\" must be an object");
+  } else {
+    for (const auto& [name, hist] : histograms->object) {
+      if (hist.type != JsonValue::Type::kObject) {
+        errors.push_back(at + "histograms." + name + " must be an object");
+        continue;
+      }
+      for (const char* field :
+           {"count", "sum", "min", "max", "mean", "p50", "p95", "p99"})
+        if (!is_finite_number(hist.find(field)))
+          errors.push_back(at + "histograms." + name + "." + field +
+                           " must be a finite number");
+    }
+  }
+
+  const JsonValue* slo = root.find("slo");
+  if (slo == nullptr || slo->type != JsonValue::Type::kObject) {
+    errors.push_back(at + "\"slo\" must be an object");
+    return;
+  }
+  const JsonValue* breaches = slo->find("breaches");
+  if (breaches == nullptr || breaches->type != JsonValue::Type::kArray) {
+    errors.push_back(at + "slo.breaches must be an array");
+  } else {
+    for (const JsonValue& b : breaches->array)
+      if (b.type != JsonValue::Type::kString || b.string.empty())
+        errors.push_back(at + "slo.breaches entries must be non-empty strings");
+  }
+  for (const auto& [name, value] : slo->object) {
+    if (name == "breaches") continue;
+    if (!is_finite_number(&value))
+      errors.push_back(at + "slo." + name + " must be a finite number");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> check_snapshot_jsonl(const std::string& jsonl_text) {
+  std::vector<std::string> errors;
+  std::size_t line_no = 0;
+  std::size_t begin = 0;
+  double last_seq = -1.0;
+  while (begin <= jsonl_text.size()) {
+    std::size_t end = jsonl_text.find('\n', begin);
+    if (end == std::string::npos) end = jsonl_text.size();
+    const std::string line = jsonl_text.substr(begin, end - begin);
+    begin = end + 1;
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    const std::string at = "line " + std::to_string(line_no) + ": ";
+    JsonValue root;
+    std::string parse_error;
+    if (!parse_json(line, root, parse_error)) {
+      errors.push_back(at + "JSON parse error: " + parse_error);
+      continue;
+    }
+    check_snapshot_line(root, at, last_seq, errors);
   }
   return errors;
 }

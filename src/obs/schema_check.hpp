@@ -7,7 +7,7 @@
 //   root        := {"traceEvents": [event*], ...} | [event*]
 //   event       := object with required fields
 //                    "name" non-empty string
-//                    "ph"   1-char string in {X, B, E, i, I, C, M}
+//                    "ph"   1-char string in {X, B, E, i, I, C, M, s, t, f}
 //                    "ts"   finite number >= 0
 //                    "pid"  number, "tid" number
 //                  and conditionally
@@ -15,7 +15,11 @@
 //                    ph C -> "args" non-empty object of numeric values
 //                    ph M -> "name" in {process_name, thread_name,
 //                            process_labels} and "args" object with "name"
+//                    ph s/t/f -> "id" finite number >= 0 or non-empty string
 //                  "args" (when present) must be an object; "cat" a string.
+//
+// Flow pairing (ph s/t/f) is validated separately into `flow_errors`: every
+// started flow id must end (on any thread), every end/step must have a start.
 #pragma once
 
 #include <map>
@@ -35,10 +39,19 @@ struct TraceCheckReport {
   std::map<std::string, std::size_t> counter_counts;
   /// Instant ("i"/"I") occurrences by event name.
   std::map<std::string, std::size_t> instant_counts;
+  /// Flow-start ("s") occurrences by event name.
+  std::map<std::string, std::size_t> flow_start_counts;
+  /// Flow-end ("f") occurrences by event name.
+  std::map<std::string, std::size_t> flow_end_counts;
+  /// Cross-thread flow pairing problems, kept separate from `errors` so a
+  /// schema-valid trace with unpaired flows still passes plain validation;
+  /// tracecheck --flows gates on this list being empty.
+  std::vector<std::string> flow_errors;
 
   static constexpr std::size_t kMaxErrors = 50;
 
   [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+  [[nodiscard]] bool flows_ok() const noexcept { return flow_errors.empty(); }
 };
 
 /// Parse and validate `json_text` as a Chrome trace. Never throws on bad
@@ -69,5 +82,20 @@ struct TraceCheckReport {
 /// found; empty means valid. Never throws on bad input.
 [[nodiscard]] std::vector<std::string> check_simlint_json(
     const std::string& json_text);
+
+/// Validate `jsonl_text` against the flight-recorder snapshot schema the
+/// serve telemetry plane exports (one JSON object per line):
+///   line := {"t":   finite number >= 0,
+///            "seq": finite number >= 0 (strictly increasing across lines),
+///            "counters":   object of finite numbers,
+///            "gauges":     object of finite numbers,
+///            "histograms": object of {"count","sum","min","max","mean",
+///                                     "p50","p95","p99"} finite numbers,
+///            "slo": object with finite-number stats and
+///                   "breaches" array of non-empty strings}
+/// Unknown extra keys are allowed (append-only schema). Returns the problems
+/// found; empty means valid. Never throws on bad input.
+[[nodiscard]] std::vector<std::string> check_snapshot_jsonl(
+    const std::string& jsonl_text);
 
 }  // namespace mlcr::obs

@@ -80,6 +80,12 @@ void ChromeTraceSink::write(const TraceEvent& e) {
   os << "{\"name\":\"" << json_escape(e.name) << "\",\"ph\":\""
      << static_cast<char>(e.phase) << "\",\"ts\":" << e.ts;
   if (e.phase == Phase::kComplete) os << ",\"dur\":" << e.dur;
+  if (is_flow_phase(e.phase)) {
+    os << ",\"id\":" << e.flow_id;
+    // Bind the flow end to the enclosing slice rather than the next one, per
+    // the trace_event flow-event spec.
+    if (e.phase == Phase::kFlowEnd) os << ",\"bp\":\"e\"";
+  }
   os << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid;
   if (!e.category.empty())
     os << ",\"cat\":\"" << json_escape(e.category) << "\"";
@@ -138,9 +144,17 @@ void CsvTraceSink::write(const TraceEvent& e) {
   os << static_cast<char>(e.phase) << ',' << e.pid << ',' << e.tid << ','
      << e.ts << ',' << (e.phase == Phase::kComplete ? e.dur : 0) << ','
      << csv_safe(e.category) << ',' << csv_safe(e.name) << ',';
-  for (std::size_t i = 0; i < e.args.size(); ++i) {
-    if (i != 0) os << '|';
-    os << csv_safe(e.args[i].key) << '=' << csv_safe(e.args[i].value);
+  bool first_arg = true;
+  // The CSV header is frozen (append-only schema): the flow id rides in the
+  // args column instead of adding a new one.
+  if (is_flow_phase(e.phase)) {
+    os << "flow_id=" << e.flow_id;
+    first_arg = false;
+  }
+  for (const TraceArg& arg : e.args) {
+    if (!first_arg) os << '|';
+    first_arg = false;
+    os << csv_safe(arg.key) << '=' << csv_safe(arg.value);
   }
   os << '\n';
 }

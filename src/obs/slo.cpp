@@ -1,0 +1,84 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics_registry.hpp"
+#include "obs/trace_event.hpp"
+#include "util/check.hpp"
+
+namespace mlcr::obs {
+
+SlidingWindow::SlidingWindow(double window_s) : window_s_(window_s) {
+  MLCR_CHECK_MSG(window_s_ > 0.0, "sliding window length must be positive");
+}
+
+void SlidingWindow::record(double t, double value) {
+  samples_.emplace_back(t, value);
+}
+
+void SlidingWindow::advance(double now_s) {
+  const double horizon = now_s - window_s_;
+  while (!samples_.empty() && samples_.front().first < horizon)
+    samples_.pop_front();
+}
+
+double SlidingWindow::max() const {
+  double best = 0.0;
+  for (const auto& [t, v] : samples_) best = std::max(best, v);
+  return best;
+}
+
+double SlidingWindow::sum() const {
+  double total = 0.0;
+  for (const auto& [t, v] : samples_) total += v;
+  return total;
+}
+
+namespace {
+
+[[nodiscard]] std::vector<double> window_values(
+    const std::deque<std::pair<double, double>>& samples) {
+  std::vector<double> values;
+  values.reserve(samples.size());
+  for (const auto& [t, v] : samples) values.push_back(v);
+  return values;
+}
+
+}  // namespace
+
+double SlidingWindow::percentile(double p) const {
+  return exact_rank_percentile(window_values(samples_), p);
+}
+
+std::vector<double> SlidingWindow::percentiles(
+    const std::vector<double>& ps) const {
+  return exact_rank_percentiles(window_values(samples_), ps);
+}
+
+namespace {
+
+void check_upper(double value, double bound, const char* what,
+                 std::vector<std::string>& out) {
+  if (value > bound)
+    out.push_back(std::string(what) + " " + format_number(value) + " > max " +
+                  format_number(bound));
+}
+
+}  // namespace
+
+std::vector<std::string> slo_breaches(const SloConfig& config,
+                                      const SloReport& report) {
+  std::vector<std::string> out;
+  check_upper(report.route_p95_s, config.max_route_p95_s, "route_p95_s", out);
+  check_upper(report.e2e_p99_s, config.max_e2e_p99_s, "e2e_p99_s", out);
+  if (report.goodput < config.min_goodput)
+    out.push_back("goodput " + format_number(report.goodput) + " < min " +
+                  format_number(config.min_goodput));
+  check_upper(report.rejection_rate, config.max_rejection_rate,
+              "rejection_rate", out);
+  check_upper(report.queue_depth_max, config.max_queue_depth, "queue_depth",
+              out);
+  return out;
+}
+
+}  // namespace mlcr::obs

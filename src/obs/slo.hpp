@@ -1,0 +1,98 @@
+// Sliding-window SLO monitors for the serving plane: time-windowed latency
+// percentiles, goodput, rejection rate and queue-depth watermarks, plus the
+// breach-evaluation rule shared by serve::Telemetry (online) and
+// tools/obsreport (offline, over recorded snapshots).
+//
+// Windows are advanced with caller-supplied time from the injected
+// serve::Clock — this layer never reads a clock, so under SimClock the whole
+// SLO stream is a pure function of the episode (DESIGN.md §6).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mlcr::obs {
+
+/// Time-windowed sample buffer: record(t, v) appends, advance(now) evicts
+/// samples older than `window_s`. Timestamps are expected to be
+/// non-decreasing (the serving clock is monotone); eviction pops from the
+/// front only, so a slightly stale front sample is evicted at the next
+/// advance.
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(double window_s);
+
+  void record(double t, double value);
+
+  /// Evict every sample with t < now_s - window_s.
+  void advance(double now_s);
+
+  void clear() { samples_.clear(); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] double window_s() const noexcept { return window_s_; }
+
+  /// Max over the window; 0 when empty (watermark semantics).
+  [[nodiscard]] double max() const;
+
+  /// Sum of the window's values; 0 when empty.
+  [[nodiscard]] double sum() const;
+
+  /// Nearest-rank percentile over the window's raw values (exact, via
+  /// exact_rank_percentile). 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+
+  /// Batch percentiles from one copy of the window (see
+  /// exact_rank_percentiles).
+  [[nodiscard]] std::vector<double> percentiles(
+      const std::vector<double>& ps) const;
+
+ private:
+  double window_s_;
+  std::deque<std::pair<double, double>> samples_;
+};
+
+/// SLO thresholds. Defaults are fully permissive (nothing breaches), so a
+/// telemetry plane with a default config is pure observation.
+struct SloConfig {
+  static constexpr double kUnbounded = 1e300;
+
+  double window_s = 60.0;           ///< monitor window length
+  double max_route_p95_s = kUnbounded;  ///< routing latency tail bound
+  double max_e2e_p99_s = kUnbounded;    ///< end-to-end latency tail bound
+  double min_goodput = 0.0;             ///< min fraction of submits routed
+  double max_rejection_rate = 1.0;      ///< max fraction of submits rejected
+  double max_queue_depth = kUnbounded;  ///< queue-depth watermark bound
+};
+
+/// One windowed SLO evaluation (also the "slo" block of every
+/// flight-recorder snapshot line).
+struct SloReport {
+  double window_s = 0.0;
+  std::uint64_t submitted = 0;  ///< submits observed in the window
+  std::uint64_t routed = 0;     ///< dispatched to a node
+  std::uint64_t rejected = 0;   ///< backpressure-rejected at submit
+  std::uint64_t lost = 0;       ///< accepted but undeliverable
+  double route_p50_s = 0.0;
+  double route_p95_s = 0.0;
+  double route_p99_s = 0.0;
+  double e2e_p50_s = 0.0;
+  double e2e_p95_s = 0.0;
+  double e2e_p99_s = 0.0;
+  double goodput = 1.0;          ///< routed / submitted (1 when no submits)
+  double rejection_rate = 0.0;   ///< rejected / submitted (0 when no submits)
+  double queue_depth_max = 0.0;  ///< queue-depth watermark over the window
+  std::vector<std::string> breaches;  ///< filled by slo_breaches
+};
+
+/// Evaluate `report` against `config`: one human-readable entry per violated
+/// threshold ("e2e_p99_s 0.52 > max 0.1"), deterministic order. Empty means
+/// every SLO holds.
+[[nodiscard]] std::vector<std::string> slo_breaches(const SloConfig& config,
+                                                    const SloReport& report);
+
+}  // namespace mlcr::obs

@@ -27,11 +27,20 @@ using Micros = std::int64_t;
 
 /// trace_event phase. The enum value is the "ph" character.
 enum class Phase : char {
-  kComplete = 'X',  ///< span with an explicit duration
-  kInstant = 'i',   ///< zero-width moment
-  kCounter = 'C',   ///< named time series sample
-  kMetadata = 'M',  ///< process/thread naming
+  kComplete = 'X',   ///< span with an explicit duration
+  kInstant = 'i',    ///< zero-width moment
+  kCounter = 'C',    ///< named time series sample
+  kMetadata = 'M',   ///< process/thread naming
+  kFlowStart = 's',  ///< start of a cross-thread flow (requires an id)
+  kFlowStep = 't',   ///< intermediate flow point (requires an id)
+  kFlowEnd = 'f',    ///< end of a cross-thread flow (requires an id)
 };
+
+/// True for the flow phases (s/t/f), which carry a binding "id".
+[[nodiscard]] constexpr bool is_flow_phase(Phase p) noexcept {
+  return p == Phase::kFlowStart || p == Phase::kFlowStep ||
+         p == Phase::kFlowEnd;
+}
 
 /// One event argument, pre-rendered. `quoted` selects JSON string vs bare
 /// numeric/boolean emission.
@@ -65,7 +74,8 @@ struct TraceEvent {
   std::uint32_t pid = 0;  ///< track group (see Tracer::kSimPid & friends)
   std::uint32_t tid = 0;  ///< track within the group (e.g. fleet node index)
   Micros ts = 0;
-  Micros dur = 0;  ///< kComplete only
+  Micros dur = 0;                ///< kComplete only
+  std::uint64_t flow_id = 0;     ///< flow phases only: the binding "id"
   std::string name;
   std::string category;
   std::vector<TraceArg> args;

@@ -64,6 +64,48 @@ void Tracer::counter(std::uint32_t pid, std::uint32_t tid, Micros ts,
   emit(std::move(e));
 }
 
+namespace {
+
+[[nodiscard]] TraceEvent make_flow_event(Phase phase, std::uint32_t pid,
+                                         std::uint32_t tid, Micros ts,
+                                         std::uint64_t id, std::string name,
+                                         std::string category,
+                                         std::vector<TraceArg> args) {
+  TraceEvent e;
+  e.phase = phase;
+  e.pid = pid;
+  e.tid = tid;
+  e.ts = ts;
+  e.flow_id = id;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.args = std::move(args);
+  return e;
+}
+
+}  // namespace
+
+void Tracer::flow_start(std::uint32_t pid, std::uint32_t tid, Micros ts,
+                        std::uint64_t id, std::string name,
+                        std::string category, std::vector<TraceArg> args) {
+  emit(make_flow_event(Phase::kFlowStart, pid, tid, ts, id, std::move(name),
+                       std::move(category), std::move(args)));
+}
+
+void Tracer::flow_step(std::uint32_t pid, std::uint32_t tid, Micros ts,
+                       std::uint64_t id, std::string name,
+                       std::string category, std::vector<TraceArg> args) {
+  emit(make_flow_event(Phase::kFlowStep, pid, tid, ts, id, std::move(name),
+                       std::move(category), std::move(args)));
+}
+
+void Tracer::flow_end(std::uint32_t pid, std::uint32_t tid, Micros ts,
+                      std::uint64_t id, std::string name,
+                      std::string category, std::vector<TraceArg> args) {
+  emit(make_flow_event(Phase::kFlowEnd, pid, tid, ts, id, std::move(name),
+                       std::move(category), std::move(args)));
+}
+
 void Tracer::process_name(std::uint32_t pid, std::string name) {
   TraceEvent e;
   e.phase = Phase::kMetadata;

@@ -9,6 +9,11 @@
 //   pid kTrainPid — training telemetry; ts is a step index (1 step = 1 "us"):
 //                   tid 0 counts environment steps, tid 1 gradient steps.
 //   pid kBenchPid — bench self-profiling; ts is wall time from src/util.
+//   pid kServePid — serving front-end; tid = ingest slot for flow starts,
+//                   worker-count + node index for flow ends (see
+//                   serve::Telemetry). Flow events ("s"/"t"/"f") bind by a
+//                   caller-minted id so one request is followable across
+//                   threads in the viewer.
 //
 // Determinism: everything emitted on kSimPid/kTrainPid is a pure function of
 // the episode, so two identical runs produce byte-identical sink output
@@ -28,6 +33,7 @@ class Tracer {
   static constexpr std::uint32_t kSimPid = 0;
   static constexpr std::uint32_t kTrainPid = 1;
   static constexpr std::uint32_t kBenchPid = 2;
+  static constexpr std::uint32_t kServePid = 3;
 
   Tracer() = default;
   Tracer(const Tracer&) = delete;
@@ -53,6 +59,20 @@ class Tracer {
                std::vector<TraceArg> args = {});
   void counter(std::uint32_t pid, std::uint32_t tid, Micros ts,
                std::string name, double value);
+
+  /// Cross-thread flow events: start/step/end share a caller-minted `id`
+  /// (e.g. the invocation sequence number) so the viewer draws an arrow from
+  /// the thread that accepted a request to the thread that dispatched it.
+  /// tools/tracecheck --flows validates that every started id also ends.
+  void flow_start(std::uint32_t pid, std::uint32_t tid, Micros ts,
+                  std::uint64_t id, std::string name, std::string category,
+                  std::vector<TraceArg> args = {});
+  void flow_step(std::uint32_t pid, std::uint32_t tid, Micros ts,
+                 std::uint64_t id, std::string name, std::string category,
+                 std::vector<TraceArg> args = {});
+  void flow_end(std::uint32_t pid, std::uint32_t tid, Micros ts,
+                std::uint64_t id, std::string name, std::string category,
+                std::vector<TraceArg> args = {});
 
   /// Track naming (Perfetto group / row labels).
   void process_name(std::uint32_t pid, std::string name);

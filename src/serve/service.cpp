@@ -7,6 +7,7 @@
 
 #include "core/mlcr.hpp"
 #include "policies/runner.hpp"
+#include "serve/telemetry.hpp"
 #include "util/check.hpp"
 #include "util/lock_audit.hpp"
 
@@ -89,6 +90,8 @@ void SchedulerService::begin_episode() {
         &batches_, &inference_calls_, &max_wave_})
     counter->store(0, std::memory_order_relaxed);
   in_episode_ = true;
+  if (telemetry_ != nullptr)
+    telemetry_->begin_episode(nodes, config_.workers, clock_.now_s());
 }
 
 void SchedulerService::start() {
@@ -106,13 +109,15 @@ bool SchedulerService::submit(const sim::Invocation& inv) {
   const std::size_t slot =
       submit_cursor_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   BoundedQueue<Request>& queue = *queues_[slot];
+  const std::size_t depth = queue.size();
   const bool degraded =
-      config_.degrade_depth > 0 && queue.size() >= config_.degrade_depth;
-  if (!queue.try_push({inv, degraded})) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    return false;
-  }
-  return true;
+      config_.degrade_depth > 0 && depth >= config_.degrade_depth;
+  const bool accepted = queue.try_push({inv, degraded});
+  if (!accepted) rejected_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry_ != nullptr)
+    telemetry_->on_submit(inv, slot, depth, degraded, accepted,
+                          clock_.now_s());
+  return accepted;
 }
 
 std::size_t SchedulerService::pump_once() {
@@ -199,6 +204,8 @@ ServeSummary SchedulerService::finish_episode() {
                            << "recorded " << out.fleet.total.invocations
                            << " invocations");
 
+  if (telemetry_ != nullptr) telemetry_->end_episode(clock_.now_s());
+
   in_episode_ = false;
   index_.reset();
   queues_.clear();
@@ -249,14 +256,18 @@ std::optional<std::size_t> SchedulerService::serve_one(const Request& req) {
   const RouteOutcome route = pick_target(req.inv);
   if (route.lost) {
     lost_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry_ != nullptr) telemetry_->on_lost(req.inv, clock_.now_s());
     return std::nullopt;
   }
   if (route.rerouted) rerouted_.fetch_add(1, std::memory_order_relaxed);
-  dispatch_one(req, route.node);
+  if (telemetry_ != nullptr)
+    telemetry_->on_route(req.inv, route.node, route.rerouted, clock_.now_s());
+  dispatch_one(req, route.node, route.rerouted);
   return route.node;
 }
 
-void SchedulerService::dispatch_one(const Request& req, std::size_t target) {
+void SchedulerService::dispatch_one(const Request& req, std::size_t target,
+                                    bool rerouted) {
   const std::size_t shard = index_->shard_of(target);
   std::lock_guard lock(*shard_mutexes_[shard]);
   const util::LockRankScope lock_rank(util::lock_ranks::service_shard(shard),
@@ -276,6 +287,9 @@ void SchedulerService::dispatch_one(const Request& req, std::size_t target) {
   index_->update(target, env);
   routed_.fetch_add(1, std::memory_order_relaxed);
   if (req.degraded) degraded_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry_ != nullptr)
+    telemetry_->on_dispatch(req.inv, target, req.degraded, rerouted, result,
+                            clock_.now_s());
 }
 
 void SchedulerService::note_wave(std::size_t width) {
@@ -307,6 +321,7 @@ std::size_t SchedulerService::dispatch_wave(const std::vector<Request>& batch,
     const RouteOutcome route = pick_target(req.inv);
     if (route.lost) {
       lost_.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry_ != nullptr) telemetry_->on_lost(req.inv, clock_.now_s());
       ++next;
       continue;
     }
@@ -315,6 +330,9 @@ std::size_t SchedulerService::dispatch_wave(const std::vector<Request>& batch,
           return e.target == route.node;
         });
     if (repeat) break;
+    if (telemetry_ != nullptr)
+      telemetry_->on_route(req.inv, route.node, route.rerouted,
+                           clock_.now_s());
     wave.push_back({&req, route.node, route.rerouted});
     ++next;
   }
@@ -388,6 +406,10 @@ std::size_t SchedulerService::dispatch_wave(const std::vector<Request>& batch,
     if (entry.req->degraded)
       degraded_.fetch_add(1, std::memory_order_relaxed);
     if (entry.rerouted) rerouted_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry_ != nullptr)
+      telemetry_->on_dispatch(entry.req->inv, entry.target,
+                              entry.req->degraded, entry.rerouted, result,
+                              clock_.now_s());
   }
   return next;
 }
@@ -406,6 +428,9 @@ void SchedulerService::process_batch(const std::vector<Request>& batch) {
 
 void SchedulerService::janitor_step() {
   const double now = clock_.now_s();
+  // The janitor is the telemetry plane's heartbeat: SLO windows advance on
+  // the injected clock, never the OS's.
+  if (telemetry_ != nullptr) telemetry_->advance(now);
   const std::size_t node =
       janitor_cursor_.fetch_add(1, std::memory_order_relaxed) %
       fleet_.node_count();
@@ -473,9 +498,17 @@ ServeSummary SchedulerService::run_replay(const sim::Trace& trace) {
     sim_clock->advance_to(inv.arrival_s);
     drain_until(inv.arrival_s);
     submitted_.fetch_add(1, std::memory_order_relaxed);
+    // Replay bypasses the queues, so the ingest hook fires here: queue slot
+    // as submit() would round-robin it, depth 0 (nothing ever queues).
+    if (telemetry_ != nullptr)
+      telemetry_->on_submit(inv, inv.seq % config_.workers, 0, false, true,
+                            inv.arrival_s);
     // Strictly sequential dispatch — MLCR decides per request, exactly as
     // FleetEnv::dispatch does, so the replay is bit-identical to run().
     if (const auto target = serve_one({inv, false})) reschedule(*target);
+    // No janitor runs in replay; advance the SLO windows off the SimClock
+    // directly so the telemetry stream stays a pure function of the trace.
+    if (telemetry_ != nullptr) telemetry_->advance(inv.arrival_s);
   }
   return finish_episode();
 }

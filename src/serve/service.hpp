@@ -48,6 +48,8 @@ class MlcrScheduler;
 
 namespace mlcr::serve {
 
+class Telemetry;
+
 struct ServeConfig {
   /// Worker threads; each owns one ingestion queue (submit round-robins).
   std::size_t workers = 1;
@@ -95,6 +97,13 @@ class SchedulerService {
 
   SchedulerService(const SchedulerService&) = delete;
   SchedulerService& operator=(const SchedulerService&) = delete;
+
+  /// Attach the telemetry plane (borrowed, may be null to detach; must
+  /// outlive the service's episodes). Set it before begin_episode() so the
+  /// episode reset and track metadata are recorded. Every request lifecycle
+  /// event, the janitor's window advance, and the episode boundaries are
+  /// reported; a null telemetry pointer costs one predicted branch per site.
+  void set_telemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
 
   /// Reset every node's streaming episode and scheduler, rebuild the sharded
   /// index, create fresh queues, and zero the counters. Detects an MLCR
@@ -157,8 +166,9 @@ class SchedulerService {
   std::optional<std::size_t> serve_one(const Request& req);
 
   /// Offer/decide/step/observe on `target` under its shard mutex, then
-  /// refresh the index entry. Mirrors FleetEnv::dispatch.
-  void dispatch_one(const Request& req, std::size_t target);
+  /// refresh the index entry. Mirrors FleetEnv::dispatch. `rerouted` is
+  /// routing context forwarded to telemetry.
+  void dispatch_one(const Request& req, std::size_t target, bool rerouted);
 
   /// Serve `batch[begin..]` up to one MLCR wave: route requests until a
   /// target node repeats or the wave reaches config_.batch, then offer all,
@@ -181,6 +191,7 @@ class SchedulerService {
   Clock& clock_;
   std::unique_ptr<RoutePolicy> policy_;
   ServeConfig config_;
+  Telemetry* telemetry_ = nullptr;
 
   bool in_episode_ = false;
   bool mlcr_mode_ = false;

@@ -4,7 +4,9 @@
 //
 //   service shard mutexes (ascending shard)  rank 1'000'000 + shard
 //   inference mutex                          rank 2'000'000
-//   index shard locks (leaves)               rank 3'000'000 + shard
+//   index shard locks                        rank 3'000'000 + shard
+//   telemetry window/trace mutex             rank 4'000'000
+//   metrics registry slot locks (leaves)     rank 5'000'000 + slot
 //
 // Every thread keeps a thread-local stack of held ranks. An acquisition must
 // carry a rank strictly greater than everything the thread already holds —
@@ -36,6 +38,8 @@ namespace lock_ranks {
 inline constexpr std::uint64_t kServiceShardBase = 1'000'000;
 inline constexpr std::uint64_t kInference = 2'000'000;
 inline constexpr std::uint64_t kIndexShardBase = 3'000'000;
+inline constexpr std::uint64_t kTelemetry = 4'000'000;
+inline constexpr std::uint64_t kRegistrySlotBase = 5'000'000;
 
 /// Rank of SchedulerService's dispatch mutex for `shard` (ascending-index
 /// acquisition across a wave maps to ascending ranks).
@@ -43,11 +47,18 @@ inline constexpr std::uint64_t kIndexShardBase = 3'000'000;
   return kServiceShardBase + shard;
 }
 
-/// Rank of ShardedFleetIndex's per-shard lock — the leaves: with the top
-/// rank band, acquiring anything on top of one is an inversion by
-/// construction.
+/// Rank of ShardedFleetIndex's per-shard lock. Nothing in the serving path
+/// is acquired while one is held.
 [[nodiscard]] constexpr std::uint64_t index_shard(std::size_t shard) {
   return kIndexShardBase + shard;
+}
+
+/// Rank of ConcurrentMetricsRegistry's per-slot lock — the leaves: with the
+/// top rank band, acquiring anything on top of one is an inversion by
+/// construction. The telemetry mutex (kTelemetry) sits just below so the
+/// snapshot path may merge slots while holding it.
+[[nodiscard]] constexpr std::uint64_t registry_slot(std::size_t slot) {
+  return kRegistrySlotBase + slot;
 }
 
 }  // namespace lock_ranks
@@ -69,7 +80,8 @@ class LockOrderValidator {
                                    << ") acquired while holding rank " << h
                                    << "; the declared order is service shard "
                                       "mutexes (ascending) < inference mutex "
-                                      "< index shard locks");
+                                      "< index shard locks < telemetry mutex "
+                                      "< registry slot locks");
     }
     stack.push_back(rank);
   }

@@ -1,0 +1,124 @@
+// ConcurrentMetricsRegistry: the slot-sharded writes must merge into exactly
+// the numbers a single-threaded MetricsRegistry fed the same samples would
+// hold — counters sum, gauges resolve by newest global stamp, histograms
+// merge losslessly — and a single-threaded writer must land in one slot so
+// snapshots stay a pure function of the recorded samples (the determinism
+// half of the DESIGN.md §13 contract). The multi-writer tests run under
+// TSan in CI.
+#include "obs/concurrent.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics_registry.hpp"
+
+namespace mlcr::obs {
+namespace {
+
+TEST(ConcurrentRegistry, CountersSumAcrossConcurrentWriters) {
+  ConcurrentMetricsRegistry registry(4);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) registry.add("events");
+      registry.add("bulk", 5);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const MetricsRegistry merged = registry.snapshot();
+  EXPECT_EQ(merged.counters().at("events").value(), kThreads * kPerThread);
+  EXPECT_EQ(merged.counters().at("bulk").value(), kThreads * 5U);
+}
+
+TEST(ConcurrentRegistry, HistogramSamplesSurviveTheCrossSlotMerge) {
+  ConcurrentMetricsRegistry registry(4);
+  constexpr std::size_t kThreads = 6;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 1; i <= kPerThread; ++i)
+        registry.record("latency_s", 0.001 * static_cast<double>(i));
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const MetricsRegistry merged = registry.snapshot();
+  const Histogram& h = merged.histograms().at("latency_s");
+  EXPECT_EQ(h.count(), kThreads * static_cast<std::uint64_t>(kPerThread));
+  // The sum is tracked exactly (not bucketed): kThreads * sum(1..500)/1000.
+  EXPECT_NEAR(h.sum(), kThreads * 0.001 * (kPerThread * (kPerThread + 1) / 2),
+              1e-9);
+  EXPECT_DOUBLE_EQ(h.min(), 0.001);
+  EXPECT_DOUBLE_EQ(h.max(), 0.5);
+}
+
+TEST(ConcurrentRegistry, GaugeResolvesToTheNewestStampAcrossSlots) {
+  ConcurrentMetricsRegistry registry(4);
+  // A write from another thread lands in some slot; the main thread's later
+  // write carries a newer global stamp and must win the merge regardless of
+  // which slots the two writes hit.
+  std::thread other([&] { registry.set_gauge("depth", 1.0); });
+  other.join();
+  registry.set_gauge("depth", 2.0);
+  EXPECT_DOUBLE_EQ(registry.snapshot().gauges().at("depth").value(), 2.0);
+
+  // And within one slot, plain last-write-wins.
+  registry.set_gauge("depth", 3.0);
+  registry.set_gauge("depth", 4.0);
+  EXPECT_DOUBLE_EQ(registry.snapshot().gauges().at("depth").value(), 4.0);
+}
+
+TEST(ConcurrentRegistry, SingleThreadedSnapshotMatchesAPlainRegistry) {
+  ConcurrentMetricsRegistry concurrent(8);
+  MetricsRegistry plain;
+  for (int i = 1; i <= 200; ++i) {
+    const double v = 0.003 * static_cast<double>(i);
+    concurrent.add("requests");
+    plain.counter("requests").add();
+    concurrent.record("e2e_s", v);
+    plain.histogram("e2e_s").add(v);
+  }
+  concurrent.set_gauge("nodes", 4.0);
+  plain.gauge("nodes").set(4.0);
+
+  const MetricsRegistry merged = concurrent.snapshot();
+  EXPECT_EQ(merged.counters().at("requests").value(),
+            plain.counters().at("requests").value());
+  EXPECT_DOUBLE_EQ(merged.gauges().at("nodes").value(), 4.0);
+  const Histogram& a = merged.histograms().at("e2e_s");
+  const Histogram& b = plain.histograms().at("e2e_s");
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_DOUBLE_EQ(a.sum(), b.sum());
+  EXPECT_DOUBLE_EQ(a.p50(), b.p50());
+  EXPECT_DOUBLE_EQ(a.p99(), b.p99());
+}
+
+TEST(ConcurrentRegistry, ClearDropsEveryRecordedValue) {
+  ConcurrentMetricsRegistry registry(2);
+  registry.add("events", 7);
+  registry.set_gauge("depth", 3.0);
+  registry.record("latency_s", 0.25);
+  ASSERT_GT(registry.snapshot().size(), 0U);
+  registry.clear();
+  EXPECT_EQ(registry.snapshot().size(), 0U);
+  // The registry stays usable after a clear (episode boundaries).
+  registry.add("events");
+  EXPECT_EQ(registry.snapshot().counters().at("events").value(), 1U);
+}
+
+TEST(ConcurrentRegistry, SlotCountIsFixedAtConstruction) {
+  const ConcurrentMetricsRegistry registry(3);
+  EXPECT_EQ(registry.slot_count(), 3U);
+}
+
+}  // namespace
+}  // namespace mlcr::obs

@@ -1,0 +1,103 @@
+// Flight recorder: every write() must append one schema-valid JSONL line
+// (pinned against obs::check_snapshot_jsonl — the same checker CI runs over
+// real snapshot artifacts), seq must increase strictly, and a closed
+// recorder must reject further writes rather than silently truncate the
+// record.
+#include "obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/metrics_registry.hpp"
+#include "obs/schema_check.hpp"
+#include "obs/slo.hpp"
+#include "util/check.hpp"
+
+namespace mlcr::obs {
+namespace {
+
+MetricsRegistry sample_metrics() {
+  MetricsRegistry metrics;
+  metrics.counter("serve.routed").add(3);
+  metrics.gauge("serve.nodes").set(4.0);
+  metrics.histogram("serve.e2e_latency_s").add(0.25);
+  metrics.histogram("serve.e2e_latency_s").add(0.5);
+  return metrics;
+}
+
+SloReport sample_slo() {
+  SloReport slo;
+  slo.window_s = 60.0;
+  slo.submitted = 3;
+  slo.routed = 3;
+  slo.e2e_p99_s = 0.5;
+  slo.goodput = 1.0;
+  return slo;
+}
+
+std::size_t line_count(const std::string& text) {
+  std::size_t lines = 0;
+  for (const char c : text)
+    if (c == '\n') ++lines;
+  return lines;
+}
+
+TEST(FlightRecorder, EmitsSchemaValidJsonlWithStrictlyIncreasingSeq) {
+  std::ostringstream out;
+  FlightRecorder recorder(out);
+  const MetricsRegistry metrics = sample_metrics();
+  const SloReport slo = sample_slo();
+  recorder.write(1.0, metrics, slo);
+  recorder.write(2.0, metrics, slo);
+  recorder.write(3.5, metrics, slo);
+  recorder.close();
+
+  EXPECT_EQ(recorder.snapshot_count(), 3U);
+  const std::string text = out.str();
+  EXPECT_EQ(line_count(text), 3U);
+  const auto problems = check_snapshot_jsonl(text);
+  EXPECT_TRUE(problems.empty()) << (problems.empty() ? "" : problems[0]);
+  // seq rides in each line, 0-based and strictly increasing.
+  EXPECT_NE(text.find("\"seq\":0"), std::string::npos);
+  EXPECT_NE(text.find("\"seq\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"seq\":2"), std::string::npos);
+}
+
+TEST(FlightRecorder, RecordsSloBreachStrings) {
+  std::ostringstream out;
+  FlightRecorder recorder(out);
+  SloReport slo = sample_slo();
+  slo.breaches.push_back("e2e_p99_s 0.5 > max 0.1");
+  recorder.write(1.0, sample_metrics(), slo);
+  recorder.close();
+
+  EXPECT_NE(out.str().find("e2e_p99_s 0.5 > max 0.1"), std::string::npos);
+  EXPECT_TRUE(check_snapshot_jsonl(out.str()).empty());
+}
+
+TEST(FlightRecorder, CloseIsIdempotentAndRejectsLateWrites) {
+  std::ostringstream out;
+  FlightRecorder recorder(out);
+  recorder.write(1.0, sample_metrics(), sample_slo());
+  recorder.close();
+  recorder.close();
+  const std::string after_close = out.str();
+  EXPECT_THROW(recorder.write(2.0, sample_metrics(), sample_slo()),
+               util::CheckError);
+  EXPECT_EQ(out.str(), after_close);
+  EXPECT_EQ(recorder.snapshot_count(), 1U);
+}
+
+TEST(FlightRecorder, EmptyRegistryStillProducesAValidLine) {
+  std::ostringstream out;
+  FlightRecorder recorder(out);
+  recorder.write(0.0, MetricsRegistry{}, SloReport{});
+  recorder.close();
+  EXPECT_EQ(line_count(out.str()), 1U);
+  EXPECT_TRUE(check_snapshot_jsonl(out.str()).empty());
+}
+
+}  // namespace
+}  // namespace mlcr::obs

@@ -39,6 +39,21 @@ TEST(ExactRankPercentile, ResultIsAlwaysAnObservedSample) {
   }
 }
 
+TEST(ExactRankPercentile, BatchFormMatchesTheScalarFormInRequestOrder) {
+  util::Rng rng(23);
+  std::vector<double> v;
+  for (int i = 0; i < 311; ++i) v.push_back(rng.uniform(0.0, 5.0));
+  // Deliberately unsorted, with duplicates and extremes.
+  const std::vector<double> ps = {99.0, 0.0, 50.0, 50.0, 100.0, 12.5};
+  const std::vector<double> batch = exact_rank_percentiles(v, ps);
+  ASSERT_EQ(batch.size(), ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i)
+    EXPECT_DOUBLE_EQ(batch[i], exact_rank_percentile(v, ps[i]))
+        << "p=" << ps[i];
+  EXPECT_TRUE(exact_rank_percentiles({}, {50.0, 99.0}) ==
+              (std::vector<double>{0.0, 0.0}));
+}
+
 TEST(CounterAndGauge, Basics) {
   Counter c;
   EXPECT_EQ(c.value(), 0U);

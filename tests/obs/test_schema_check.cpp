@@ -218,5 +218,122 @@ TEST(SimlintSchema, RejectsContractViolations) {
   EXPECT_FALSE(check_simlint_json("{").empty());
 }
 
+TEST(FlowPairing, AcceptsMatchedStartStepEnd) {
+  const char* kTrace = R"({"traceEvents":[
+    {"name":"request","cat":"serve","ph":"s","ts":0,"pid":3,"tid":0,"id":7},
+    {"name":"request","cat":"serve","ph":"t","ts":5,"pid":3,"tid":4,"id":7},
+    {"name":"request","cat":"serve","ph":"f","bp":"e","ts":9,"pid":3,
+     "tid":4,"id":7}
+  ]})";
+  const auto report = check_trace_json(kTrace);
+  EXPECT_TRUE(report.ok()) << (report.errors.empty() ? "" : report.errors[0]);
+  EXPECT_TRUE(report.flows_ok())
+      << (report.flow_errors.empty() ? "" : report.flow_errors[0]);
+  EXPECT_EQ(report.flow_start_counts.at("request"), 1U);
+  EXPECT_EQ(report.flow_end_counts.at("request"), 1U);
+}
+
+TEST(FlowPairing, UnpairedFlowsAreFlowErrorsNotSchemaErrors) {
+  // An end without a start: schema-valid, but the flow check must flag it.
+  const char* kEndOnly = R"([
+    {"name":"request","cat":"serve","ph":"f","bp":"e","ts":9,"pid":3,
+     "tid":4,"id":7}
+  ])";
+  auto report = check_trace_json(kEndOnly);
+  EXPECT_TRUE(report.ok());
+  EXPECT_FALSE(report.flows_ok());
+  ASSERT_EQ(report.flow_errors.size(), 1U);
+  EXPECT_NE(report.flow_errors[0].find("end without a flow-start"),
+            std::string::npos);
+
+  // A start that never ends (the lost-track regression this guards).
+  const char* kStartOnly = R"([
+    {"name":"request","cat":"serve","ph":"s","ts":0,"pid":3,"tid":0,"id":7}
+  ])";
+  report = check_trace_json(kStartOnly);
+  EXPECT_TRUE(report.ok());
+  ASSERT_EQ(report.flow_errors.size(), 1U);
+  EXPECT_NE(report.flow_errors[0].find("started but never ended"),
+            std::string::npos);
+}
+
+TEST(FlowPairing, CountMismatchAndDistinctIdsAreReported) {
+  // Two starts against one end on the same (cat, name, id) key.
+  const char* kMismatch = R"([
+    {"name":"request","cat":"serve","ph":"s","ts":0,"pid":3,"tid":0,"id":1},
+    {"name":"request","cat":"serve","ph":"s","ts":1,"pid":3,"tid":0,"id":1},
+    {"name":"request","cat":"serve","ph":"f","bp":"e","ts":2,"pid":3,
+     "tid":1,"id":1}
+  ])";
+  auto report = check_trace_json(kMismatch);
+  ASSERT_EQ(report.flow_errors.size(), 1U);
+  EXPECT_NE(report.flow_errors[0].find("2 starts vs 1 ends"),
+            std::string::npos);
+
+  // Different ids never pair, even with matching names.
+  const char* kCrossed = R"([
+    {"name":"request","cat":"serve","ph":"s","ts":0,"pid":3,"tid":0,"id":1},
+    {"name":"request","cat":"serve","ph":"f","bp":"e","ts":2,"pid":3,
+     "tid":1,"id":2}
+  ])";
+  report = check_trace_json(kCrossed);
+  EXPECT_EQ(report.flow_errors.size(), 2U);
+}
+
+TEST(FlowPairing, FlowEventsRequireAUsableId) {
+  const char* kNoId = R"([
+    {"name":"request","cat":"serve","ph":"s","ts":0,"pid":3,"tid":0}
+  ])";
+  const auto report = check_trace_json(kNoId);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(any_error_contains(report, "flow event needs"));
+}
+
+TEST(SnapshotSchema, AcceptsFlightRecorderShapedLines) {
+  const std::string line1 =
+      R"({"t":1,"seq":0,"counters":{"serve.routed":3},)"
+      R"("gauges":{"serve.nodes":4},)"
+      R"("histograms":{"serve.e2e_latency_s":{"count":2,"sum":0.75,)"
+      R"("min":0.25,"max":0.5,"mean":0.375,"p50":0.25,"p95":0.5,"p99":0.5}},)"
+      R"("slo":{"window_s":60,"goodput":1,"breaches":[]}})";
+  const std::string line2 =
+      R"({"t":2,"seq":1,"counters":{},"gauges":{},"histograms":{},)"
+      R"("slo":{"breaches":["e2e_p99_s 0.5 > max 0.1"]}})";
+  EXPECT_TRUE(check_snapshot_jsonl(line1 + "\n" + line2 + "\n").empty());
+  // Blank lines between records are tolerated.
+  EXPECT_TRUE(check_snapshot_jsonl(line1 + "\n\n" + line2 + "\n").empty());
+}
+
+TEST(SnapshotSchema, RejectsContractViolations) {
+  const std::string valid =
+      R"({"t":1,"seq":5,"counters":{},"gauges":{},"histograms":{},)"
+      R"("slo":{"breaches":[]}})";
+  // seq must strictly increase across lines.
+  EXPECT_FALSE(check_snapshot_jsonl(valid + "\n" + valid + "\n").empty());
+  // Missing "t".
+  EXPECT_FALSE(check_snapshot_jsonl(
+                   R"({"seq":0,"counters":{},"gauges":{},"histograms":{},)"
+                   R"("slo":{"breaches":[]}})")
+                   .empty());
+  // Counter values must be numbers.
+  EXPECT_FALSE(check_snapshot_jsonl(
+                   R"({"t":1,"seq":0,"counters":{"c":"no"},"gauges":{},)"
+                   R"("histograms":{},"slo":{"breaches":[]}})")
+                   .empty());
+  // Histogram entries need every summary field.
+  EXPECT_FALSE(check_snapshot_jsonl(
+                   R"({"t":1,"seq":0,"counters":{},"gauges":{},)"
+                   R"("histograms":{"h":{"count":1}},)"
+                   R"("slo":{"breaches":[]}})")
+                   .empty());
+  // Breach entries must be non-empty strings.
+  EXPECT_FALSE(check_snapshot_jsonl(
+                   R"({"t":1,"seq":0,"counters":{},"gauges":{},)"
+                   R"("histograms":{},"slo":{"breaches":[""]}})")
+                   .empty());
+  // Malformed lines report a parse error and never throw.
+  EXPECT_FALSE(check_snapshot_jsonl("{oops\n").empty());
+}
+
 }  // namespace
 }  // namespace mlcr::obs

@@ -1,0 +1,107 @@
+// Sliding-window SLO monitors: eviction keeps exactly the samples inside
+// the window, the stats are exact-rank over the surviving values, and
+// slo_breaches reports every violated threshold in its declared order —
+// the same rule serve::Telemetry applies online and tools/obsreport applies
+// offline over recorded snapshots.
+#include "obs/slo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace mlcr::obs {
+namespace {
+
+TEST(Slo, SlidingWindowEvictsOnlyExpiredSamples) {
+  SlidingWindow window(5.0);
+  for (int t = 0; t < 10; ++t)
+    window.record(static_cast<double>(t), static_cast<double>(t));
+  EXPECT_EQ(window.count(), 10U);
+
+  // advance(10) evicts t < 10 - 5: samples 0..4 go, 5..9 stay.
+  window.advance(10.0);
+  EXPECT_EQ(window.count(), 5U);
+  EXPECT_DOUBLE_EQ(window.max(), 9.0);
+  EXPECT_DOUBLE_EQ(window.sum(), 35.0);
+
+  // Advancing past everything leaves the watermark semantics: all zeros.
+  window.advance(100.0);
+  EXPECT_EQ(window.count(), 0U);
+  EXPECT_DOUBLE_EQ(window.max(), 0.0);
+  EXPECT_DOUBLE_EQ(window.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(window.percentile(99.0), 0.0);
+}
+
+TEST(Slo, SlidingWindowBatchPercentilesMatchScalarQueries) {
+  SlidingWindow window(1000.0);
+  // 1..100 recorded in a scrambled (but deterministic) order.
+  for (int i = 0; i < 100; ++i) {
+    const int v = (i * 37) % 100 + 1;
+    window.record(static_cast<double>(i), static_cast<double>(v));
+  }
+  const std::vector<double> ps = {99.0, 0.0, 50.0, 95.0};
+  const std::vector<double> batch = window.percentiles(ps);
+  ASSERT_EQ(batch.size(), ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i)
+    EXPECT_DOUBLE_EQ(batch[i], window.percentile(ps[i])) << "p" << ps[i];
+  // Order of `ps` is preserved, not sorted.
+  EXPECT_DOUBLE_EQ(batch[0], 99.0);
+  EXPECT_DOUBLE_EQ(batch[1], 1.0);
+}
+
+TEST(Slo, ClearEmptiesTheWindow) {
+  SlidingWindow window(10.0);
+  window.record(0.0, 1.0);
+  window.clear();
+  EXPECT_EQ(window.count(), 0U);
+  EXPECT_DOUBLE_EQ(window.window_s(), 10.0);
+}
+
+TEST(Slo, PermissiveDefaultConfigNeverBreaches) {
+  SloReport report;
+  report.route_p95_s = 1e6;
+  report.e2e_p99_s = 1e6;
+  report.goodput = 0.0;
+  report.rejection_rate = 1.0;
+  report.queue_depth_max = 1e9;
+  EXPECT_TRUE(slo_breaches(SloConfig{}, report).empty());
+}
+
+TEST(Slo, BreachesReportEveryViolatedThresholdInDeclaredOrder) {
+  SloConfig config;
+  config.max_route_p95_s = 0.1;
+  config.max_e2e_p99_s = 0.2;
+  config.min_goodput = 0.9;
+  config.max_rejection_rate = 0.05;
+  config.max_queue_depth = 10.0;
+
+  SloReport report;
+  report.route_p95_s = 0.5;
+  report.e2e_p99_s = 0.5;
+  report.goodput = 0.5;
+  report.rejection_rate = 0.5;
+  report.queue_depth_max = 20.0;
+
+  const std::vector<std::string> breaches = slo_breaches(config, report);
+  ASSERT_EQ(breaches.size(), 5U);
+  EXPECT_EQ(breaches[0], "route_p95_s 0.5 > max 0.1");
+  EXPECT_EQ(breaches[1], "e2e_p99_s 0.5 > max 0.2");
+  EXPECT_EQ(breaches[2], "goodput 0.5 < min 0.9");
+  EXPECT_EQ(breaches[3], "rejection_rate 0.5 > max 0.05");
+  EXPECT_EQ(breaches[4], "queue_depth 20 > max 10");
+}
+
+TEST(Slo, ThresholdsAreStrictBounds) {
+  // Values exactly at the bound do not breach (breach means strictly worse).
+  SloConfig config;
+  config.max_e2e_p99_s = 0.2;
+  config.min_goodput = 0.9;
+  SloReport report;
+  report.e2e_p99_s = 0.2;
+  report.goodput = 0.9;
+  EXPECT_TRUE(slo_breaches(config, report).empty());
+}
+
+}  // namespace
+}  // namespace mlcr::obs

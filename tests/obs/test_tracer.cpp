@@ -135,5 +135,40 @@ TEST(Tracer, ToMicrosRoundsToNearest) {
   EXPECT_EQ(to_micros(0.0000006), 1);
 }
 
+TEST(Tracer, FlowEventsCarryTheirIdAndBindTheEndToTheEnclosingSlice) {
+  std::ostringstream out;
+  Tracer tracer;
+  tracer.add_sink(std::make_shared<ChromeTraceSink>(out));
+  tracer.flow_start(Tracer::kServePid, 0, 10, 42, "request", "serve");
+  tracer.flow_step(Tracer::kServePid, 2, 20, 42, "request", "serve");
+  tracer.flow_end(Tracer::kServePid, 2, 30, 42, "request", "serve");
+  tracer.close();
+  const std::string json = out.str();
+
+  EXPECT_TRUE(contains(json, "\"ph\":\"s\"")) << json;
+  EXPECT_TRUE(contains(json, "\"ph\":\"t\"")) << json;
+  EXPECT_TRUE(contains(json, "\"ph\":\"f\"")) << json;
+  EXPECT_TRUE(contains(json, "\"id\":42")) << json;
+  // Per the trace_event spec the end binds to its enclosing slice; only the
+  // "f" event may carry the binding point.
+  EXPECT_TRUE(contains(json, "\"bp\":\"e\"")) << json;
+
+  const auto report = check_trace_json(json);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.flows_ok())
+      << (report.flow_errors.empty() ? "" : report.flow_errors[0]);
+  EXPECT_EQ(report.flow_start_counts.at("request"), 1U);
+  EXPECT_EQ(report.flow_end_counts.at("request"), 1U);
+}
+
+TEST(Tracer, CsvSinkRendersTheFlowIdAsAPseudoArg) {
+  std::ostringstream out;
+  Tracer tracer;
+  tracer.add_sink(std::make_shared<CsvTraceSink>(out));
+  tracer.flow_start(Tracer::kServePid, 1, 0, 7, "request", "serve");
+  tracer.close();
+  EXPECT_TRUE(contains(out.str(), "flow_id=7")) << out.str();
+}
+
 }  // namespace
 }  // namespace mlcr::obs

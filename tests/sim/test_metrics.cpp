@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
 #include "util/check.hpp"
 
 namespace mlcr::sim {
@@ -182,6 +187,47 @@ TEST(Metrics, PercentilesWorkOnFleetMergedCollectors) {
   EXPECT_DOUBLE_EQ(merged.latency_p50(), 50.0);
   EXPECT_DOUBLE_EQ(merged.latency_p95(), 95.0);
   EXPECT_DOUBLE_EQ(merged.latency_p99(), 99.0);
+}
+
+TEST(Metrics, LargeFleetMergePreservesExactRankPercentiles) {
+  // Regression for the serving-scale aggregation path: folding many
+  // per-node collectors through merge_many must leave percentiles equal to
+  // the nearest-rank value over the union of every node's raw latencies —
+  // no re-bucketing, no drift from the merge order.
+  constexpr std::size_t kNodes = 64;
+  constexpr std::size_t kPerNode = 37;
+  std::vector<MetricsCollector> nodes(kNodes);
+  std::vector<const MetricsCollector*> parts;
+  std::vector<double> all;
+  std::uint64_t seq = 0;
+  for (std::size_t n = 0; n < kNodes; ++n) {
+    for (std::size_t i = 0; i < kPerNode; ++i) {
+      // A deterministic scramble spanning several orders of magnitude.
+      const double latency =
+          0.001 * static_cast<double>((seq * 2654435761ULL) % 100000 + 1);
+      nodes[n].record(rec(seq++, latency, false,
+                          containers::MatchLevel::kL3));
+      all.push_back(latency);
+    }
+    parts.push_back(&nodes[n]);
+  }
+
+  MetricsCollector merged;
+  merged.merge_many(parts);
+  ASSERT_EQ(merged.invocation_count(), kNodes * kPerNode);
+
+  std::vector<double> sorted = all;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double p : {0.0, 25.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0}) {
+    // Nearest-rank reference: the smallest value whose rank >= ceil(p% * n).
+    const double n = static_cast<double>(sorted.size());
+    std::size_t rank =
+        static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+    if (rank < 1) rank = 1;
+    if (rank > sorted.size()) rank = sorted.size();
+    EXPECT_DOUBLE_EQ(merged.latency_percentile(p), sorted[rank - 1])
+        << "p=" << p;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,83 @@
+// obsreport gating logic: schema errors invalidate the file, recorded
+// breaches fail the gate (unless gate_recorded is off), offline thresholds
+// re-evaluate every snapshot's SLO block, and the rendered table is
+// deterministic. This is the library behind the CLI CI runs over real
+// snapshot artifacts.
+#include "tools/obsreport/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mlcr::obsreport {
+namespace {
+
+const char* kCleanSnapshots =
+    R"({"t":1,"seq":0,"counters":{"serve.routed":10},"gauges":{},)"
+    R"("histograms":{},"slo":{"window_s":60,"submitted":10,"routed":10,)"
+    R"("rejected":0,"lost":0,"e2e_p99_s":0.4,"goodput":1,)"
+    R"("rejection_rate":0,"queue_depth_max":3,"breaches":[]}}
+{"t":2,"seq":1,"counters":{"serve.routed":20},"gauges":{},)"
+    R"("histograms":{},"slo":{"window_s":60,"submitted":12,"routed":11,)"
+    R"("rejected":1,"lost":0,"e2e_p99_s":0.5,"goodput":0.9166,)"
+    R"("rejection_rate":0.0833,"queue_depth_max":5,"breaches":[]}}
+)";
+
+TEST(Obsreport, CleanSnapshotsPassThePermissiveGate) {
+  const Report report = analyze_snapshots(kCleanSnapshots, ReportOptions{});
+  EXPECT_TRUE(report.ok()) << render_report(report);
+  ASSERT_EQ(report.rows.size(), 2U);
+  EXPECT_DOUBLE_EQ(report.rows[0].t, 1.0);
+  EXPECT_DOUBLE_EQ(report.rows[1].slo.e2e_p99_s, 0.5);
+  EXPECT_EQ(report.rows[1].slo.rejected, 1U);
+}
+
+TEST(Obsreport, SchemaErrorsInvalidateTheFile) {
+  const Report report =
+      analyze_snapshots(R"({"t":1})", ReportOptions{});
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.schema_errors.empty());
+  EXPECT_TRUE(report.rows.empty());
+}
+
+TEST(Obsreport, RecordedBreachesFailTheGateUnlessDisabled) {
+  const std::string with_breach =
+      R"({"t":1,"seq":0,"counters":{},"gauges":{},"histograms":{},)"
+      R"("slo":{"e2e_p99_s":0.5,"breaches":["e2e_p99_s 0.5 > max 0.1"]}})";
+  ReportOptions options;
+  Report report = analyze_snapshots(with_breach, options);
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.breaches.size(), 1U);
+  EXPECT_NE(report.breaches[0].find("recorded:"), std::string::npos);
+  EXPECT_NE(report.breaches[0].find("e2e_p99_s 0.5 > max 0.1"),
+            std::string::npos);
+
+  options.gate_recorded = false;
+  report = analyze_snapshots(with_breach, options);
+  EXPECT_TRUE(report.ok()) << render_report(report);
+}
+
+TEST(Obsreport, OfflineThresholdsReEvaluateEverySnapshot) {
+  ReportOptions options;
+  // Second snapshot (0.5) breaches, first (0.4) does not; rows are 0-based.
+  options.slo.max_e2e_p99_s = 0.45;
+  const Report report = analyze_snapshots(kCleanSnapshots, options);
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.breaches.size(), 1U);
+  EXPECT_NE(report.breaches[0].find("snapshot 1"), std::string::npos);
+  EXPECT_NE(report.breaches[0].find("e2e_p99_s"), std::string::npos);
+}
+
+TEST(Obsreport, RenderedReportListsEverySnapshotAndBreach) {
+  ReportOptions options;
+  options.slo.min_goodput = 0.95;
+  const Report report = analyze_snapshots(kCleanSnapshots, options);
+  const std::string text = render_report(report);
+  EXPECT_NE(text.find("snapshots: 2"), std::string::npos);
+  EXPECT_NE(text.find("BREACH"), std::string::npos);
+  // Deterministic: rendering twice gives the same text.
+  EXPECT_EQ(text, render_report(report));
+}
+
+}  // namespace
+}  // namespace mlcr::obsreport

@@ -79,6 +79,7 @@ const FixtureCase kFixtureCases[] = {
     {"missing_transition_check.cpp", "src/sim/env.cpp"},
     {"obs_wall_time.cpp", "src/obs/obs_wall_time.cpp"},
     {"serve_clock_injection.cpp", "src/serve/service_like.cpp"},
+    {"obs_concurrent_registry.cpp", "src/serve/metrics_misuse.cpp"},
     {"router_route_check.cpp", "src/fleet/router.cpp"},
     {"fault_rng_stream.cpp", "src/faults/fault_rng_stream.cpp"},
     {"lock_discipline.cpp", "src/serve/lock_discipline.cpp"},
@@ -124,6 +125,11 @@ TEST(Simlint, PathScopedRulesAreQuietOutsideTheirScope) {
   EXPECT_TRUE(lint_source(serve_src, "bench/serve_throughput.cpp").empty());
   // ...and the rule covers all service/simulation logic, not just src/serve.
   EXPECT_FALSE(lint_source(serve_src, "src/fleet/serve_like.cpp").empty());
+  // The raw obs types are legal inside the telemetry facade itself (the
+  // one place that serialises them) and everywhere outside src/serve.
+  const std::string obs_reg_src = read_fixture("obs_concurrent_registry.cpp");
+  EXPECT_TRUE(lint_source(obs_reg_src, "src/serve/telemetry.cpp").empty());
+  EXPECT_TRUE(lint_source(obs_reg_src, "src/fleet/metrics_misuse.cpp").empty());
   // Literal-seed Rng construction is legal outside fault-handling code
   // (benches and tests seed their own streams); the rule is scoped to
   // src/faults and src/fleet.

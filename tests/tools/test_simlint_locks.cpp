@@ -30,7 +30,7 @@ std::set<std::string> rule_set(const std::vector<Violation>& violations) {
 
 TEST(SimlintLocks, DeclaredTableMatchesTheRuntimeRankOrder) {
   const std::vector<MutexRankInfo>& table = lock_order_table();
-  ASSERT_EQ(table.size(), 3U);
+  ASSERT_EQ(table.size(), 5U);
   EXPECT_EQ(table[0].key, "shard_mutexes_");
   EXPECT_TRUE(table[0].indexed);
   EXPECT_FALSE(table[0].leaf);
@@ -38,14 +38,24 @@ TEST(SimlintLocks, DeclaredTableMatchesTheRuntimeRankOrder) {
   EXPECT_FALSE(table[1].indexed);
   EXPECT_EQ(table[2].key, "Shard::mutex");
   EXPECT_TRUE(table[2].leaf);
+  EXPECT_EQ(table[3].key, "telemetry_mutex_");
+  EXPECT_FALSE(table[3].indexed);
+  EXPECT_FALSE(table[3].leaf);
+  EXPECT_EQ(table[4].key, "slot_mutex_");
+  EXPECT_FALSE(table[4].indexed);
+  EXPECT_TRUE(table[4].leaf);
   // Static ranks ascend in the same order as the runtime rank bands
-  // (service shards < inference < index shards) — the two halves of the
-  // concurrency contract must never drift apart.
-  EXPECT_LT(table[0].rank, table[1].rank);
-  EXPECT_LT(table[1].rank, table[2].rank);
+  // (service shards < inference < index shards < telemetry < registry
+  // slots) — the two halves of the concurrency contract must never drift
+  // apart.
+  for (std::size_t i = 1; i < table.size(); ++i)
+    EXPECT_LT(table[i - 1].rank, table[i].rank) << table[i].key;
   EXPECT_LT(util::lock_ranks::service_shard(1'000),
             util::lock_ranks::kInference);
   EXPECT_LT(util::lock_ranks::kInference, util::lock_ranks::index_shard(0));
+  EXPECT_LT(util::lock_ranks::index_shard(999'999),
+            util::lock_ranks::kTelemetry);
+  EXPECT_LT(util::lock_ranks::kTelemetry, util::lock_ranks::registry_slot(0));
 }
 
 TEST(SimlintLocks, MacroBodiesCarryNoAcquisitionFacts) {

@@ -1,0 +1,114 @@
+#include "obsreport/report.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/schema_check.hpp"
+#include "obs/trace_event.hpp"
+
+namespace mlcr::obsreport {
+
+namespace {
+
+using obs::JsonValue;
+
+[[nodiscard]] double number_or(const JsonValue* v, double fallback) {
+  if (v == nullptr || v->type != JsonValue::Type::kNumber ||
+      !std::isfinite(v->number))
+    return fallback;
+  return v->number;
+}
+
+[[nodiscard]] std::uint64_t count_or_zero(const JsonValue* v) {
+  const double n = number_or(v, 0.0);
+  return n <= 0.0 ? 0 : static_cast<std::uint64_t>(n);
+}
+
+[[nodiscard]] SnapshotRow parse_row(const JsonValue& root) {
+  SnapshotRow row;
+  row.t = number_or(root.find("t"), 0.0);
+  const JsonValue* slo = root.find("slo");
+  if (slo == nullptr || slo->type != JsonValue::Type::kObject) return row;
+  obs::SloReport& r = row.slo;
+  r.window_s = number_or(slo->find("window_s"), 0.0);
+  r.submitted = count_or_zero(slo->find("submitted"));
+  r.routed = count_or_zero(slo->find("routed"));
+  r.rejected = count_or_zero(slo->find("rejected"));
+  r.lost = count_or_zero(slo->find("lost"));
+  r.route_p50_s = number_or(slo->find("route_p50_s"), 0.0);
+  r.route_p95_s = number_or(slo->find("route_p95_s"), 0.0);
+  r.route_p99_s = number_or(slo->find("route_p99_s"), 0.0);
+  r.e2e_p50_s = number_or(slo->find("e2e_p50_s"), 0.0);
+  r.e2e_p95_s = number_or(slo->find("e2e_p95_s"), 0.0);
+  r.e2e_p99_s = number_or(slo->find("e2e_p99_s"), 0.0);
+  r.goodput = number_or(slo->find("goodput"), 1.0);
+  r.rejection_rate = number_or(slo->find("rejection_rate"), 0.0);
+  r.queue_depth_max = number_or(slo->find("queue_depth_max"), 0.0);
+  const JsonValue* breaches = slo->find("breaches");
+  if (breaches != nullptr && breaches->type == JsonValue::Type::kArray)
+    for (const JsonValue& b : breaches->array)
+      if (b.type == JsonValue::Type::kString && !b.string.empty())
+        r.breaches.push_back(b.string);
+  return row;
+}
+
+}  // namespace
+
+Report analyze_snapshots(const std::string& jsonl_text,
+                         const ReportOptions& options) {
+  Report report;
+  report.schema_errors = obs::check_snapshot_jsonl(jsonl_text);
+  if (!report.schema_errors.empty()) return report;
+
+  std::size_t begin = 0;
+  while (begin <= jsonl_text.size()) {
+    std::size_t end = jsonl_text.find('\n', begin);
+    if (end == std::string::npos) end = jsonl_text.size();
+    const std::string line = jsonl_text.substr(begin, end - begin);
+    begin = end + 1;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    JsonValue root;
+    std::string parse_error;
+    if (!parse_json(line, root, parse_error)) continue;  // schema pass caught
+    report.rows.push_back(parse_row(root));
+  }
+
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    const SnapshotRow& row = report.rows[i];
+    const std::string at = "snapshot " + std::to_string(i) +
+                           " (t=" + obs::format_number(row.t) + "): ";
+    if (options.gate_recorded)
+      for (const std::string& b : row.slo.breaches)
+        report.breaches.push_back(at + "recorded: " + b);
+    for (const std::string& b : obs::slo_breaches(options.slo, row.slo))
+      report.breaches.push_back(at + b);
+  }
+  return report;
+}
+
+std::string render_report(const Report& report) {
+  std::ostringstream os;
+  for (const std::string& err : report.schema_errors)
+    os << "schema: " << err << "\n";
+  os << "snapshots: " << report.rows.size() << "\n";
+  if (!report.rows.empty())
+    os << "  #      t   sub  rout   rej  lost   e2e_p50   e2e_p95   e2e_p99"
+          "  goodput  rej_rate  qmax\n";
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    const SnapshotRow& row = report.rows[i];
+    const obs::SloReport& s = row.slo;
+    os << "  " << i << "  " << obs::format_number(row.t) << "  "
+       << s.submitted << "  " << s.routed << "  " << s.rejected << "  "
+       << s.lost << "  " << obs::format_number(s.e2e_p50_s) << "  "
+       << obs::format_number(s.e2e_p95_s) << "  "
+       << obs::format_number(s.e2e_p99_s) << "  "
+       << obs::format_number(s.goodput) << "  "
+       << obs::format_number(s.rejection_rate) << "  "
+       << obs::format_number(s.queue_depth_max) << "\n";
+  }
+  for (const std::string& b : report.breaches) os << "BREACH " << b << "\n";
+  return os.str();
+}
+
+}  // namespace mlcr::obsreport

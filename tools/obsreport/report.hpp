@@ -1,0 +1,52 @@
+// obsreport core: parse a flight-recorder snapshot JSONL file (the format
+// serve::Telemetry exports and obs::check_snapshot_jsonl validates), render
+// a per-snapshot SLO table, and gate on breaches — both the breaches the
+// telemetry plane recorded online and any extra thresholds applied offline
+// from the command line. A library so tests can pin the gating logic; the
+// binary wraps it as the CLI CI's serve-telemetry-smoke job runs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/slo.hpp"
+
+namespace mlcr::obsreport {
+
+struct ReportOptions {
+  /// Offline thresholds re-applied to every snapshot's SLO block. Defaults
+  /// are fully permissive; window_s is ignored (the snapshots carry their
+  /// own window).
+  obs::SloConfig slo;
+  /// Also fail on breaches the telemetry plane recorded online (snapshot
+  /// "breaches" arrays). On by default: a recorded breach is a breach.
+  bool gate_recorded = true;
+};
+
+struct SnapshotRow {
+  double t = 0.0;
+  obs::SloReport slo;  ///< as recorded, breaches re-evaluated per options
+};
+
+struct Report {
+  /// Schema problems from obs::check_snapshot_jsonl (any -> invalid).
+  std::vector<std::string> schema_errors;
+  /// One "snapshot N (t=...): <breach>" line per gated violation.
+  std::vector<std::string> breaches;
+  std::vector<SnapshotRow> rows;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return schema_errors.empty() && breaches.empty();
+  }
+};
+
+/// Parse + validate + gate. Never throws on bad input.
+[[nodiscard]] Report analyze_snapshots(const std::string& jsonl_text,
+                                       const ReportOptions& options);
+
+/// Human-readable table of `report.rows` (one line per snapshot) plus the
+/// breach list, deterministic.
+[[nodiscard]] std::string render_report(const Report& report);
+
+}  // namespace mlcr::obsreport

@@ -1,0 +1,23 @@
+// Fixture for obs-concurrent-registry: serving-layer code must not use the
+// raw single-threaded obs types directly. Recording goes through the
+// serve::Telemetry facade, whose sharded registry and serialised trace
+// emission make the hot path safe; everything else in src/serve that names
+// the raw types is a data race waiting for a second worker.
+
+namespace mlcr::serve {
+
+struct BadWorkerState {
+  obs::MetricsRegistry registry;  // VIOLATION obs-concurrent-registry
+  obs::Tracer* tracer = nullptr;  // VIOLATION obs-concurrent-registry
+};
+
+double bad_read(const obs::MetricsRegistry& r);  // VIOLATION obs-concurrent-registry
+
+// The concurrent facade is the sanctioned path: the word-boundary match
+// must not fire on ConcurrentMetricsRegistry, and recording through a
+// Telemetry reference never names the raw types at all.
+inline void good_record(obs::ConcurrentMetricsRegistry& registry) {
+  registry.add("serve.submitted");
+}
+
+}  // namespace mlcr::serve

@@ -56,6 +56,13 @@ bool serve_logic(const std::string& p) {
   // file implementing serve::WallClock.
   return sim_code(p) && !obs_code(p) && p != "src/serve/clock.cpp";
 }
+bool serve_obs_facade(const std::string& p) {
+  // The serving layer records through serve::Telemetry (the concurrent
+  // facade); only the facade's own implementation touches the raw
+  // single-threaded obs types.
+  return starts_with(p, "src/serve/") && p != "src/serve/telemetry.hpp" &&
+         p != "src/serve/telemetry.cpp";
+}
 
 // --- Source preprocessing --------------------------------------------------
 
@@ -226,6 +233,15 @@ const LineRule kLineRules[] = {
      "inject a serve::Clock (SimClock for replay, WallClock for live "
      "serving) instead of reading wall time; src/serve/clock.cpp is the "
      "only wall-time consumer outside src/util"},
+    {"obs-concurrent-registry",
+     "direct MetricsRegistry / Tracer use in src/serve outside the telemetry "
+     "facade — the raw obs types are single-threaded, so workers sharing one "
+     "race on every record",
+     serve_obs_facade,
+     R"(\b(MetricsRegistry|Tracer)\b)",
+     "serve code records through serve::Telemetry (ConcurrentMetricsRegistry "
+     "slots + mutex-serialised trace emission); only src/serve/telemetry.* "
+     "may touch the raw obs types"},
     {"obs-wall-time",
      "wall-time reads inside src/obs — the tracing layer is clock-free by "
      "contract (DESIGN.md, Observability): every timestamp is supplied by "

@@ -54,6 +54,8 @@ const std::vector<MutexRankInfo>& lock_order_table() {
       {"shard_mutexes_", 10, /*indexed=*/true, /*leaf=*/false},
       {"inference_mutex_", 20, /*indexed=*/false, /*leaf=*/false},
       {"Shard::mutex", 30, /*indexed=*/false, /*leaf=*/true},
+      {"telemetry_mutex_", 40, /*indexed=*/false, /*leaf=*/false},
+      {"slot_mutex_", 50, /*indexed=*/false, /*leaf=*/true},
   };
   return kTable;
 }
@@ -216,8 +218,8 @@ std::vector<Violation> check_lock_discipline(const std::vector<Token>& all,
       note(kOrderId, line,
            "acquiring '" + ref.key + "' while leaf lock '" + l.ref.key +
                "' (line " + std::to_string(l.line) +
-               ") is held; the lock-order table marks index shard locks as "
-               "leaves — nothing may be acquired under them");
+               ") is held; the lock-order table marks '" + l.ref.info->key +
+               "' as a leaf — nothing may be acquired under it");
       live.push_back({ref, at_depth, line});
       return;
     }
@@ -231,7 +233,8 @@ std::vector<Violation> check_lock_discipline(const std::vector<Token>& all,
                    std::to_string(l.ref.info->rank) + ", line " +
                    std::to_string(l.line) +
                    "); the declared order is shard_mutexes_[i asc] < "
-                   "inference_mutex_ < Shard::mutex");
+                   "inference_mutex_ < Shard::mutex < telemetry_mutex_ < "
+                   "slot_mutex_");
           break;
         }
         if (l.ref.info == ref.info && ref.info->indexed) {

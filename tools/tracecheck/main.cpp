@@ -3,13 +3,17 @@
 // present. Run by the obs.trace_validate CTest (and CI's trace-smoke job)
 // against the trace a small bench writes with --trace.
 //
-//   tracecheck <trace.json> [--require NAME]... [--summary]
+//   tracecheck <trace.json> [--require NAME]... [--flows] [--summary]
 //
 // --require NAME passes when NAME occurs as a complete span ("X"), an
-// instant ("i"/"I") or a counter series ("C") — the lifecycle mixes all
-// three (e.g. "match" is an instant, "startup" a span, "pool_used_mb" a
-// counter). Exit 0 on a schema-valid trace with all required names, 1
-// otherwise, 2 on usage/IO errors.
+// instant ("i"/"I"), a counter series ("C") or a flow start ("s") — the
+// lifecycle mixes all of them (e.g. "match" is an instant, "startup" a span,
+// "pool_used_mb" a counter, "request" a serving flow). --flows additionally
+// requires at least one flow event and validates cross-thread flow pairing:
+// every flow-start must be matched by a flow-end on some thread, and no
+// end/step may appear without a start (CI's serve-telemetry-smoke gate).
+// Exit 0 on a schema-valid trace with all required names (and, with
+// --flows, clean pairing), 1 otherwise, 2 on usage/IO errors.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -22,6 +26,7 @@ int main(int argc, char** argv) {
   std::string path;
   std::vector<std::string> required;
   bool summary = false;
+  bool flows = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -29,9 +34,11 @@ int main(int argc, char** argv) {
       required.push_back(argv[++i]);
     else if (arg == "--summary")
       summary = true;
+    else if (arg == "--flows")
+      flows = true;
     else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: tracecheck <trace.json> [--require NAME]... "
-                   "[--summary]\n";
+                   "[--flows] [--summary]\n";
       return 0;
     } else if (path.empty())
       path = arg;
@@ -61,18 +68,33 @@ int main(int argc, char** argv) {
   for (const std::string& name : required) {
     if (report.span_counts.count(name) != 0 ||
         report.instant_counts.count(name) != 0 ||
-        report.counter_counts.count(name) != 0)
+        report.counter_counts.count(name) != 0 ||
+        report.flow_start_counts.count(name) != 0)
       continue;
     std::cout << path << ": required event '" << name
-              << "' not found as a span, instant or counter\n";
+              << "' not found as a span, instant, counter or flow\n";
     missing = true;
   }
 
-  if (summary || (!report.errors.empty() || missing)) {
+  bool flows_bad = false;
+  if (flows) {
+    if (report.flow_start_counts.empty()) {
+      std::cout << path << ": --flows given but the trace has no flow "
+                   "events\n";
+      flows_bad = true;
+    }
+    for (const std::string& err : report.flow_errors) {
+      std::cout << path << ": " << err << "\n";
+      flows_bad = true;
+    }
+  }
+
+  if (summary || !report.errors.empty() || missing || flows_bad) {
     std::cout << path << ": " << report.event_count << " events, "
               << report.span_counts.size() << " span names, "
               << report.instant_counts.size() << " instant names, "
-              << report.counter_counts.size() << " counter series\n";
+              << report.counter_counts.size() << " counter series, "
+              << report.flow_start_counts.size() << " flow names\n";
   }
   if (summary) {
     for (const auto& [name, n] : report.span_counts)
@@ -81,6 +103,8 @@ int main(int argc, char** argv) {
       std::cout << "  instant " << name << " x" << n << "\n";
     for (const auto& [name, n] : report.counter_counts)
       std::cout << "  counter " << name << " x" << n << "\n";
+    for (const auto& [name, n] : report.flow_start_counts)
+      std::cout << "  flow    " << name << " x" << n << "\n";
   }
-  return report.ok() && !missing ? 0 : 1;
+  return report.ok() && !missing && !flows_bad ? 0 : 1;
 }
