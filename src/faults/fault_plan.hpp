@@ -1,6 +1,6 @@
-// Deterministic fault model (DESIGN.md §9): what can go wrong in an episode
-// and how the platform is allowed to react. A FaultPlan is pure data — the
-// fault *kinds* and their rates — so the same plan can drive a single
+// Deterministic fault model (DESIGN.md §9, §14): what can go wrong in an
+// episode and how the platform is allowed to react. A FaultPlan is pure data
+// — the fault *kinds* and their rates — so the same plan can drive a single
 // ClusterEnv, every node of a FleetEnv, or a bench sweep, and two runs with
 // the same plan and the same Rng stream inject byte-identical faults.
 //
@@ -15,6 +15,14 @@
 //   node crash      — a fleet node goes down for a window: its warm pool is
 //                     lost, in-flight work is killed, offers are rejected
 //                     until recovery (it rejoins with an empty pool).
+//   partial crash   — the node loses compute (in-flight work killed, offers
+//                     rejected) but its warm pool survives the window, so it
+//                     rejoins with warm state instead of a cold-start storm.
+//
+// Failure domains (DESIGN.md §14): nodes share racks/zones, and a domain-
+// level event crashes several members at once. Domain windows are sampled
+// from the same single split stream as the independent ones, in a fixed
+// draw order, so a plan's faults stay a pure function of (plan, stream).
 //
 // Failed starts are retried under a RetryPolicy with exponential backoff in
 // *simulated* time; when attempts are exhausted the invocation fails.
@@ -22,6 +30,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -46,12 +55,68 @@ struct RetryPolicy {
   [[nodiscard]] double backoff_s(std::size_t failed_attempt, double u) const;
 };
 
+/// "This window was not caused by a failure domain" sentinel for
+/// CrashWindow::domain.
+inline constexpr std::size_t kNoDomain = static_cast<std::size_t>(-1);
+
 /// One node-down window in the fleet. Half-open in spirit: the node crashes
-/// at down_at and serves again from up_at (with an empty pool).
+/// at down_at and serves again from up_at (with an empty pool after a full
+/// crash; with its surviving warm pool after a partial one).
 struct CrashWindow {
   std::size_t node = 0;
   double down_at = 0.0;
   double up_at = 0.0;
+  /// Partial crash: compute is lost (in-flight work killed, offers
+  /// rejected) but the warm pool survives to recovery.
+  bool partial = false;
+  /// Failure-domain id that produced this window; kNoDomain for
+  /// independently sampled / hand-placed windows.
+  std::size_t domain = kNoDomain;
+
+  friend bool operator==(const CrashWindow& a, const CrashWindow& b) {
+    return a.node == b.node && a.down_at == b.down_at && a.up_at == b.up_at &&
+           a.partial == b.partial && a.domain == b.domain;
+  }
+};
+
+/// One rack/zone: a named set of member nodes that can fail together.
+struct FailureDomain {
+  std::size_t id = 0;
+  std::vector<std::size_t> nodes;  ///< member node indices, any order
+};
+
+/// Validate a domain list against a fleet of `nodes` nodes: ids unique,
+/// every domain non-empty, members inside the fleet, memberships disjoint.
+/// Throws util::CheckError naming the offending domain and node.
+void validate_domains(const std::vector<FailureDomain>& domains,
+                      std::size_t nodes);
+
+/// Correlated-failure sampling knobs for sample_domain_crash_windows. A
+/// default-constructed plan is inert: zero correlation draws no domain
+/// events, and the sampler's output is bit-identical to
+/// sample_crash_windows on the same stream (the migration oracle pinned in
+/// tests/faults).
+struct DomainPlan {
+  std::vector<FailureDomain> domains;
+  /// P(a member node participates in one of its domain's events).
+  double correlation = 0.0;
+  /// Expected domain-level events per domain over the sampled span.
+  double crashes_per_domain = 0.0;
+  /// Mean exponential downtime of a domain event.
+  double mean_downtime_s = 30.0;
+  /// P(a domain event is a partial crash — pool survives).
+  double partial_fraction = 0.0;
+
+  /// True when no domain event can ever fire (no domains, zero correlation
+  /// or zero event rate) — the sampler then draws nothing beyond the
+  /// independent windows.
+  [[nodiscard]] bool inert() const noexcept;
+
+  /// Throws util::CheckError on malformed plans, naming the offending
+  /// domain/node: bad memberships (see validate_domains), correlation or
+  /// partial_fraction outside [0, 1], negative event rate, non-positive
+  /// downtime.
+  void validate(std::size_t nodes) const;
 };
 
 /// The full fault configuration of an episode. Default-constructed plans
@@ -64,16 +129,32 @@ struct FaultPlan {
   double repack_failure_prob = 0.0;
   /// Kill any attempt whose startup + execution exceeds this deadline.
   std::optional<double> timeout_s;
+  /// Per-function deadline overrides (function id -> deadline), for
+  /// SLO-based timeout tuning: functions absent here use timeout_s. An
+  /// override with no global timeout_s applies only to the named functions.
+  std::vector<std::pair<std::size_t, double>> function_timeouts_s;
   RetryPolicy retry;
   /// Node-down windows, fleet-wide. Must be sorted by down_at and
   /// non-overlapping per node (validate() checks).
   std::vector<CrashWindow> crashes;
+  /// Rack/zone membership metadata: validates windows' domain references
+  /// and names domains in diagnostics/traces. Carrying domains alone (no
+  /// windows) injects nothing.
+  std::vector<FailureDomain> domains;
+
+  /// Effective deadline for `function`: its override, else timeout_s, else
+  /// none.
+  [[nodiscard]] std::optional<double> timeout_for(
+      std::size_t function) const noexcept;
 
   [[nodiscard]] bool faultless() const noexcept;
   /// Throws util::CheckError on malformed plans: probabilities outside
   /// [0, 1], max_attempts == 0, negative backoff/timeout, crash windows
-  /// unsorted, inverted, or overlapping per node, or naming a node index
-  /// >= `nodes` (pass SIZE_MAX when the fleet size is unknown).
+  /// unsorted, inverted, or overlapping per node, naming a node index
+  /// >= `nodes` (pass SIZE_MAX when the fleet size is unknown), bad domain
+  /// memberships, or windows referencing an unknown domain / a domain the
+  /// window's node does not belong to. Every message names the offending
+  /// window, node and domain.
   void validate(std::size_t nodes) const;
 };
 
@@ -86,5 +167,21 @@ struct FaultPlan {
 [[nodiscard]] std::vector<CrashWindow> sample_crash_windows(
     std::size_t nodes, double span_s, double crashes_per_node,
     double mean_downtime_s, std::size_t max_concurrent_down, util::Rng& rng);
+
+/// Correlated-domain extension of sample_crash_windows, drawing from the
+/// same single stream under a fixed draw order (DESIGN.md §14):
+///   1. the independent per-node candidates, with exactly the draws of
+///      sample_crash_windows (so an inert DomainPlan is bit-identical to it);
+///   2. then, per domain in listed order, Poisson domain events — each
+///      drawing (down_at, downtime, partial) once and one participation
+///      Bernoulli per member node in listed order;
+///   3. per node, overlapping later windows are dropped (first window wins,
+///      independent before domain on down_at ties), then the global
+///      max_concurrent_down sweep of sample_crash_windows runs unchanged.
+/// Domain windows carry their domain id and partial flag.
+[[nodiscard]] std::vector<CrashWindow> sample_domain_crash_windows(
+    std::size_t nodes, double span_s, double crashes_per_node,
+    double mean_downtime_s, std::size_t max_concurrent_down,
+    const DomainPlan& domains, util::Rng& rng);
 
 }  // namespace mlcr::faults

@@ -23,7 +23,8 @@ struct FaultCounters {
   std::size_t timeouts = 0;
   std::size_t retries = 0;             ///< backoffs drawn (attempts - 1 sum)
   std::size_t failed_invocations = 0;  ///< retries exhausted or crash-killed
-  std::size_t crashes = 0;
+  std::size_t crashes = 0;          ///< all crashes, partial ones included
+  std::size_t partial_crashes = 0;  ///< of crashes: warm pool survived
   std::size_t recoveries = 0;
 
   /// Faults injected from the stream or the deadline (not crash bookkeeping).
@@ -55,7 +56,10 @@ class FaultInjector {
   // randomness); it reports them here so the counters stay complete.
   void count_timeout() noexcept { ++counters_.timeouts; }
   void count_failed_invocation() noexcept { ++counters_.failed_invocations; }
-  void count_crash() noexcept { ++counters_.crashes; }
+  void count_crash(bool partial = false) noexcept {
+    ++counters_.crashes;
+    if (partial) ++counters_.partial_crashes;
+  }
   void count_recovery() noexcept { ++counters_.recoveries; }
 
  private:

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 #include <queue>
+#include <set>
+#include <utility>
 
 #include "faults/injector.hpp"
 #include "fleet/router.hpp"
@@ -52,10 +54,12 @@ FleetEnv::FleetEnv(const sim::FunctionTable& functions,
     : functions_(functions), catalog_(catalog), config_(config) {
   MLCR_CHECK_MSG(config_.nodes > 0, "a fleet needs at least one node");
   MLCR_CHECK(make_system != nullptr);
-  config_.faults.validate(config_.nodes);
+  const std::size_t total = config_.nodes + config_.spare_nodes;
+  config_.faults.validate(total);
+  routable_count_ = config_.nodes;
   util::Rng master(config_.seed);
-  nodes_.reserve(config_.nodes);
-  for (std::size_t i = 0; i < config_.nodes; ++i) {
+  nodes_.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
     Node node;
     node.spec = make_system(i, master.split());
     MLCR_CHECK(node.spec.scheduler != nullptr);
@@ -77,8 +81,10 @@ FleetEnv::FleetEnv(const sim::FunctionTable& functions,
 void FleetEnv::rebuild_fault_events() {
   fault_events_.clear();
   for (const faults::CrashWindow& w : config_.faults.crashes) {
-    fault_events_.push_back({w.down_at, false, w.node});
-    fault_events_.push_back({w.up_at, true, w.node});
+    fault_events_.push_back({w.down_at, false, w.node, w.partial, w.domain,
+                             /*domain_lead=*/false});
+    fault_events_.push_back({w.up_at, true, w.node, w.partial, w.domain,
+                             /*domain_lead=*/false});
   }
   std::sort(fault_events_.begin(), fault_events_.end(),
             [](const FaultEvent& a, const FaultEvent& b) {
@@ -86,10 +92,18 @@ void FleetEnv::rebuild_fault_events() {
               if (a.is_recovery != b.is_recovery) return a.is_recovery;
               return a.node < b.node;
             });
+  // The first crash of each (domain, down_at) group — the lowest member
+  // node, given the sort — leads it: it counts and traces the domain-level
+  // event exactly once however many members participated.
+  std::set<std::pair<std::size_t, double>> led;
+  for (FaultEvent& ev : fault_events_) {
+    if (ev.is_recovery || ev.domain == faults::kNoDomain) continue;
+    ev.domain_lead = led.insert({ev.domain, ev.time}).second;
+  }
 }
 
 void FleetEnv::set_fault_plan(faults::FaultPlan faults) {
-  faults.validate(config_.nodes);
+  faults.validate(nodes_.size());
   config_.faults = std::move(faults);
   rebuild_fault_events();
 }
@@ -105,9 +119,8 @@ util::Rng FleetEnv::node_fault_stream(std::uint64_t seed, std::size_t nodes,
   util::Rng master(seed);
   for (std::size_t i = 0; i < nodes; ++i) (void)master.split();
   util::Rng root = master.split();
-  util::Rng stream;
-  for (std::size_t i = 0; i <= node; ++i) stream = root.split();
-  return stream;
+  for (std::size_t i = 0; i < node; ++i) (void)root.split();
+  return root.split();
 }
 
 void FleetEnv::validate_trace(const sim::Trace& trace) const {
@@ -164,8 +177,44 @@ std::string FleetEnv::start_episode(Router& router, bool traced) {
     node.env->reset_streaming();
     node.spec.scheduler->on_episode_start(*node.env);
   }
+  reset_routable();
   router.on_episode_start(*this);
   return router_name;
+}
+
+std::optional<std::size_t> FleetEnv::fire_fault_event(
+    const FaultEvent& ev, bool clamp, std::size_t& domain_crashes,
+    std::size_t& spares_activated, bool traced) {
+  sim::ClusterEnv& env = *nodes_[ev.node].env;
+  const double at = clamp ? std::max(ev.time, env.now()) : ev.time;
+  if (ev.is_recovery) {
+    if (!clamp || env.down()) env.recover(at);
+    return std::nullopt;
+  }
+  env.crash(at, ev.partial);
+  if (ev.domain_lead) {
+    ++domain_crashes;
+    if (traced)
+      tracer_->instant(obs::Tracer::kSimPid,
+                       static_cast<std::uint32_t>(ev.node), obs::to_micros(at),
+                       "domain_crash", "fault",
+                       {obs::narg("domain", static_cast<std::int64_t>(
+                                                ev.domain)),
+                        obs::narg("partial", std::int64_t{ev.partial ? 1 : 0})});
+  }
+  // Elastic scale-out (DESIGN.md §14): every crash event admits one cold
+  // spare into the routable set while any remain.
+  const std::optional<std::size_t> spare = activate_spare();
+  if (spare) {
+    ++spares_activated;
+    if (traced)
+      tracer_->instant(
+          obs::Tracer::kSimPid, static_cast<std::uint32_t>(*spare),
+          obs::to_micros(at), "spare_activated", "fleet",
+          {obs::narg("node", static_cast<std::int64_t>(*spare)),
+           obs::narg("after_crash_of", static_cast<std::int64_t>(ev.node))});
+  }
+  return spare;
 }
 
 std::vector<std::unique_ptr<faults::FaultInjector>>
@@ -210,19 +259,15 @@ void FleetEnv::dispatch(const sim::Invocation& inv, std::size_t target,
 FleetSummary FleetEnv::finish_run(
     [[maybe_unused]] const sim::Trace& trace, Router& router,
     std::size_t next_fault, std::size_t lost, std::size_t rerouted,
+    std::size_t domain_crashes, std::size_t spares_activated,
     const std::vector<std::unique_ptr<faults::FaultInjector>>& injectors) {
   // Any node still inside a crash window recovers after the last arrival so
   // finish_streaming() drains a healthy fleet; remaining events fire in
   // order to keep the injector counters complete.
-  while (next_fault < fault_events_.size()) {
-    const FaultEvent& ev = fault_events_[next_fault++];
-    sim::ClusterEnv& env = *nodes_[ev.node].env;
-    if (ev.is_recovery) {
-      if (env.down()) env.recover(std::max(ev.time, env.now()));
-    } else {
-      env.crash(std::max(ev.time, env.now()));
-    }
-  }
+  const bool traced = tracer_ != nullptr && tracer_->enabled();
+  while (next_fault < fault_events_.size())
+    (void)fire_fault_event(fault_events_[next_fault++], /*clamp=*/true,
+                           domain_crashes, spares_activated, traced);
 
   std::vector<NodeObservation> observations;
   observations.reserve(nodes_.size());
@@ -236,10 +281,13 @@ FleetSummary FleetEnv::finish_run(
   FleetSummary fs = aggregate_fleet(router.name(), system_name_, observations);
   fs.lost = lost;
   fs.rerouted = rerouted;
+  fs.domain_crashes = domain_crashes;
+  fs.spares_activated = spares_activated;
   if (!injectors.empty()) {
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
       const faults::FaultCounters& c = injectors[i]->counters();
       fs.node_crashes += c.crashes;
+      fs.partial_crashes += c.partial_crashes;
       fs.node_recoveries += c.recoveries;
       nodes_[i].env->set_fault_injector(nullptr);  // injectors die with run()
     }
@@ -255,6 +303,10 @@ FleetSummary FleetEnv::run(const sim::Trace& trace, Router& router) {
 
   index_ = std::make_unique<FleetIndex>(nodes_.size(),
                                         router.needs_warm_index());
+  // Spares sit outside the routable set until a crash admits them; the
+  // index's load minima must never surface them before that.
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    index_->set_routable(i, node_routable(i));
 
   // The event core. One lazily-invalidated heap entry per node holds the
   // node's next self-scheduled event (completion or TTL expiry); entries
@@ -292,6 +344,8 @@ FleetSummary FleetEnv::run(const sim::Trace& trace, Router& router) {
   std::size_t next_fault = 0;
   std::size_t lost = 0;
   std::size_t rerouted = 0;
+  std::size_t domain_crashes = 0;
+  std::size_t spares_activated = 0;
   constexpr double kNever = std::numeric_limits<double>::infinity();
 
   // Fire every event due at or before `t`, earliest first, so routing sees
@@ -308,12 +362,14 @@ FleetSummary FleetEnv::run(const sim::Trace& trace, Router& router) {
       if (std::min(fault_at, advance_at) > t) return;
       if (fault_at <= advance_at) {
         const FaultEvent& ev = fault_events_[next_fault++];
-        sim::ClusterEnv& env = *nodes_[ev.node].env;
-        if (ev.is_recovery)
-          env.recover(ev.time);
-        else
-          env.crash(ev.time);
+        const auto spare = fire_fault_event(ev, /*clamp=*/false,
+                                            domain_crashes, spares_activated,
+                                            traced);
         touch(ev.node);
+        if (spare) {
+          index_->set_routable(*spare, true);
+          touch(*spare);
+        }
       } else {
         const AdvanceEntry e = heap.top();
         heap.pop();
@@ -330,7 +386,7 @@ FleetSummary FleetEnv::run(const sim::Trace& trace, Router& router) {
     drain_until(inv.arrival_s);
 
     std::size_t target = router.route(*this, inv);
-    MLCR_CHECK_MSG(target < nodes_.size(), "router picked an invalid node");
+    MLCR_CHECK_MSG(target < routable_count_, "router picked an invalid node");
     if (!node_up(target)) {
       // Deterministic failover: least outstanding work among healthy nodes,
       // lowest index on ties. With every node down the invocation is lost.
@@ -358,7 +414,8 @@ FleetSummary FleetEnv::run(const sim::Trace& trace, Router& router) {
   }
 
   index_.reset();
-  return finish_run(trace, router, next_fault, lost, rerouted, injectors);
+  return finish_run(trace, router, next_fault, lost, rerouted, domain_crashes,
+                    spares_activated, injectors);
 }
 
 FleetSummary FleetEnv::run_lockstep(const sim::Trace& trace, Router& router) {
@@ -370,18 +427,16 @@ FleetSummary FleetEnv::run_lockstep(const sim::Trace& trace, Router& router) {
   std::size_t next_fault = 0;
   std::size_t lost = 0;
   std::size_t rerouted = 0;
+  std::size_t domain_crashes = 0;
+  std::size_t spares_activated = 0;
 
   for (const sim::Invocation& inv : trace.invocations()) {
     // Fire every crash/recover transition due before this arrival, in time
     // order, so routing sees the fleet's health as of "now".
     while (next_fault < fault_events_.size() &&
            fault_events_[next_fault].time <= inv.arrival_s) {
-      const FaultEvent& ev = fault_events_[next_fault++];
-      sim::ClusterEnv& env = *nodes_[ev.node].env;
-      if (ev.is_recovery)
-        env.recover(ev.time);
-      else
-        env.crash(ev.time);
+      (void)fire_fault_event(fault_events_[next_fault++], /*clamp=*/false,
+                             domain_crashes, spares_activated, traced);
     }
     // Keep every node's clock at the global arrival time before routing, so
     // the router (and the chosen node's scheduler) observe completions and
@@ -389,18 +444,19 @@ FleetSummary FleetEnv::run_lockstep(const sim::Trace& trace, Router& router) {
     for (Node& node : nodes_) node.env->advance_idle(inv.arrival_s);
 
     std::size_t target = router.route(*this, inv);
-    MLCR_CHECK_MSG(target < nodes_.size(), "router picked an invalid node");
+    MLCR_CHECK_MSG(target < routable_count_, "router picked an invalid node");
     if (!node_up(target)) {
-      // Deterministic failover: least outstanding work among healthy nodes,
-      // lowest index on ties. With every node down the invocation is lost.
-      std::size_t best = nodes_.size();
-      for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      // Deterministic failover: least outstanding work among healthy
+      // routable nodes, lowest index on ties. With every routable node down
+      // the invocation is lost.
+      std::size_t best = routable_count_;
+      for (std::size_t i = 0; i < routable_count_; ++i) {
         if (!node_up(i)) continue;
-        if (best == nodes_.size() ||
+        if (best == routable_count_ ||
             nodes_[i].env->busy_count() < nodes_[best].env->busy_count())
           best = i;
       }
-      if (best == nodes_.size()) {
+      if (best == routable_count_) {
         ++lost;
         if (traced)
           tracer_->instant(
@@ -421,7 +477,8 @@ FleetSummary FleetEnv::run_lockstep(const sim::Trace& trace, Router& router) {
     dispatch(inv, target, traced, router_name);
   }
 
-  return finish_run(trace, router, next_fault, lost, rerouted, injectors);
+  return finish_run(trace, router, next_fault, lost, rerouted, domain_crashes,
+                    spares_activated, injectors);
 }
 
 }  // namespace mlcr::fleet

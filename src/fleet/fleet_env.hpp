@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,8 +37,14 @@ namespace mlcr::fleet {
 class Router;
 
 struct FleetConfig {
-  /// Number of worker nodes.
+  /// Number of worker nodes in the initial routable set.
   std::size_t nodes = 1;
+  /// Cold spare nodes built alongside the fleet but kept out of the
+  /// routable set until a crash event admits them, one per crash, in index
+  /// order (elastic scale-out, DESIGN.md §14). Spares start with empty
+  /// pools and never leave the routable set once admitted. 0 (the default)
+  /// keeps every code path bit-identical to the pre-spare fleet.
+  std::size_t spare_nodes = 0;
   /// Per-node environment knobs (pool capacity is per node, so a fixed
   /// cluster-wide budget should be divided by `nodes` by the caller).
   /// keep_alive_ttl_s / reuse_semantics are overridden per node from the
@@ -73,8 +80,20 @@ class FleetEnv {
            const sim::StartupCostModel& cost_model, FleetConfig config,
            const NodeSystemFactory& make_system);
 
+  /// Total nodes built, spares included.
   [[nodiscard]] std::size_t node_count() const noexcept {
     return nodes_.size();
+  }
+  /// Nodes routers may currently pick from: the prefix [0, routable_count())
+  /// of the fleet. Starts at config().nodes each episode and grows by one as
+  /// crash events admit spares (DESIGN.md §14); without spares it equals
+  /// node_count() and routing is unchanged.
+  [[nodiscard]] std::size_t routable_count() const noexcept {
+    return routable_count_;
+  }
+  /// True when node `i` is inside the routable set (spares join on demand).
+  [[nodiscard]] bool node_routable(std::size_t i) const noexcept {
+    return i < routable_count_;
   }
   [[nodiscard]] const sim::ClusterEnv& node(std::size_t i) const;
   /// False while node `i` is inside a crash window (routers must not place
@@ -144,16 +163,10 @@ class FleetEnv {
   /// The fault stream node `node` of an `nodes`-node fleet seeded with
   /// `seed` receives in run(). Exposed so a single ClusterEnv driven with
   /// an injector on this stream reproduces a 1-node fleet bit-for-bit
-  /// (asserted in tests/faults).
+  /// (asserted in tests/faults). `nodes` counts spares too.
   [[nodiscard]] static util::Rng node_fault_stream(std::uint64_t seed,
                                                    std::size_t nodes,
                                                    std::size_t node);
-
- private:
-  struct Node {
-    policies::SystemSpec spec;
-    std::unique_ptr<sim::ClusterEnv> env;
-  };
 
   /// One crash or recovery transition of the fault plan. The list is built
   /// and sorted once (construction / set_fault_plan), not per run: at equal
@@ -164,6 +177,46 @@ class FleetEnv {
     double time = 0.0;
     bool is_recovery = false;
     std::size_t node = 0;
+    bool partial = false;  ///< partial crash: the node's warm pool survives
+    /// Failure domain of the originating window; faults::kNoDomain for
+    /// independent windows.
+    std::size_t domain = 0;
+    /// First crash of a (domain, down_at) group: counts/traces the
+    /// domain-level event exactly once however many members it hit.
+    bool domain_lead = false;
+  };
+
+  /// The pre-sorted crash/recover transitions of the current plan. The
+  /// serving layer merges this list into its own episode loop so live
+  /// serving and run_replay() fire faults in the same order (DESIGN.md §14).
+  [[nodiscard]] const std::vector<FaultEvent>& fault_events() const noexcept {
+    return fault_events_;
+  }
+
+  /// On a faulted plan, build one injector per node (spares included) on
+  /// its own stream split off fault_root_ (in node order) and attach them;
+  /// empty otherwise. Public for the serving layer, which drives the nodes'
+  /// streaming episodes itself; the injectors must outlive the episode and
+  /// be detached with set_fault_injector(nullptr) afterwards.
+  [[nodiscard]] std::vector<std::unique_ptr<faults::FaultInjector>>
+  make_injectors();
+
+  /// Reset the routable set to the initial config().nodes prefix. The
+  /// serving layer calls this at episode start; FleetEnv's own runs do it
+  /// via start_episode().
+  void reset_routable() noexcept { routable_count_ = config_.nodes; }
+
+  /// Admit the next spare into the routable set (no-op when none are
+  /// left); returns its index. Called on every crash event.
+  [[nodiscard]] std::optional<std::size_t> activate_spare() noexcept {
+    if (routable_count_ >= nodes_.size()) return std::nullopt;
+    return routable_count_++;
+  }
+
+ private:
+  struct Node {
+    policies::SystemSpec spec;
+    std::unique_ptr<sim::ClusterEnv> env;
   };
 
   /// Validate `trace` before routing anything: arrival times must be
@@ -179,22 +232,28 @@ class FleetEnv {
   /// tracing (used by the per-invocation route instants).
   std::string start_episode(Router& router, bool traced);
 
-  /// On a faulted plan, build one injector per node on its own stream split
-  /// off fault_root_ (in node order) and attach them; empty otherwise.
-  [[nodiscard]] std::vector<std::unique_ptr<faults::FaultInjector>>
-  make_injectors();
-
   /// Offer `inv` to node `target` and let the node's scheduler handle it
   /// (with the route instant / outstanding counter when traced).
   void dispatch(const sim::Invocation& inv, std::size_t target, bool traced,
                 const std::string& router_name);
+
+  /// Apply one fault event to its node: crash (partial-aware, counting and
+  /// tracing the domain event on the lead window, admitting a spare) or
+  /// recover. With `clamp`, times are clamped to the node's clock and
+  /// recoveries are skipped on healthy nodes (the finish_run tail).
+  /// Returns the spare admitted by a crash, so run() can index-touch it.
+  std::optional<std::size_t> fire_fault_event(const FaultEvent& ev, bool clamp,
+                                              std::size_t& domain_crashes,
+                                              std::size_t& spares_activated,
+                                              bool traced);
 
   /// Fire every fault event from `next_fault` on (clamped to each node's
   /// clock), drain the nodes, aggregate, and detach the injectors — the
   /// shared tail of run() and run_lockstep().
   FleetSummary finish_run(
       const sim::Trace& trace, Router& router, std::size_t next_fault,
-      std::size_t lost, std::size_t rerouted,
+      std::size_t lost, std::size_t rerouted, std::size_t domain_crashes,
+      std::size_t spares_activated,
       const std::vector<std::unique_ptr<faults::FaultInjector>>& injectors);
 
   const sim::FunctionTable& functions_;
@@ -210,6 +269,9 @@ class FleetEnv {
   /// FaultEvent) — hoisted out of run(), which used to rebuild and re-sort
   /// the list on every run of the same fleet.
   std::vector<FaultEvent> fault_events_;
+  /// Size of the routable prefix: config_.nodes at episode start, +1 per
+  /// crash event while spares remain.
+  std::size_t routable_count_ = 0;
   /// Live only inside an event-driven run().
   std::unique_ptr<FleetIndex> index_;
 };

@@ -45,12 +45,14 @@ void FleetIndex::update(std::size_t node, const sim::ClusterEnv& env) {
 
   const std::size_t busy = env.busy_count();
   const bool up = !env.down();
-  if (entry.in_load) {
+  if (entry.in_load && entry.routable) {
     load_all_.erase({entry.busy, node});
     if (entry.up) load_healthy_.erase({entry.busy, node});
   }
-  load_all_.insert({busy, node});
-  if (up) load_healthy_.insert({busy, node});
+  if (entry.routable) {
+    load_all_.insert({busy, node});
+    if (up) load_healthy_.insert({busy, node});
+  }
   entry.busy = busy;
   entry.up = up;
   // A crashed node keeps its last free_mb reading: its pool object survives
@@ -75,6 +77,21 @@ void FleetIndex::update(std::size_t node, const sim::ClusterEnv& env) {
     }
     for (const auto& [key, count] : fresh[l]) warm_[l][key][node] = count;
     entry.keys[l] = fresh[l];
+  }
+}
+
+void FleetIndex::set_routable(std::size_t node, bool routable) {
+  MLCR_CHECK(node < nodes_.size());
+  NodeEntry& entry = nodes_[node];
+  if (entry.routable == routable) return;
+  entry.routable = routable;
+  if (!entry.in_load) return;
+  if (routable) {
+    load_all_.insert({entry.busy, node});
+    if (entry.up) load_healthy_.insert({entry.busy, node});
+  } else {
+    load_all_.erase({entry.busy, node});
+    if (entry.up) load_healthy_.erase({entry.busy, node});
   }
 }
 
@@ -104,7 +121,7 @@ FleetIndex::least_outstanding_healthy_entry() const {
 FleetIndex::NodeLoad FleetIndex::node_load(std::size_t node) const {
   MLCR_CHECK(node < nodes_.size());
   const NodeEntry& entry = nodes_[node];
-  return {entry.busy, entry.up, entry.free_mb, entry.in_load};
+  return {entry.busy, entry.up, entry.free_mb, entry.in_load, entry.routable};
 }
 
 const std::map<std::size_t, std::size_t>* FleetIndex::nodes_matching(

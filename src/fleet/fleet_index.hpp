@@ -49,13 +49,20 @@ class FleetIndex {
   /// the load sets plus O(pool) for the warm keys when tracking is on.
   void update(std::size_t node, const sim::ClusterEnv& env);
 
-  /// Node with the fewest in-flight executions over ALL nodes (down nodes
-  /// included), lowest index on ties — the linear-scan contract of
-  /// LeastOutstandingRouter and WarmAwareRouter's cold fallback.
+  /// Include/exclude node `node` from the load minima. Non-routable nodes
+  /// (cold spares awaiting a crash event, DESIGN.md §14) are still
+  /// update()d but never surfaced by the least_outstanding lookups. Every
+  /// node starts routable.
+  void set_routable(std::size_t node, bool routable);
+
+  /// Node with the fewest in-flight executions over all *routable* nodes
+  /// (down nodes included), lowest index on ties — the linear-scan contract
+  /// of LeastOutstandingRouter and WarmAwareRouter's cold fallback.
   [[nodiscard]] std::size_t least_outstanding() const;
 
-  /// Same, restricted to healthy nodes; nullopt when the whole fleet is
-  /// down. The contract of FailoverRouter and run()'s reroute path.
+  /// Same, restricted to healthy routable nodes; nullopt when the whole
+  /// routable fleet is down. The contract of FailoverRouter and run()'s
+  /// reroute path.
   [[nodiscard]] std::optional<std::size_t> least_outstanding_healthy() const;
 
   /// The minimum (busy, node) load entry itself, or nullopt before any
@@ -74,7 +81,8 @@ class FleetIndex {
     std::size_t busy = 0;
     bool up = true;
     double free_mb = 0.0;
-    bool seen = false;  ///< false before the node's first update()
+    bool seen = false;      ///< false before the node's first update()
+    bool routable = true;   ///< false for spares awaiting activation
   };
   [[nodiscard]] NodeLoad node_load(std::size_t node) const;
 
@@ -99,7 +107,8 @@ class FleetIndex {
     std::size_t busy = 0;
     bool up = true;
     double free_mb = 0.0;
-    bool in_load = false;  ///< false until the first update()
+    bool in_load = false;   ///< false until the first update()
+    bool routable = true;   ///< excluded from the load sets when false
     /// This node's current warm-key multiset, one map per match level.
     std::array<std::map<std::string, std::size_t>, 3> keys;
   };

@@ -45,6 +45,13 @@ struct FleetSummary {
   /// Node crash / recovery events over the episode.
   std::size_t node_crashes = 0;
   std::size_t node_recoveries = 0;
+  /// Domain-level crash events (one per correlated (domain, down_at) group
+  /// of windows, however many member nodes it hit; DESIGN.md §14).
+  std::size_t domain_crashes = 0;
+  /// Of node_crashes: partial crashes, where the warm pool survived.
+  std::size_t partial_crashes = 0;
+  /// Cold spares admitted into the routable set by crash events.
+  std::size_t spares_activated = 0;
 
   /// Fraction of *offered* invocations that were served: lost ones never
   /// reached a node and failed ones died there. 1.0 when nothing was

@@ -19,30 +19,31 @@ namespace {
 
 [[nodiscard]] std::size_t least_outstanding_node(const FleetEnv& fleet) {
   // Index fast path: the ordered load set's minimum is exactly what the
-  // linear scan below picks (min busy, lowest index on ties).
+  // linear scan below picks (min busy, lowest index on ties). Both cover
+  // the routable prefix only — spares join as crash events admit them.
   if (const FleetIndex* index = fleet.index())
     return index->least_outstanding();
   std::size_t best = 0;
-  for (std::size_t i = 1; i < fleet.node_count(); ++i)
+  for (std::size_t i = 1; i < fleet.routable_count(); ++i)
     if (fleet.node(i).busy_count() < fleet.node(best).busy_count()) best = i;
   return best;
 }
 
-/// Healthy node with the fewest in-flight executions (lowest index on
-/// ties); nullopt when the whole fleet is down. The failover contract of
-/// FailoverRouter and FleetEnv::run()'s reroute path.
+/// Healthy routable node with the fewest in-flight executions (lowest index
+/// on ties); nullopt when the whole routable fleet is down. The failover
+/// contract of FailoverRouter and FleetEnv::run()'s reroute path.
 [[nodiscard]] std::optional<std::size_t> least_outstanding_healthy_node(
     const FleetEnv& fleet) {
   if (const FleetIndex* index = fleet.index())
     return index->least_outstanding_healthy();
-  std::size_t best = fleet.node_count();
-  for (std::size_t i = 0; i < fleet.node_count(); ++i) {
+  std::size_t best = fleet.routable_count();
+  for (std::size_t i = 0; i < fleet.routable_count(); ++i) {
     if (!fleet.node_up(i)) continue;
-    if (best == fleet.node_count() ||
+    if (best == fleet.routable_count() ||
         fleet.node(i).busy_count() < fleet.node(best).busy_count())
       best = i;
   }
-  if (best == fleet.node_count()) return std::nullopt;
+  if (best == fleet.routable_count()) return std::nullopt;
   return best;
 }
 
@@ -98,8 +99,8 @@ void RandomRouter::on_episode_start(const FleetEnv& fleet) {
 std::size_t RandomRouter::route(const FleetEnv& fleet,
                                 const sim::Invocation& inv) {
   (void)inv;
-  MLCR_CHECK_MSG(fleet.node_count() > 0, "route() over an empty fleet");
-  return rng_.uniform_index(fleet.node_count());
+  MLCR_CHECK_MSG(fleet.routable_count() > 0, "route() over an empty fleet");
+  return rng_.uniform_index(fleet.routable_count());
 }
 
 void RoundRobinRouter::on_episode_start(const FleetEnv& fleet) {
@@ -110,17 +111,17 @@ void RoundRobinRouter::on_episode_start(const FleetEnv& fleet) {
 std::size_t RoundRobinRouter::route(const FleetEnv& fleet,
                                     const sim::Invocation& inv) {
   (void)inv;
-  MLCR_CHECK_MSG(next_ < fleet.node_count(),
+  MLCR_CHECK_MSG(next_ < fleet.routable_count(),
                  "round-robin cursor outside the fleet");
   const std::size_t node = next_;
-  next_ = (next_ + 1) % fleet.node_count();
+  next_ = (next_ + 1) % fleet.routable_count();
   return node;
 }
 
 std::size_t LeastOutstandingRouter::route(const FleetEnv& fleet,
                                           const sim::Invocation& inv) {
   (void)inv;
-  MLCR_CHECK_MSG(fleet.node_count() > 0, "route() over an empty fleet");
+  MLCR_CHECK_MSG(fleet.routable_count() > 0, "route() over an empty fleet");
   return least_outstanding_node(fleet);
 }
 
@@ -130,7 +131,10 @@ ConsistentHashRouter::ConsistentHashRouter(std::size_t virtual_nodes)
 }
 
 void ConsistentHashRouter::on_episode_start(const FleetEnv& fleet) {
-  ring_ = build_hash_ring(fleet.node_count(), virtual_nodes_);
+  // The ring covers the episode's initial routable set. Spares admitted
+  // mid-episode stay off the ring — affinity keys keep their mapping and
+  // spares absorb traffic through failover / least-outstanding paths.
+  ring_ = build_hash_ring(fleet.routable_count(), virtual_nodes_);
 }
 
 std::size_t ConsistentHashRouter::route(const FleetEnv& fleet,
@@ -142,7 +146,7 @@ std::size_t ConsistentHashRouter::route(const FleetEnv& fleet,
 
 std::size_t WarmAwareRouter::route(const FleetEnv& fleet,
                                    const sim::Invocation& inv) {
-  MLCR_CHECK_MSG(fleet.node_count() > 0, "route() over an empty fleet");
+  MLCR_CHECK_MSG(fleet.routable_count() > 0, "route() over an empty fleet");
   const auto& fn_image = fleet.functions().get(inv.function).image;
 
   // Index fast path: the warm index maps a level key to the nodes holding a
@@ -179,7 +183,7 @@ std::size_t WarmAwareRouter::route(const FleetEnv& fleet,
 
   std::size_t best_node = fleet.node_count();
   containers::MatchLevel best_level = containers::MatchLevel::kNoMatch;
-  for (std::size_t i = 0; i < fleet.node_count(); ++i) {
+  for (std::size_t i = 0; i < fleet.routable_count(); ++i) {
     const sim::ClusterEnv& env = fleet.node(i);
     containers::MatchLevel node_best = containers::MatchLevel::kNoMatch;
     for (const containers::Container* c : env.pool().idle_containers()) {
@@ -221,7 +225,7 @@ void FailoverRouter::on_episode_start(const FleetEnv& fleet) {
 std::size_t FailoverRouter::route(const FleetEnv& fleet,
                                   const sim::Invocation& inv) {
   const std::size_t target = inner_->route(fleet, inv);
-  MLCR_CHECK_MSG(target < fleet.node_count(),
+  MLCR_CHECK_MSG(target < fleet.routable_count(),
                  "inner router picked an invalid node");
   if (fleet.node_up(target)) return target;
   // Every node down: return the inner choice; FleetEnv::run() counts the
@@ -235,6 +239,75 @@ bool FailoverRouter::needs_warm_index() const {
 
 std::string FailoverRouter::name() const {
   return "Failover(" + inner_->name() + ")";
+}
+
+HealthAwareRouter::HealthAwareRouter(std::unique_ptr<Router> inner,
+                                     double alpha, double threshold)
+    : inner_(std::move(inner)), alpha_(alpha), threshold_(threshold) {
+  MLCR_CHECK(inner_ != nullptr);
+  MLCR_CHECK_MSG(alpha_ > 0.0 && alpha_ <= 1.0,
+                 "EWMA smoothing factor must be in (0, 1], got " << alpha_);
+  MLCR_CHECK_MSG(threshold_ >= 0.0 && threshold_ <= 1.0,
+                 "failure-rate threshold must be in [0, 1], got "
+                     << threshold_);
+}
+
+void HealthAwareRouter::on_episode_start(const FleetEnv& fleet) {
+  inner_->on_episode_start(fleet);
+  ewma_.assign(fleet.node_count(), 0.0);
+  last_failed_.assign(fleet.node_count(), 0);
+}
+
+void HealthAwareRouter::observe(const FleetEnv& fleet) {
+  // One EWMA step per route() call, over every node (spares included, so
+  // their signal is current the moment they become routable). The failure
+  // signal is 1 while the node is down or failed an invocation since the
+  // last observation, 0 otherwise — all read from deterministic simulator
+  // state, so the router is replayable under SimClock.
+  for (std::size_t i = 0; i < fleet.node_count(); ++i) {
+    const std::size_t failed = fleet.node(i).metrics().failed_count();
+    const double signal =
+        (!fleet.node_up(i) || failed > last_failed_[i]) ? 1.0 : 0.0;
+    ewma_[i] = alpha_ * signal + (1.0 - alpha_) * ewma_[i];
+    last_failed_[i] = failed;
+  }
+}
+
+std::size_t HealthAwareRouter::route(const FleetEnv& fleet,
+                                     const sim::Invocation& inv) {
+  MLCR_CHECK_MSG(ewma_.size() == fleet.node_count(),
+                 "route() before on_episode_start()");
+  observe(fleet);
+  const std::size_t target = inner_->route(fleet, inv);
+  MLCR_CHECK_MSG(target < fleet.routable_count(),
+                 "inner router picked an invalid node");
+  if (fleet.node_up(target) && ewma_[target] <= threshold_) return target;
+  // Steer to the healthy routable node with the lowest failure EWMA; ties
+  // break to fewer in-flight executions, then the lowest index.
+  std::size_t best = fleet.routable_count();
+  for (std::size_t i = 0; i < fleet.routable_count(); ++i) {
+    if (!fleet.node_up(i)) continue;
+    if (best == fleet.routable_count()) {
+      best = i;
+      continue;
+    }
+    if (ewma_[i] < ewma_[best] ||
+        (ewma_[i] == ewma_[best] &&
+         fleet.node(i).busy_count() < fleet.node(best).busy_count()))
+      best = i;
+  }
+  // Whole routable fleet down: return the inner choice; FleetEnv::run()
+  // counts the invocation as lost.
+  if (best == fleet.routable_count()) return target;
+  return best;
+}
+
+bool HealthAwareRouter::needs_warm_index() const {
+  return inner_->needs_warm_index();
+}
+
+std::string HealthAwareRouter::name() const {
+  return "Health-Aware(" + inner_->name() + ")";
 }
 
 std::vector<RouterSpec> standard_routers(std::uint64_t seed) {
@@ -257,6 +330,15 @@ RouterSpec with_failover(RouterSpec spec) {
   wrapped.name = "Failover(" + spec.name + ")";
   wrapped.make = [make = std::move(spec.make)] {
     return std::make_unique<FailoverRouter>(make());
+  };
+  return wrapped;
+}
+
+RouterSpec with_health_aware(RouterSpec spec, double alpha, double threshold) {
+  RouterSpec wrapped;
+  wrapped.name = "Health-Aware(" + spec.name + ")";
+  wrapped.make = [make = std::move(spec.make), alpha, threshold] {
+    return std::make_unique<HealthAwareRouter>(make(), alpha, threshold);
   };
   return wrapped;
 }

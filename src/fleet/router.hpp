@@ -173,6 +173,39 @@ class FailoverRouter final : public Router {
   std::unique_ptr<Router> inner_;
 };
 
+/// Health-aware recovery baseline (DESIGN.md §14): wraps any router with a
+/// per-node failure-rate tracker. Every route() observation folds each
+/// node's state into an EWMA — signal 1 while the node is down or it failed
+/// an invocation since the last look, 0 otherwise — and when the inner
+/// policy picks a node that is down *or* whose EWMA exceeds the threshold,
+/// the invocation steers to the healthy routable node with the lowest EWMA
+/// (ties: fewer in-flight executions, then lowest index). Crashed and
+/// recently-flaky nodes shed load until their EWMA decays, which spreads
+/// the recovery cold-start storm instead of replaying it into the node
+/// that just rejoined. Purely a function of observed simulator state: no
+/// RNG, deterministic and replayable under SimClock.
+class HealthAwareRouter final : public Router {
+ public:
+  explicit HealthAwareRouter(std::unique_ptr<Router> inner,
+                             double alpha = 0.3, double threshold = 0.5);
+
+  void on_episode_start(const FleetEnv& fleet) override;
+  [[nodiscard]] std::size_t route(const FleetEnv& fleet,
+                                  const sim::Invocation& inv) override;
+  [[nodiscard]] bool needs_warm_index() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  /// Fold the fleet's current health into the per-node EWMAs.
+  void observe(const FleetEnv& fleet);
+
+  std::unique_ptr<Router> inner_;
+  double alpha_;      ///< EWMA smoothing factor, in (0, 1]
+  double threshold_;  ///< steer away above this failure rate, in [0, 1]
+  std::vector<double> ewma_;  ///< per-node failure-rate estimate
+  std::vector<std::size_t> last_failed_;  ///< failed_count() at last look
+};
+
 /// A named router source, so benches can sweep policies the way they sweep
 /// systems (each episode gets a fresh router instance).
 struct RouterSpec {
@@ -185,5 +218,11 @@ struct RouterSpec {
 
 /// Wrap a RouterSpec so every produced instance is failover-aware.
 [[nodiscard]] RouterSpec with_failover(RouterSpec spec);
+
+/// Wrap a RouterSpec so every produced instance is health-aware (EWMA
+/// failure tracking; see HealthAwareRouter).
+[[nodiscard]] RouterSpec with_health_aware(RouterSpec spec,
+                                           double alpha = 0.3,
+                                           double threshold = 0.5);
 
 }  // namespace mlcr::fleet

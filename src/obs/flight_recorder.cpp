@@ -49,6 +49,8 @@ void write_slo(std::ostream& os, const SloReport& slo) {
      << ",\"goodput\":" << format_number(slo.goodput)
      << ",\"rejection_rate\":" << format_number(slo.rejection_rate)
      << ",\"queue_depth_max\":" << format_number(slo.queue_depth_max)
+     << ",\"loss_rate\":" << format_number(slo.loss_rate)
+     << ",\"retry_pressure\":" << format_number(slo.retry_pressure)
      << ",\"breaches\":[";
   for (std::size_t i = 0; i < slo.breaches.size(); ++i) {
     if (i != 0) os << ",";

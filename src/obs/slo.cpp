@@ -78,6 +78,9 @@ std::vector<std::string> slo_breaches(const SloConfig& config,
               "rejection_rate", out);
   check_upper(report.queue_depth_max, config.max_queue_depth, "queue_depth",
               out);
+  check_upper(report.loss_rate, config.max_loss_rate, "loss_rate", out);
+  check_upper(report.retry_pressure, config.max_retry_pressure,
+              "retry_pressure", out);
   return out;
 }
 

@@ -67,6 +67,12 @@ struct SloConfig {
   double min_goodput = 0.0;             ///< min fraction of submits routed
   double max_rejection_rate = 1.0;      ///< max fraction of submits rejected
   double max_queue_depth = kUnbounded;  ///< queue-depth watermark bound
+  /// Max fraction of submits lost (crash-induced, DESIGN.md §14): goodput
+  /// gate for chaos runs — obsreport's --max-loss-rate.
+  double max_loss_rate = 1.0;
+  /// Max mean retries per routed request in the window (the retry-pressure
+  /// gauge: high values mean the fleet is burning capacity on re-attempts).
+  double max_retry_pressure = kUnbounded;
 };
 
 /// One windowed SLO evaluation (also the "slo" block of every
@@ -86,6 +92,8 @@ struct SloReport {
   double goodput = 1.0;          ///< routed / submitted (1 when no submits)
   double rejection_rate = 0.0;   ///< rejected / submitted (0 when no submits)
   double queue_depth_max = 0.0;  ///< queue-depth watermark over the window
+  double loss_rate = 0.0;        ///< lost / submitted (0 when no submits)
+  double retry_pressure = 0.0;   ///< mean retries per routed request
   std::vector<std::string> breaches;  ///< filled by slo_breaches
 };
 

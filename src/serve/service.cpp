@@ -46,9 +46,6 @@ SchedulerService::~SchedulerService() {
 
 void SchedulerService::begin_episode() {
   MLCR_CHECK_MSG(pool_ == nullptr, "begin_episode() while workers run");
-  MLCR_CHECK_MSG(fleet_.config().faults.faultless(),
-                 "the service never fires the fleet's crash schedule — "
-                 "serve only faultless fleets");
   const std::size_t nodes = fleet_.node_count();
 
   // MLCR detection: batched wave dispatch only makes sense when every node
@@ -68,12 +65,20 @@ void SchedulerService::begin_episode() {
     fleet_.node_env(i).reset_streaming();
     fleet_.node_scheduler(i).on_episode_start(fleet_.node_env(i));
   }
-  policy_->on_episode_start(nodes);
+  // Per-node fault injectors (empty on a faultless plan — that path is
+  // bit-identical to the pre-§14 service).
+  injectors_ = fleet_.make_injectors();
+  fleet_.reset_routable();
+  // Policies route over the initial routable prefix; spares admitted later
+  // are reachable through the index's failover/least-outstanding queries.
+  policy_->on_episode_start(fleet_.routable_count());
 
   index_ = std::make_unique<ShardedFleetIndex>(nodes, config_.shards,
                                                policy_->needs_warm_index());
-  for (std::size_t i = 0; i < nodes; ++i)
+  for (std::size_t i = 0; i < nodes; ++i) {
     index_->update(i, fleet_.node_env(i));
+    index_->set_routable(i, fleet_.node_routable(i));
+  }
 
   queues_.clear();
   for (std::size_t w = 0; w < config_.workers; ++w)
@@ -87,7 +92,9 @@ void SchedulerService::begin_episode() {
   janitor_cursor_.store(0, std::memory_order_relaxed);
   for (auto* counter :
        {&submitted_, &routed_, &rejected_, &degraded_, &lost_, &rerouted_,
-        &batches_, &inference_calls_, &max_wave_})
+        &batches_, &inference_calls_, &max_wave_, &node_crashes_,
+        &node_recoveries_, &domain_crashes_, &partial_crashes_,
+        &spares_activated_})
     counter->store(0, std::memory_order_relaxed);
   in_episode_ = true;
   if (telemetry_ != nullptr)
@@ -174,6 +181,13 @@ ServeSummary SchedulerService::finish_episode() {
     drain_queues_on_caller();
   }
 
+  // Any node still inside a crash window recovers before the episode closes
+  // (the fleet twin fires the plan's tail recoveries in finish_run; live
+  // chaos may simply never have recovered a node). Counted like any other
+  // recovery.
+  for (std::size_t i = 0; i < fleet_.node_count(); ++i)
+    if (fleet_.node_env(i).down()) (void)apply_recover(i);
+
   ServeSummary out;
   out.stats = stats();
   std::vector<fleet::NodeObservation> observations;
@@ -190,6 +204,11 @@ ServeSummary SchedulerService::finish_episode() {
                              observations);
   out.fleet.lost = out.stats.lost;
   out.fleet.rerouted = out.stats.rerouted;
+  out.fleet.node_crashes = out.stats.node_crashes;
+  out.fleet.node_recoveries = out.stats.node_recoveries;
+  out.fleet.domain_crashes = out.stats.domain_crashes;
+  out.fleet.partial_crashes = out.stats.partial_crashes;
+  out.fleet.spares_activated = out.stats.spares_activated;
 
   // Conservation: every submission ends in exactly one bucket, and every
   // dispatched request became exactly one node invocation.
@@ -205,6 +224,12 @@ ServeSummary SchedulerService::finish_episode() {
                            << " invocations");
 
   if (telemetry_ != nullptr) telemetry_->end_episode(clock_.now_s());
+
+  // The envs borrow the injectors; detach before the service drops them.
+  if (!injectors_.empty())
+    for (std::size_t i = 0; i < fleet_.node_count(); ++i)
+      fleet_.node_env(i).set_fault_injector(nullptr);
+  injectors_.clear();
 
   in_episode_ = false;
   index_.reset();
@@ -224,12 +249,130 @@ ServeStats SchedulerService::stats() const {
   s.batches = batches_.load(std::memory_order_relaxed);
   s.inference_calls = inference_calls_.load(std::memory_order_relaxed);
   s.max_wave = max_wave_.load(std::memory_order_relaxed);
+  s.node_crashes = node_crashes_.load(std::memory_order_relaxed);
+  s.node_recoveries = node_recoveries_.load(std::memory_order_relaxed);
+  s.domain_crashes = domain_crashes_.load(std::memory_order_relaxed);
+  s.partial_crashes = partial_crashes_.load(std::memory_order_relaxed);
+  s.spares_activated = spares_activated_.load(std::memory_order_relaxed);
   return s;
 }
 
 const ShardedFleetIndex& SchedulerService::index() const {
   MLCR_CHECK_MSG(index_ != nullptr, "index() outside an episode");
   return *index_;
+}
+
+bool SchedulerService::apply_crash(std::size_t node, bool partial) {
+  MLCR_CHECK_MSG(in_episode_, "apply_crash() outside an episode");
+  MLCR_CHECK_MSG(node < fleet_.node_count(),
+                 "apply_crash() on unknown node " << node);
+  std::optional<std::size_t> spare;
+  double at = 0.0;
+  {
+    const std::size_t shard = index_->shard_of(node);
+    std::lock_guard lock(*shard_mutexes_[shard]);
+    const util::LockRankScope lock_rank(
+        util::lock_ranks::service_shard(shard), "service shard mutex");
+    sim::ClusterEnv& env = fleet_.node_env(node);
+    if (env.down()) return false;
+    at = std::max(clock_.now_s(), env.now());
+    env.crash(at, partial);
+    index_->update(node, env);
+    node_crashes_.fetch_add(1, std::memory_order_relaxed);
+    if (partial) partial_crashes_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry_ != nullptr) telemetry_->on_node_crash(node, partial, at);
+    spare = fleet_.activate_spare();
+  }
+  // Outside the crashed node's shard lock: the spare's shard may rank below
+  // it, and the ascending-order discipline forbids acquiring backwards.
+  if (spare) admit_spare(*spare);
+  return true;
+}
+
+bool SchedulerService::apply_recover(std::size_t node) {
+  MLCR_CHECK_MSG(in_episode_, "apply_recover() outside an episode");
+  MLCR_CHECK_MSG(node < fleet_.node_count(),
+                 "apply_recover() on unknown node " << node);
+  const std::size_t shard = index_->shard_of(node);
+  std::lock_guard lock(*shard_mutexes_[shard]);
+  const util::LockRankScope lock_rank(util::lock_ranks::service_shard(shard),
+                                      "service shard mutex");
+  sim::ClusterEnv& env = fleet_.node_env(node);
+  if (!env.down()) return false;
+  const double at = std::max(clock_.now_s(), env.now());
+  env.recover(at);
+  index_->update(node, env);
+  node_recoveries_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry_ != nullptr) telemetry_->on_node_recover(node, at);
+  return true;
+}
+
+std::size_t SchedulerService::apply_domain_crash(std::size_t domain_id,
+                                                 bool partial) {
+  MLCR_CHECK_MSG(in_episode_, "apply_domain_crash() outside an episode");
+  const faults::FailureDomain* domain = nullptr;
+  for (const faults::FailureDomain& d : fleet_.config().faults.domains)
+    if (d.id == domain_id) domain = &d;
+  MLCR_CHECK_MSG(domain != nullptr, "apply_domain_crash() on unknown domain "
+                                        << domain_id);
+  std::vector<std::size_t> members = domain->nodes;
+  std::sort(members.begin(), members.end());
+  std::size_t crashed = 0;
+  for (const std::size_t node : members) {
+    if (!apply_crash(node, partial)) continue;
+    if (crashed == 0) {
+      // First member down leads the domain event, as in the planned path.
+      domain_crashes_.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry_ != nullptr)
+        telemetry_->on_domain_crash(domain_id, partial, clock_.now_s());
+    }
+    ++crashed;
+  }
+  return crashed;
+}
+
+void SchedulerService::admit_spare(std::size_t spare) {
+  const std::size_t shard = index_->shard_of(spare);
+  std::lock_guard lock(*shard_mutexes_[shard]);
+  const util::LockRankScope lock_rank(util::lock_ranks::service_shard(shard),
+                                      "service shard mutex");
+  index_->update(spare, fleet_.node_env(spare));
+  index_->set_routable(spare, true);
+  spares_activated_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry_ != nullptr)
+    telemetry_->on_spare_activated(spare, clock_.now_s());
+}
+
+std::optional<std::size_t> SchedulerService::apply_fault_event(
+    const fleet::FleetEnv::FaultEvent& ev, bool clamp) {
+  sim::ClusterEnv& env = fleet_.node_env(ev.node);
+  const double at = clamp ? std::max(ev.time, env.now()) : ev.time;
+  if (ev.is_recovery) {
+    if (clamp && !env.down()) return std::nullopt;
+    env.recover(at);
+    index_->update(ev.node, env);
+    node_recoveries_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry_ != nullptr) telemetry_->on_node_recover(ev.node, at);
+    return std::nullopt;
+  }
+  env.crash(at, ev.partial);
+  index_->update(ev.node, env);
+  node_crashes_.fetch_add(1, std::memory_order_relaxed);
+  if (ev.partial) partial_crashes_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry_ != nullptr) telemetry_->on_node_crash(ev.node, ev.partial, at);
+  if (ev.domain_lead) {
+    domain_crashes_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry_ != nullptr)
+      telemetry_->on_domain_crash(ev.domain, ev.partial, at);
+  }
+  const std::optional<std::size_t> spare = fleet_.activate_spare();
+  if (spare) {
+    index_->update(*spare, fleet_.node_env(*spare));
+    index_->set_routable(*spare, true);
+    spares_activated_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry_ != nullptr) telemetry_->on_spare_activated(*spare, at);
+  }
+  return spare;
 }
 
 SchedulerService::RouteOutcome SchedulerService::pick_target(
@@ -454,7 +597,9 @@ ServeSummary SchedulerService::run_replay(const sim::Trace& trace) {
   // The event core of FleetEnv::run, replicated over the sharded index: one
   // lazily-invalidated heap entry per node holds its next self-scheduled
   // event (completion or TTL expiry); stale entries are discarded on pop.
-  // Faultless by construction, so no fault-event merge is needed.
+  // The plan's fault events stay in the fleet's pre-sorted list and are
+  // merged by time, firing before node advances at equal times — the order
+  // FleetEnv::run uses.
   struct AdvanceEntry {
     double time;
     std::size_t node;
@@ -476,11 +621,12 @@ ServeSummary SchedulerService::run_replay(const sim::Trace& trace) {
   };
   for (std::size_t i = 0; i < fleet_.node_count(); ++i) reschedule(i);
 
-  const auto drain_until = [&](double t) {
+  const auto drain = [&](double t, bool inclusive) {
     for (;;) {
       while (!heap.empty() && heap.top().version != versions[heap.top().node])
         heap.pop();
-      if (heap.empty() || heap.top().time > t) return;
+      if (heap.empty()) return;
+      if (inclusive ? heap.top().time > t : heap.top().time >= t) return;
       const AdvanceEntry entry = heap.top();
       heap.pop();
       sim::ClusterEnv& env = fleet_.node_env(entry.node);
@@ -489,14 +635,31 @@ ServeSummary SchedulerService::run_replay(const sim::Trace& trace) {
       reschedule(entry.node);
     }
   };
+  const auto& fault_events = fleet_.fault_events();
+  std::size_t next_fault = 0;
+  // Fire one pre-planned transition: node advances strictly before it run
+  // first, then the event, then the touched nodes reschedule.
+  const auto fire_fault = [&](const fleet::FleetEnv::FaultEvent& ev,
+                              bool clamp) {
+    if (!clamp) drain(ev.time, /*inclusive=*/false);
+    const std::optional<std::size_t> spare = apply_fault_event(ev, clamp);
+    reschedule(ev.node);
+    if (spare) reschedule(*spare);
+  };
 
   double last_arrival = 0.0;
   for (const sim::Invocation& inv : trace.invocations()) {
     MLCR_CHECK_MSG(inv.arrival_s >= last_arrival,
                    "replay traces must be sorted by arrival");
     last_arrival = inv.arrival_s;
+    while (next_fault < fault_events.size() &&
+           fault_events[next_fault].time <= inv.arrival_s) {
+      const fleet::FleetEnv::FaultEvent& ev = fault_events[next_fault++];
+      sim_clock->advance_to(ev.time);
+      fire_fault(ev, /*clamp=*/false);
+    }
     sim_clock->advance_to(inv.arrival_s);
-    drain_until(inv.arrival_s);
+    drain(inv.arrival_s, /*inclusive=*/true);
     submitted_.fetch_add(1, std::memory_order_relaxed);
     // Replay bypasses the queues, so the ingest hook fires here: queue slot
     // as submit() would round-robin it, depth 0 (nothing ever queues).
@@ -509,6 +672,13 @@ ServeSummary SchedulerService::run_replay(const sim::Trace& trace) {
     // No janitor runs in replay; advance the SLO windows off the SimClock
     // directly so the telemetry stream stays a pure function of the trace.
     if (telemetry_ != nullptr) telemetry_->advance(inv.arrival_s);
+  }
+  // Episode tail: fire what remains of the plan (clamped to node clocks, as
+  // FleetEnv::finish_run does) so crash/recovery counts match it.
+  for (; next_fault < fault_events.size(); ++next_fault) {
+    const fleet::FleetEnv::FaultEvent& ev = fault_events[next_fault];
+    if (ev.time > sim_clock->now_s()) sim_clock->advance_to(ev.time);
+    fire_fault(ev, /*clamp=*/true);
   }
   return finish_episode();
 }

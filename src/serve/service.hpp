@@ -24,6 +24,17 @@
 // Time never comes from the OS directly — an injected serve::Clock drives
 // the janitor (and live arrival stamps), so the same service runs live
 // (WallClock) or bit-reproducibly under run_replay() (SimClock).
+//
+// Faults (DESIGN.md §14): on a faulted fleet the service attaches per-node
+// injectors at begin_episode() and fires the plan two ways — run_replay()
+// merges the fleet's pre-sorted fault-event list into its episode loop
+// (faults before node advances at equal times, exactly as FleetEnv::run),
+// while live chaos drives apply_crash()/apply_recover()/apply_domain_crash()
+// from ONE admin thread (the spare-admission and fleet routable-set state is
+// not atomic; a single chaos driver concurrent with the workers is the
+// supported model, and what the TSan tests pin). Crash events admit cold
+// spares into the routable set via the sharded index, so recovery capacity
+// appears on the failover path without restarting the episode.
 #pragma once
 
 #include <atomic>
@@ -34,6 +45,7 @@
 #include <optional>
 #include <vector>
 
+#include "faults/injector.hpp"
 #include "fleet/fleet_env.hpp"
 #include "fleet/metrics.hpp"
 #include "serve/clock.hpp"
@@ -76,6 +88,13 @@ struct ServeStats {
   std::size_t batches = 0;    ///< consumer drains that served >= 1 request
   std::size_t inference_calls = 0;  ///< MLCR decide_batch invocations
   std::size_t max_wave = 0;         ///< widest single decide_batch
+
+  // Fault-plane accounting (DESIGN.md §14); all 0 on a faultless episode.
+  std::size_t node_crashes = 0;     ///< crash events fired (partial included)
+  std::size_t node_recoveries = 0;  ///< recovery events fired
+  std::size_t domain_crashes = 0;   ///< domain-level crash events (lead only)
+  std::size_t partial_crashes = 0;  ///< of node_crashes: warm pool survived
+  std::size_t spares_activated = 0;  ///< cold spares admitted by crashes
 };
 
 /// Episode result: the fleet-level summary (same accounting as
@@ -88,9 +107,10 @@ struct ServeSummary {
 
 class SchedulerService {
  public:
-  /// The fleet must outlive the service and use a faultless plan (the
-  /// service drives streaming episodes directly and never fires the fleet's
-  /// crash/recover schedule). `clock` is borrowed; `policy` is owned.
+  /// The fleet must outlive the service. A faulted fleet is served too: the
+  /// service attaches the fleet's injectors per episode and fires the crash
+  /// schedule itself (run_replay's event merge, or the apply_* admin APIs
+  /// live). `clock` is borrowed; `policy` is owned.
   SchedulerService(fleet::FleetEnv& fleet, Clock& clock,
                    std::unique_ptr<RoutePolicy> policy, ServeConfig config);
   ~SchedulerService();
@@ -134,9 +154,29 @@ class SchedulerService {
   /// in arrival order, advancing the SimClock and the nodes' event cores
   /// exactly as FleetEnv::run does. With an up-to-date index every policy
   /// matches its fleet-router twin decision for decision, so the returned
-  /// fleet summary equals FleetEnv::run's (asserted in tests/serve).
-  /// Requires a SimClock and a faultless plan. Runs its own episode.
+  /// fleet summary equals FleetEnv::run's on a faultless plan (asserted in
+  /// tests/serve). On a faulted plan the fleet's fault-event list is merged
+  /// into the loop, firing before node advances at equal times. Requires a
+  /// SimClock. Runs its own episode.
   [[nodiscard]] ServeSummary run_replay(const sim::Trace& trace);
+
+  // Live chaos admin APIs (DESIGN.md §14). Thread-safe against the workers,
+  // but at most ONE admin thread may drive them at a time (spare admission
+  // mutates non-atomic fleet state).
+
+  /// Crash `node` now (clamped to its clock). False when it was already
+  /// down. A partial crash kills only in-flight work; the warm pool
+  /// survives. Every successful crash admits one cold spare while any
+  /// remain.
+  bool apply_crash(std::size_t node, bool partial = false);
+
+  /// Recover `node` now. False when it was already up.
+  bool apply_recover(std::size_t node);
+
+  /// Crash every member of the configured failure domain `domain_id` (in
+  /// ascending node order), counting/tracing the domain-level event once.
+  /// Returns how many members actually went down.
+  std::size_t apply_domain_crash(std::size_t domain_id, bool partial = false);
 
   [[nodiscard]] const ServeConfig& config() const noexcept { return config_; }
   [[nodiscard]] const RoutePolicy& policy() const noexcept { return *policy_; }
@@ -187,6 +227,19 @@ class SchedulerService {
   void drain_queues_on_caller();
   void note_wave(std::size_t width);
 
+  /// Admit `spare` into the routable set: flip its index entry routable and
+  /// refresh it under the spare's shard mutex. Called after the crashed
+  /// node's shard lock is released (ascending-order discipline: the spare's
+  /// shard may rank below the crashed node's).
+  void admit_spare(std::size_t spare);
+
+  /// Replay-path twin of FleetEnv::fire_fault_event: fire one pre-planned
+  /// transition (single-threaded; no shard mutexes). `clamp` is the
+  /// episode-tail mode — times clamp to the node clock and stale recoveries
+  /// are skipped. Returns the spare admitted by a crash, if any.
+  std::optional<std::size_t> apply_fault_event(
+      const fleet::FleetEnv::FaultEvent& ev, bool clamp);
+
   fleet::FleetEnv& fleet_;
   Clock& clock_;
   std::unique_ptr<RoutePolicy> policy_;
@@ -196,6 +249,10 @@ class SchedulerService {
   bool in_episode_ = false;
   bool mlcr_mode_ = false;
   std::unique_ptr<ShardedFleetIndex> index_;
+  /// Per-node fault injectors on a faulted plan (empty otherwise); owned
+  /// here because the service, not FleetEnv::run, drives the episode. The
+  /// envs borrow them, so they detach at finish_episode().
+  std::vector<std::unique_ptr<faults::FaultInjector>> injectors_;
   /// Per node: its scheduler as MlcrScheduler, set only in MLCR mode.
   std::vector<core::MlcrScheduler*> mlcr_;
   /// unique_ptr: queues/mutexes are neither movable nor copyable.
@@ -218,6 +275,11 @@ class SchedulerService {
   std::atomic<std::size_t> batches_{0};
   std::atomic<std::size_t> inference_calls_{0};
   std::atomic<std::size_t> max_wave_{0};
+  std::atomic<std::size_t> node_crashes_{0};
+  std::atomic<std::size_t> node_recoveries_{0};
+  std::atomic<std::size_t> domain_crashes_{0};
+  std::atomic<std::size_t> partial_crashes_{0};
+  std::atomic<std::size_t> spares_activated_{0};
 };
 
 }  // namespace mlcr::serve

@@ -29,6 +29,16 @@ void ShardedFleetIndex::update(std::size_t node, const sim::ClusterEnv& env) {
   shard.index.update(node, env);
 }
 
+void ShardedFleetIndex::set_routable(std::size_t node, bool routable) {
+  MLCR_CHECK(node < nodes_);
+  const std::size_t s = shard_of(node);
+  Shard& shard = *shards_[s];
+  std::unique_lock lock(shard.mutex);
+  const util::LockRankScope lock_rank(util::lock_ranks::index_shard(s),
+                                      "index shard lock");
+  shard.index.set_routable(node, routable);
+}
+
 std::size_t ShardedFleetIndex::least_outstanding() const {
   // The global minimum of the (busy, node) order is the minimum over shard
   // minima; comparing the pairs keeps the lowest-index tie-break exact.

@@ -50,6 +50,11 @@ class ShardedFleetIndex {
   /// the env itself (the service's dispatch shard mutex) while this reads it.
   void update(std::size_t node, const sim::ClusterEnv& env);
 
+  /// Writer: mark `node` routable or not (unique lock on its shard). A
+  /// non-routable node — a cold spare not yet admitted — is invisible to
+  /// every load/warm query until flipped back (DESIGN.md §14).
+  void set_routable(std::size_t node, bool routable);
+
   /// Node with the fewest in-flight executions (lowest index on ties) —
   /// merged over shard minima; bit-identical to FleetIndex. Requires at
   /// least one update().

@@ -27,7 +27,8 @@ Telemetry::Telemetry(TelemetryConfig config, obs::Tracer* tracer)
       submits_(config_.slo.window_s),
       routes_(config_.slo.window_s),
       rejects_(config_.slo.window_s),
-      losses_(config_.slo.window_s) {
+      losses_(config_.slo.window_s),
+      retries_(config_.slo.window_s) {
   MLCR_CHECK_MSG(config_.snapshot_period_s > 0.0,
                  "snapshot period must be positive");
   if (!config_.snapshot_path.empty())
@@ -47,7 +48,7 @@ void Telemetry::begin_episode(std::size_t nodes, std::size_t workers,
   workers_ = workers;
   for (obs::SlidingWindow* window :
        {&route_latency_, &e2e_latency_, &queue_depth_, &submits_, &routes_,
-        &rejects_, &losses_})
+        &rejects_, &losses_, &retries_})
     window->clear();
   last_snapshot_s_ = now_s;
   breaches_total_ = 0;
@@ -68,7 +69,7 @@ void Telemetry::end_episode(double now_s) {
                                  "telemetry_mutex_");
   for (obs::SlidingWindow* window :
        {&route_latency_, &e2e_latency_, &queue_depth_, &submits_, &routes_,
-        &rejects_, &losses_})
+        &rejects_, &losses_, &retries_})
     window->advance(now_s);
   snapshot_locked(now_s);
   last_snapshot_s_ = now_s;
@@ -132,12 +133,16 @@ void Telemetry::on_dispatch(const sim::Invocation& inv, std::size_t node,
   const double wait = std::max(0.0, now_s - inv.arrival_s);
   const double e2e = wait + result.latency_s;
   registry_.record("serve.e2e_latency_s", e2e);
+  const double retries = static_cast<double>(result.attempts - 1);
+  if (retries > 0.0) registry_.add("serve.start_retries",
+                                   static_cast<std::uint64_t>(retries));
 
   std::lock_guard<std::mutex> guard(telemetry_mutex_);
   const util::LockRankScope rank(util::lock_ranks::kTelemetry,
                                  "telemetry_mutex_");
   e2e_latency_.record(now_s, e2e);
   routes_.record(now_s, 1.0);
+  retries_.record(now_s, retries);
   if (!tracing()) return;
   const obs::Micros ts = obs::to_micros(now_s);
   tracer_->span(
@@ -167,13 +172,65 @@ void Telemetry::on_lost(const sim::Invocation& inv, double now_s) {
                     "serve");
 }
 
+void Telemetry::on_node_crash(std::size_t node, bool partial, double now_s) {
+  registry_.add("serve.node_crashes");
+  if (partial) registry_.add("serve.partial_crashes");
+  if (!tracing()) return;
+  std::lock_guard<std::mutex> guard(telemetry_mutex_);
+  const util::LockRankScope rank(util::lock_ranks::kTelemetry,
+                                 "telemetry_mutex_");
+  tracer_->instant(
+      kPid, track(workers_ + node), obs::to_micros(now_s), "node_crash",
+      "fault",
+      {obs::narg("node", static_cast<std::uint64_t>(node)),
+       obs::narg("partial", static_cast<std::int64_t>(partial ? 1 : 0))});
+}
+
+void Telemetry::on_node_recover(std::size_t node, double now_s) {
+  registry_.add("serve.node_recoveries");
+  if (!tracing()) return;
+  std::lock_guard<std::mutex> guard(telemetry_mutex_);
+  const util::LockRankScope rank(util::lock_ranks::kTelemetry,
+                                 "telemetry_mutex_");
+  tracer_->instant(kPid, track(workers_ + node), obs::to_micros(now_s),
+                   "node_recover", "fault",
+                   {obs::narg("node", static_cast<std::uint64_t>(node))});
+}
+
+void Telemetry::on_domain_crash(std::size_t domain, bool partial,
+                                double now_s) {
+  registry_.add("serve.domain_crashes");
+  if (!tracing()) return;
+  std::lock_guard<std::mutex> guard(telemetry_mutex_);
+  const util::LockRankScope rank(util::lock_ranks::kTelemetry,
+                                 "telemetry_mutex_");
+  // Domain events are fleet-wide, so they land on the shared lost track
+  // rather than any single node's.
+  tracer_->instant(
+      kPid, track(workers_ + nodes_), obs::to_micros(now_s), "domain_crash",
+      "fault",
+      {obs::narg("domain", static_cast<std::uint64_t>(domain)),
+       obs::narg("partial", static_cast<std::int64_t>(partial ? 1 : 0))});
+}
+
+void Telemetry::on_spare_activated(std::size_t node, double now_s) {
+  registry_.add("serve.spares_activated");
+  if (!tracing()) return;
+  std::lock_guard<std::mutex> guard(telemetry_mutex_);
+  const util::LockRankScope rank(util::lock_ranks::kTelemetry,
+                                 "telemetry_mutex_");
+  tracer_->instant(kPid, track(workers_ + node), obs::to_micros(now_s),
+                   "spare_activated", "fault",
+                   {obs::narg("node", static_cast<std::uint64_t>(node))});
+}
+
 void Telemetry::advance(double now_s) {
   std::lock_guard<std::mutex> guard(telemetry_mutex_);
   const util::LockRankScope rank(util::lock_ranks::kTelemetry,
                                  "telemetry_mutex_");
   for (obs::SlidingWindow* window :
        {&route_latency_, &e2e_latency_, &queue_depth_, &submits_, &routes_,
-        &rejects_, &losses_})
+        &rejects_, &losses_, &retries_})
     window->advance(now_s);
   if (now_s - last_snapshot_s_ >= config_.snapshot_period_s) {
     snapshot_locked(now_s);
@@ -207,6 +264,13 @@ obs::SloReport Telemetry::windowed_slo_locked() const {
           ? 0.0
           : static_cast<double>(report.rejected) / submitted;
   report.queue_depth_max = queue_depth_.max();
+  report.loss_rate = report.submitted == 0
+                         ? 0.0
+                         : static_cast<double>(report.lost) / submitted;
+  report.retry_pressure =
+      report.routed == 0
+          ? 0.0
+          : retries_.sum() / static_cast<double>(report.routed);
   return report;
 }
 
@@ -216,12 +280,15 @@ void Telemetry::snapshot_locked(double now_s) {
   breaches_total_ += report.breaches.size();
   if (!report.breaches.empty())
     registry_.add("serve.slo_breach", report.breaches.size());
+  registry_.set_gauge("serve.retry_pressure", report.retry_pressure);
   if (tracing()) {
     const obs::Micros ts = obs::to_micros(now_s);
     tracer_->counter(kPid, 0, ts, "serve.e2e_p99_s", report.e2e_p99_s);
     tracer_->counter(kPid, 0, ts, "serve.goodput", report.goodput);
     tracer_->counter(kPid, 0, ts, "serve.queue_depth_max",
                      report.queue_depth_max);
+    tracer_->counter(kPid, 0, ts, "serve.retry_pressure",
+                     report.retry_pressure);
   }
   if (recorder_) recorder_->write(now_s, registry_.snapshot(), report);
 }

@@ -88,6 +88,22 @@ class Telemetry {
   /// track.
   void on_lost(const sim::Invocation& inv, double now_s);
 
+  // Fault-plane hooks (DESIGN.md §14): the service reports crash/recover/
+  // domain events here so chaos runs are gateable offline (tracecheck on the
+  // instants, obsreport on the loss-rate / retry-pressure SLOs).
+
+  /// `node` crashed (partial: compute lost, warm pool survives).
+  void on_node_crash(std::size_t node, bool partial, double now_s);
+
+  /// `node` rejoined the routable fleet.
+  void on_node_recover(std::size_t node, double now_s);
+
+  /// First member crash of a correlated (domain, down_at) group.
+  void on_domain_crash(std::size_t domain, bool partial, double now_s);
+
+  /// A crash event admitted cold spare `node` into the routable set.
+  void on_spare_activated(std::size_t node, double now_s);
+
   /// Janitor tick: evict expired window samples and, when
   /// snapshot_period_s has elapsed, write a flight-recorder snapshot
   /// (metrics + SLO report + breach evaluation).
@@ -136,6 +152,8 @@ class Telemetry {
   obs::SlidingWindow routes_;
   obs::SlidingWindow rejects_;
   obs::SlidingWindow losses_;
+  /// Extra start attempts per dispatched request (retry pressure, §14).
+  obs::SlidingWindow retries_;
   std::unique_ptr<obs::FlightRecorder> recorder_;
   double last_snapshot_s_ = 0.0;
   std::uint64_t breaches_total_ = 0;

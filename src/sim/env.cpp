@@ -32,6 +32,7 @@ ClusterEnv::ClusterEnv(const FunctionTable& functions,
 void ClusterEnv::reset_common() {
   next_index_ = 0;
   down_ = false;
+  partial_down_ = false;
   pool_ = std::make_unique<containers::WarmPool>(config_.pool_capacity_mb,
                                                  eviction_factory_(),
                                                  config_.max_pool_containers);
@@ -131,7 +132,7 @@ void ClusterEnv::finish_streaming() {
   MLCR_AUDIT_POINT(audit());
 }
 
-void ClusterEnv::crash(double time) {
+void ClusterEnv::crash(double time, bool partial) {
   MLCR_CHECK_MSG(pool_ != nullptr, "crash() before the first reset");
   MLCR_CHECK_MSG(!down_, "crash() on an already-crashed node");
   MLCR_CHECK_MSG(done(), "crash() with a pending invocation");
@@ -146,20 +147,25 @@ void ClusterEnv::crash(double time) {
     busy_.pop();
     ++killed;
   }
-  const std::size_t dropped = pool_->invalidate_all(time);
+  // A partial crash loses only compute: the warm pool rides out the window
+  // (TTL expiry still applies at the next drain, as always).
+  const std::size_t dropped = partial ? 0 : pool_->invalidate_all(time);
   down_ = true;
+  partial_down_ = partial;
   if (injector_ != nullptr) {
-    injector_->count_crash();
+    injector_->count_crash(partial);
     for (std::size_t i = 0; i < killed; ++i)
       injector_->count_failed_invocation();
   }
   if (tracer_ != nullptr && tracer_->enabled()) {
-    tracer_->instant(
-        obs::Tracer::kSimPid, track_, obs::to_micros(time), "node_crash",
-        "fault",
-        {obs::narg("killed_executions", static_cast<std::int64_t>(killed)),
-         obs::narg("lost_warm_containers",
-                   static_cast<std::int64_t>(dropped))});
+    std::vector<obs::TraceArg> args = {
+        obs::narg("killed_executions", static_cast<std::int64_t>(killed)),
+        obs::narg("lost_warm_containers", static_cast<std::int64_t>(dropped))};
+    // Full-crash traces keep their exact pre-§14 bytes; only partial
+    // windows carry the extra flag.
+    if (partial) args.push_back(obs::narg("partial", std::int64_t{1}));
+    tracer_->instant(obs::Tracer::kSimPid, track_, obs::to_micros(time),
+                     "node_crash", "fault", std::move(args));
     tracer_->counter(obs::Tracer::kSimPid, track_, obs::to_micros(time),
                      "failed_invocations",
                      static_cast<double>(metrics_.failed_count()));
@@ -172,6 +178,7 @@ void ClusterEnv::recover(double time) {
   MLCR_CHECK_MSG(time >= now_, "recover() in the simulated past");
   drain_to(time);
   down_ = false;
+  partial_down_ = false;
   if (injector_ != nullptr) injector_->count_recovery();
   if (tracer_ != nullptr && tracer_->enabled())
     tracer_->instant(obs::Tracer::kSimPid, track_, obs::to_micros(time),
@@ -325,6 +332,10 @@ StepResult ClusterEnv::step(const Action& action) {
   std::size_t attempts = 1;
   if (injector_ != nullptr) {
     const faults::FaultPlan& plan = injector_->plan();
+    // SLO-based timeout tuning (DESIGN.md §14): the deadline is the
+    // function's own override when present, else the global timeout_s.
+    const std::optional<double> deadline_s =
+        plan.timeout_for(static_cast<std::size_t>(inv.function));
     for (;;) {
       double attempt_cost_s = -1.0;  // < 0: the attempt succeeds
       const char* kind = nullptr;
@@ -333,11 +344,11 @@ StepResult ClusterEnv::step(const Action& action) {
         // The failure surfaces at the end of the startup sequence.
         attempt_cost_s = result.breakdown.total();
         kind = "startup_failure";
-      } else if (plan.timeout_s.has_value() &&
-                 result.breakdown.total() + inv.exec_s > *plan.timeout_s) {
+      } else if (deadline_s.has_value() &&
+                 result.breakdown.total() + inv.exec_s > *deadline_s) {
         // Startup plus execution would blow the deadline: the container is
         // killed at the deadline and the attempt costs the full timeout.
-        attempt_cost_s = *plan.timeout_s;
+        attempt_cost_s = *deadline_s;
         kind = "timeout";
         injector_->count_timeout();
       }
@@ -535,11 +546,13 @@ void ClusterEnv::audit() const {
   MLCR_CHECK_MSG(metrics_.invocation_count() == next_index_,
                  "metrics record count diverged from scheduled invocations");
 
-  // Fault invariants (DESIGN.md §9): a crashed node holds no busy or warm
-  // container, and no record exceeded the plan's retry budget.
+  // Fault invariants (DESIGN.md §9, §14): a crashed node holds no busy
+  // container; only a *full* crash also empties the warm pool (a partial
+  // crash keeps it alive through the window).
   if (down_) {
     MLCR_CHECK_MSG(busy_.empty(), "busy container on a crashed node");
-    MLCR_CHECK_MSG(pool_->empty(), "warm container on a crashed node");
+    if (!partial_down_)
+      MLCR_CHECK_MSG(pool_->empty(), "warm container on a fully-crashed node");
   }
   if (injector_ != nullptr) {
     const std::size_t max_attempts = injector_->plan().retry.max_attempts;

@@ -202,15 +202,22 @@ class ClusterEnv {
   }
 
   /// Crash the node at `time` (>= now): in-flight executions are killed and
-  /// their invocations retroactively failed, the warm pool is dropped, and
-  /// offer()/step() reject work until recover(). Requires done() (the fleet
-  /// crashes nodes between invocations) and a healthy node.
-  void crash(double time);
+  /// their invocations retroactively failed, and offer()/step() reject work
+  /// until recover(). A full crash (`partial` false) also drops the warm
+  /// pool; a *partial* crash loses only compute — the pool survives the
+  /// window, so the node rejoins warm instead of cold (DESIGN.md §14).
+  /// Requires done() (the fleet crashes nodes between invocations) and a
+  /// healthy node.
+  void crash(double time, bool partial = false);
   /// Bring a crashed node back at `time`: it serves again with an empty
-  /// pool (the recovery cold-start storm the chaos bench measures).
+  /// pool after a full crash (the recovery cold-start storm the chaos bench
+  /// measures) or with its surviving — TTL-expired as usual — pool after a
+  /// partial one.
   void recover(double time);
   /// True while crashed (between crash() and recover()).
   [[nodiscard]] bool down() const noexcept { return down_; }
+  /// True while inside a *partial* crash window (down() is also true).
+  [[nodiscard]] bool partial_down() const noexcept { return partial_down_; }
 
   /// Cross-structure invariant auditor: pool byte accounting, busy/pooled
   /// disjointness (no container simultaneously busy and reusable), metrics
@@ -265,6 +272,7 @@ class ClusterEnv {
   std::uint32_t track_ = 0;
   faults::FaultInjector* injector_ = nullptr;
   bool down_ = false;
+  bool partial_down_ = false;  ///< of down_: warm pool kept (partial crash)
 };
 
 }  // namespace mlcr::sim

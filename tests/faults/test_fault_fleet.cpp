@@ -215,5 +215,92 @@ TEST(FaultFleet, RunRejectsTracesNamingUnknownFunctions) {
   }
 }
 
+/// §14 rack fixture: 6 primaries in two 3-node domains + one cold spare.
+/// A whole rack goes down together at t=2 (node 2 partially) and one
+/// independent partial window hits node 4 later.
+fleet::FleetConfig rack_config() {
+  faults::FaultPlan plan;
+  plan.startup_failure_prob = 0.2;
+  plan.retry.max_attempts = 3;
+  plan.domains = {{0, {0, 1, 2}}, {1, {3, 4, 5}}};
+  plan.crashes.push_back({0, 2.0, 5.0, false, 0});
+  plan.crashes.push_back({1, 2.0, 4.5, false, 0});
+  plan.crashes.push_back({2, 2.0, 4.0, true, 0});
+  plan.crashes.push_back({4, 7.0, 9.0, true, faults::kNoDomain});
+
+  fleet::FleetConfig cfg;
+  cfg.nodes = 6;
+  cfg.spare_nodes = 1;
+  cfg.seed = 77;
+  cfg.faults = plan;
+  return cfg;
+}
+
+TEST(FaultFleet, DomainCrashCountsEventsAdmitsSparesAndKeepsAccounting) {
+  TinyWorld world;
+  fleet::FleetEnv env = make_fleet(world, rack_config());
+  const sim::Trace trace = steady_trace(world, 40, 0.3);
+  fleet::FailoverRouter router(std::make_unique<fleet::WarmAwareRouter>());
+
+  EXPECT_EQ(env.routable_count(), 6U);
+  EXPECT_EQ(env.node_count(), 7U);
+  EXPECT_FALSE(env.node_routable(6));
+  const fleet::FleetSummary fs = env.run(trace, router);
+
+  // One domain-level event (three member windows share a down_at), four
+  // node crashes total, two of them partial, and the first crash admitted
+  // the spare into the routable prefix.
+  EXPECT_EQ(fs.domain_crashes, 1U);
+  EXPECT_EQ(fs.node_crashes, 4U);
+  EXPECT_EQ(fs.partial_crashes, 2U);
+  EXPECT_EQ(fs.node_recoveries, 4U);
+  EXPECT_EQ(fs.spares_activated, 1U);
+  EXPECT_TRUE(env.node_routable(6));
+  EXPECT_EQ(fs.total.invocations + fs.lost, trace.size());
+  // The spare served traffic once admitted (half the fleet was down).
+  ASSERT_EQ(fs.per_node.size(), 7U);
+  EXPECT_GT(fs.per_node[6].invocations, 0U);
+
+  // Repeated runs of the same faulted fleet are bit-identical.
+  fleet::FleetEnv env2 = make_fleet(world, rack_config());
+  fleet::FailoverRouter router2(std::make_unique<fleet::WarmAwareRouter>());
+  const fleet::FleetSummary fs2 = env2.run(trace, router2);
+  EXPECT_EQ(fs.total.invocations, fs2.total.invocations);
+  EXPECT_EQ(fs.total.failed, fs2.total.failed);
+  EXPECT_DOUBLE_EQ(fs.total.total_latency_s, fs2.total.total_latency_s);
+  EXPECT_EQ(fs.lost, fs2.lost);
+  EXPECT_EQ(fs.rerouted, fs2.rerouted);
+}
+
+TEST(FaultFleet, FaultlessSpareFleetMatchesNoSpareFleetBitForBit) {
+  TinyWorld world;
+  const sim::Trace trace = steady_trace(world, 30, 0.4);
+
+  fleet::FleetConfig no_spares;
+  no_spares.nodes = 4;
+  no_spares.seed = 9;
+  fleet::FleetConfig spares = no_spares;
+  spares.spare_nodes = 2;
+
+  fleet::FleetEnv plain = make_fleet(world, no_spares);
+  fleet::FleetEnv elastic = make_fleet(world, spares);
+  fleet::RoundRobinRouter r1, r2;
+  const fleet::FleetSummary a = plain.run(trace, r1);
+  const fleet::FleetSummary b = elastic.run(trace, r2);
+
+  // Without a crash no spare is ever admitted: routing, scheduling and
+  // totals are bit-identical; the spares idle with empty pools.
+  EXPECT_EQ(b.spares_activated, 0U);
+  EXPECT_EQ(elastic.routable_count(), 4U);
+  EXPECT_EQ(a.total.invocations, b.total.invocations);
+  EXPECT_EQ(a.total.cold_starts, b.total.cold_starts);
+  EXPECT_DOUBLE_EQ(a.total.total_latency_s, b.total.total_latency_s);
+  for (std::size_t n = 0; n < 4; ++n)
+    EXPECT_EQ(a.per_node[n].invocations, b.per_node[n].invocations)
+        << "node " << n;
+  for (std::size_t n = 4; n < 6; ++n)
+    EXPECT_EQ(b.per_node[n].invocations, 0U) << "spare " << n;
+}
+
 }  // namespace
 }  // namespace mlcr

@@ -3,8 +3,12 @@
 // consistent-hash stability + affinity, warm-aware match chasing).
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
+#include <utility>
+#include <vector>
 
+#include "faults/fault_plan.hpp"
 #include "fleet/fleet_env.hpp"
 #include "fleet/router.hpp"
 #include "testing/fixtures.hpp"
@@ -152,6 +156,71 @@ TEST(Router, WarmAwareRoutesToBestMatch) {
   // The L2 reuse must have happened: exactly one warm start at level 2.
   EXPECT_EQ(summary.total.warm_l2, 1U);
   EXPECT_EQ(summary.total.cold_starts, 2U);
+}
+
+/// A fleet whose node 0 is down from t=2 to t=7 (recovery mid-trace), for
+/// the failover/health-aware comparisons below.
+fleet::FleetEnv make_crashy_fleet(const TinyWorld& world) {
+  fleet::FleetConfig cfg;
+  cfg.nodes = 4;
+  cfg.node_env.pool_capacity_mb = 4096.0;
+  cfg.seed = 5;
+  cfg.faults.crashes.push_back({0, 2.0, 7.0, false, faults::kNoDomain});
+  return fleet::FleetEnv(
+      world.functions, world.catalog, world.cost_model(), cfg,
+      fleet::uniform_system(policies::make_greedy_match_system));
+}
+
+sim::Trace crashy_trace(const TinyWorld& world) {
+  std::vector<sim::Invocation> invs;
+  for (int i = 0; i <= 120; ++i)
+    invs.push_back(TinyWorld::inv(world.fn_py_flask, 0.25 * i, 0.1));
+  return sim::Trace(std::move(invs));
+}
+
+TEST(Router, HealthAwareAvoidsRecoveredNodeLongerThanFailover) {
+  const TinyWorld world;
+  const sim::Trace trace = crashy_trace(world);
+
+  auto run = [&](std::unique_ptr<fleet::Router> router) {
+    auto env = make_crashy_fleet(world);
+    return env.run(trace, *router);
+  };
+  const auto failover = run(std::make_unique<fleet::FailoverRouter>(
+      std::make_unique<fleet::RoundRobinRouter>()));
+  // A slow EWMA (alpha 0.05) keeps node 0's failure estimate above the 0.3
+  // threshold for ~15 routing decisions after it rejoins at t=7.
+  const auto health = run(std::make_unique<fleet::HealthAwareRouter>(
+      std::make_unique<fleet::RoundRobinRouter>(), /*alpha=*/0.05,
+      /*threshold=*/0.3));
+
+  // Both wrappers steer around the down node, so nothing is lost and the
+  // fleet serves the full trace either way.
+  EXPECT_EQ(failover.lost, 0U);
+  EXPECT_EQ(health.lost, 0U);
+  EXPECT_EQ(failover.total.invocations, health.total.invocations);
+  ASSERT_EQ(health.per_node.size(), 4U);
+  // Failover replays load into node 0 the instant it recovers; the
+  // health-aware wrapper sheds it until the EWMA decays.
+  EXPECT_LT(health.per_node[0].invocations, failover.per_node[0].invocations);
+  EXPECT_GT(health.per_node[0].invocations, 0U)
+      << "the EWMA must eventually readmit the node";
+
+  // Deterministic: a second health-aware run is bit-identical.
+  const auto again = run(std::make_unique<fleet::HealthAwareRouter>(
+      std::make_unique<fleet::RoundRobinRouter>(), 0.05, 0.3));
+  EXPECT_EQ(again.per_node[0].invocations, health.per_node[0].invocations);
+  EXPECT_DOUBLE_EQ(again.total.total_latency_s, health.total.total_latency_s);
+}
+
+TEST(Router, WrapperSpecsComposeNames) {
+  auto specs = fleet::standard_routers();
+  const auto failover = fleet::with_failover(specs[0]);
+  EXPECT_NE(failover.name.find("Failover("), std::string::npos);
+  EXPECT_EQ(failover.make()->name(), failover.name);
+  const auto health = fleet::with_health_aware(specs[1], 0.05, 0.3);
+  EXPECT_NE(health.name.find("Health-Aware("), std::string::npos);
+  EXPECT_EQ(health.make()->name(), health.name);
 }
 
 TEST(Router, StandardRoutersExposeAllFivePolicies) {

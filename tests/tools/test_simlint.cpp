@@ -82,6 +82,7 @@ const FixtureCase kFixtureCases[] = {
     {"obs_concurrent_registry.cpp", "src/serve/metrics_misuse.cpp"},
     {"router_route_check.cpp", "src/fleet/router.cpp"},
     {"fault_rng_stream.cpp", "src/faults/fault_rng_stream.cpp"},
+    {"fault_domain_stream.cpp", "src/faults/fault_domain_stream.cpp"},
     {"lock_discipline.cpp", "src/serve/lock_discipline.cpp"},
     {"lock_clean.cpp", "src/serve/lock_clean.cpp"},
     {"unused_suppression.cpp", "src/serve/unused_suppression.cpp"},
@@ -138,6 +139,15 @@ TEST(Simlint, PathScopedRulesAreQuietOutsideTheirScope) {
   // And also fires under src/fleet, the other half of its scope.
   EXPECT_FALSE(
       lint_source(fault_src, "src/fleet/fault_rng_stream.cpp").empty());
+  // Same scoping for the ad-hoc-generator rule: tests and benches may
+  // default-construct an Rng, fault-handling code may not.
+  const std::string domain_src = read_fixture("fault_domain_stream.cpp");
+  EXPECT_TRUE(
+      lint_source(domain_src, "src/core/fault_domain_stream.cpp").empty());
+  EXPECT_TRUE(
+      lint_source(domain_src, "tests/faults/fault_domain_stream.cpp").empty());
+  EXPECT_FALSE(
+      lint_source(domain_src, "src/fleet/fault_domain_stream.cpp").empty());
 }
 
 TEST(Simlint, CleanFixtureIsQuietUnderEveryScope) {

@@ -4,6 +4,7 @@
 //   obsreport <snapshots.jsonl> [--summary]
 //             [--max-route-p95 S] [--max-e2e-p99 S] [--min-goodput F]
 //             [--max-rejection-rate F] [--max-queue-depth D]
+//             [--max-loss-rate F] [--max-retry-pressure F]
 //             [--no-recorded-gate]
 //
 // Threshold flags re-evaluate every snapshot offline on top of whatever the
@@ -47,6 +48,10 @@ int main(int argc, char** argv) {
       threshold = &options.slo.max_rejection_rate;
     else if (arg == "--max-queue-depth")
       threshold = &options.slo.max_queue_depth;
+    else if (arg == "--max-loss-rate")
+      threshold = &options.slo.max_loss_rate;
+    else if (arg == "--max-retry-pressure")
+      threshold = &options.slo.max_retry_pressure;
 
     if (threshold != nullptr) {
       if (i + 1 >= argc || !parse_double(argv[++i], *threshold)) {
@@ -61,6 +66,7 @@ int main(int argc, char** argv) {
       std::cout << "usage: obsreport <snapshots.jsonl> [--summary] "
                    "[--max-route-p95 S] [--max-e2e-p99 S] [--min-goodput F] "
                    "[--max-rejection-rate F] [--max-queue-depth D] "
+                   "[--max-loss-rate F] [--max-retry-pressure F] "
                    "[--no-recorded-gate]\n";
       return 0;
     } else if (path.empty()) {

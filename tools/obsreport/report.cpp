@@ -45,6 +45,8 @@ using obs::JsonValue;
   r.goodput = number_or(slo->find("goodput"), 1.0);
   r.rejection_rate = number_or(slo->find("rejection_rate"), 0.0);
   r.queue_depth_max = number_or(slo->find("queue_depth_max"), 0.0);
+  r.loss_rate = number_or(slo->find("loss_rate"), 0.0);
+  r.retry_pressure = number_or(slo->find("retry_pressure"), 0.0);
   const JsonValue* breaches = slo->find("breaches");
   if (breaches != nullptr && breaches->type == JsonValue::Type::kArray)
     for (const JsonValue& b : breaches->array)
@@ -94,7 +96,7 @@ std::string render_report(const Report& report) {
   os << "snapshots: " << report.rows.size() << "\n";
   if (!report.rows.empty())
     os << "  #      t   sub  rout   rej  lost   e2e_p50   e2e_p95   e2e_p99"
-          "  goodput  rej_rate  qmax\n";
+          "  goodput  rej_rate  qmax  loss  retry\n";
   for (std::size_t i = 0; i < report.rows.size(); ++i) {
     const SnapshotRow& row = report.rows[i];
     const obs::SloReport& s = row.slo;
@@ -105,7 +107,9 @@ std::string render_report(const Report& report) {
        << obs::format_number(s.e2e_p99_s) << "  "
        << obs::format_number(s.goodput) << "  "
        << obs::format_number(s.rejection_rate) << "  "
-       << obs::format_number(s.queue_depth_max) << "\n";
+       << obs::format_number(s.queue_depth_max) << "  "
+       << obs::format_number(s.loss_rate) << "  "
+       << obs::format_number(s.retry_pressure) << "\n";
   }
   for (const std::string& b : report.breaches) os << "BREACH " << b << "\n";
   return os.str();

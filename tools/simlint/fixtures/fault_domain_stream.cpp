@@ -1,0 +1,37 @@
+// Fixture for the fault-domain-stream rule. Linted with pretend path
+// "src/faults/fault_domain_stream.cpp" (in scope) and "src/core/..." (out
+// of scope, must stay quiet): a default-constructed util::Rng in fault or
+// crash-handling code draws from the hidden default seed, so the sampled
+// domain schedule stops being a function of the episode seed and the
+// zero-correlation replay oracle no longer holds.
+namespace util {
+class Rng {
+ public:
+  Rng() = default;
+  explicit Rng(unsigned long long seed) { (void)seed; }
+  Rng split() { return *this; }
+};
+}  // namespace util
+
+struct DomainPlan {
+  double correlation = 0.0;
+};
+
+void bad_adhoc_generators() {
+  util::Rng rng;       // VIOLATION fault-domain-stream
+  util::Rng braced{};  // VIOLATION fault-domain-stream
+  (void)rng;
+  (void)braced;
+}
+
+void good_split_streams(util::Rng& injector_stream, unsigned long long seed) {
+  // The injector's stream is the single source: split one child per concern
+  // (domain schedule, per-node background) in a fixed draw order, or seed
+  // explicitly from a variable the episode owns.
+  util::Rng domain_stream = injector_stream.split();
+  util::Rng seeded(seed);
+  util::Rng& borrowed = injector_stream;
+  (void)domain_stream;
+  (void)seeded;
+  (void)borrowed;
+}

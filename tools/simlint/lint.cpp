@@ -224,6 +224,16 @@ const LineRule kLineRules[] = {
      "derive the stream from the episode: split() the caller's Rng or "
      "forward a seed variable; a literal seed decouples fault injection "
      "from the episode seed and silently breaks replay"},
+    {"fault-domain-stream",
+     "default-constructed util::Rng in src/faults or src/fleet — domain "
+     "crash sampling must draw from the injector's split stream, so an "
+     "ad-hoc generator (implicit default seed) silently decorrelates the "
+     "domain schedule from the episode",
+     fault_code,
+     R"(\bRng\s+\w*[A-Za-z0-9]\s*(;|\{\s*\}))",
+     "one split stream per concern: take a util::Rng& (or a seed variable) "
+     "from the caller and split() it — a default-constructed Rng hides the "
+     "fixed default seed and breaks the zero-correlation replay oracle"},
     {"serve-clock-injection",
      "direct wall-time reads in service/simulation logic — the serving layer "
      "takes time from an injected serve::Clock, so the same code path runs "
